@@ -1,0 +1,68 @@
+"""E11/E12 — compressed graphs: exponential unpacking and NP validation.
+
+* Proposition 6.1: the unpacking of a compressed graph is exponential in the
+  (binary) size of its multiplicities — measured by unpacking a fixed two-edge
+  graph whose multiplicity doubles at every step.
+* Proposition 6.2: validation of compressed graphs is decided through the
+  existential Presburger encoding; the benchmark compares validating the
+  compressed form against validating its (much larger) unpacking with the
+  plain procedure.
+"""
+
+import pytest
+
+from repro.graphs.compressed import CompressedGraph
+from repro.schema.parser import parse_schema
+from repro.schema.validation import satisfies, satisfies_compressed
+
+MULTIPLICITIES = [4, 16, 64, 256]
+
+
+def _compressed_star(multiplicity: int) -> CompressedGraph:
+    graph = CompressedGraph(f"star-{multiplicity}")
+    graph.add_edge("hub", "spoke", "leaf", multiplicity)
+    graph.add_edge("leaf", "mark", "end", 1)
+    graph.add_node("end")
+    return graph
+
+
+SCHEMA = parse_schema(
+    """
+    Hub -> spoke :: Leaf+
+    Leaf -> mark :: End
+    End -> eps
+    """,
+    name="star",
+)
+
+
+@pytest.mark.experiment("E11")
+@pytest.mark.parametrize("multiplicity", MULTIPLICITIES)
+def test_unpacking_blowup(benchmark, multiplicity):
+    graph = _compressed_star(multiplicity)
+    unpacked = benchmark(graph.unpack)
+    assert unpacked.is_simple()
+    benchmark.extra_info["multiplicity"] = multiplicity
+    benchmark.extra_info["compressed_edges"] = graph.edge_count
+    benchmark.extra_info["unpacked_nodes"] = unpacked.node_count
+    benchmark.extra_info["blowup"] = unpacked.node_count / graph.node_count
+
+
+@pytest.mark.experiment("E12")
+@pytest.mark.parametrize("multiplicity", MULTIPLICITIES)
+def test_compressed_validation(benchmark, multiplicity):
+    graph = _compressed_star(multiplicity)
+    result = benchmark(satisfies_compressed, graph, SCHEMA)
+    assert result
+    benchmark.extra_info["multiplicity"] = multiplicity
+
+
+@pytest.mark.experiment("E12")
+@pytest.mark.parametrize("multiplicity", [4, 16, 64])
+def test_unpacked_validation_baseline(benchmark, multiplicity):
+    """Validating the unpacking directly — the cost the compression avoids."""
+    graph = _compressed_star(multiplicity).unpack()
+    result = benchmark.pedantic(satisfies, args=(graph, SCHEMA), rounds=3, iterations=1)
+    assert result
+    benchmark.extra_info["multiplicity"] = multiplicity
+    benchmark.extra_info["unpacked_nodes"] = graph.node_count

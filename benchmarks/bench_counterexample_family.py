@@ -1,0 +1,58 @@
+"""E9 — Lemma 5.1: minimal counter-examples for ShEx0 can be exponential.
+
+Three measurements on the family (H_n, K_n):
+
+* the size of the canonical counter-example (2^{n+1} nodes) against the size of
+  the schemas (O(n²) types) — the exponential gap is the lemma's content;
+* the time to *verify* the counter-example (validate it against both schemas);
+* the time the bounded counter-example search wastes before giving up within a
+  small budget — illustrating why no polynomially-bounded search can be
+  complete for ShEx0.
+"""
+
+import pytest
+
+from repro.containment.api import Verdict, contains
+from repro.reductions.expfamily import exponential_counterexample, exponential_family
+from repro.schema.validation import satisfies
+
+SIZES = [1, 2, 3]
+
+
+@pytest.mark.experiment("E9")
+@pytest.mark.parametrize("n", SIZES)
+def test_counterexample_verification(benchmark, n):
+    schema_h, schema_k = exponential_family(n)
+    witness = exponential_counterexample(n)
+
+    def verify():
+        return satisfies(witness, schema_h) and not satisfies(witness, schema_k)
+
+    assert benchmark.pedantic(verify, rounds=3, iterations=1)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["schema_types"] = len(schema_h.types)
+    benchmark.extra_info["counterexample_nodes"] = witness.node_count
+    benchmark.extra_info["growth_ratio"] = witness.node_count / len(schema_h.types)
+
+
+@pytest.mark.experiment("E9")
+@pytest.mark.parametrize("n", SIZES)
+def test_counterexample_construction(benchmark, n):
+    witness = benchmark(exponential_counterexample, n)
+    assert witness.node_count == 2 ** (n + 1)
+    benchmark.extra_info["n"] = n
+
+
+@pytest.mark.experiment("E9")
+def test_bounded_search_gives_up(benchmark):
+    """A small-budget search cannot find the (necessarily huge) counter-example."""
+    schema_h, schema_k = exponential_family(3)
+
+    def search():
+        return contains(
+            schema_h, schema_k, max_candidates=20, samples=3, max_nodes=10, width=0
+        )
+
+    result = benchmark.pedantic(search, rounds=1, iterations=1)
+    assert result.verdict is Verdict.UNKNOWN
+    benchmark.extra_info["candidates_checked"] = result.search.candidates_checked

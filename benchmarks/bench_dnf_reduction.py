@@ -1,0 +1,46 @@
+"""E8 — Theorem 4.5: containment for DetShEx0 is coNP-hard.
+
+The benchmark decides DNF-tautology through the containment reduction
+(enumerating the 2^n valuation graphs, which the theorem's proof shows is
+complete for this family) and compares its cost against the brute-force
+tautology check.  Both are exponential in the number of variables — the point
+of the reduction is precisely that the containment question inherits that
+lower bound once ``?``-types escape the \\*-closure discipline of DetShEx0-.
+"""
+
+import random
+
+import pytest
+
+from repro.reductions.dnf import (
+    decide_dnf_containment_exactly,
+    dnf_reduction_schemas,
+)
+from repro.reductions.logic import brute_force_tautology, random_dnf
+
+VARIABLE_COUNTS = [2, 3, 4]
+
+
+@pytest.mark.experiment("E8")
+@pytest.mark.parametrize("num_vars", VARIABLE_COUNTS)
+def test_containment_decision_via_valuation_graphs(benchmark, num_vars):
+    dnf = random_dnf(num_vars, num_vars + 1, term_width=2, rng=random.Random(num_vars))
+    schema_h, schema_k = dnf_reduction_schemas(dnf)
+
+    def decide():
+        return decide_dnf_containment_exactly(schema_h, schema_k, dnf)[0]
+
+    contained = benchmark.pedantic(decide, rounds=3, iterations=1)
+    assert contained == (brute_force_tautology(dnf) is None)
+    benchmark.extra_info["variables"] = num_vars
+    benchmark.extra_info["schema_types"] = len(schema_k.types)
+    benchmark.extra_info["tautology"] = contained
+
+
+@pytest.mark.experiment("E8")
+@pytest.mark.parametrize("num_vars", VARIABLE_COUNTS)
+def test_brute_force_baseline(benchmark, num_vars):
+    dnf = random_dnf(num_vars, num_vars + 1, term_width=2, rng=random.Random(num_vars))
+    result = benchmark(brute_force_tautology, dnf)
+    benchmark.extra_info["variables"] = num_vars
+    benchmark.extra_info["tautology"] = result is None

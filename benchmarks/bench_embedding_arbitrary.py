@@ -1,0 +1,42 @@
+"""E5 — Theorem 3.5: with arbitrary intervals, embedding is NP-complete.
+
+The benchmark runs the SAT reduction end to end: CNF formula → graph pair
+(H, K) with ``[k;k]`` and ``+`` intervals → embedding decision with the
+backtracking witness engine.  The cost grows combinatorially with the formula
+size, in contrast with the polynomial trend of ``bench_embedding_shape`` —
+reproducing the tractable/intractable split the theorem establishes.
+"""
+
+import random
+
+import pytest
+
+from repro.reductions.logic import brute_force_satisfiable, random_cnf
+from repro.reductions.sat import solve_sat_via_embedding
+
+INSTANCES = [(2, 3), (3, 4), (3, 6), (4, 6)]
+
+
+@pytest.mark.experiment("E5")
+@pytest.mark.parametrize("num_vars,num_clauses", INSTANCES)
+def test_sat_reduction_scaling(benchmark, num_vars, num_clauses):
+    cnf = random_cnf(num_vars, num_clauses, clause_width=2, rng=random.Random(num_vars * 100 + num_clauses))
+    expected = brute_force_satisfiable(cnf) is not None
+    result = benchmark.pedantic(solve_sat_via_embedding, args=(cnf,), rounds=3, iterations=1)
+    assert result == expected
+    benchmark.extra_info["variables"] = num_vars
+    benchmark.extra_info["clauses"] = num_clauses
+    benchmark.extra_info["satisfiable"] = expected
+
+
+@pytest.mark.experiment("E5")
+def test_unsatisfiable_instance_forces_exhaustive_search(benchmark):
+    """UNSAT instances are the hard case: every routing of the witness must fail."""
+    from repro.reductions.logic import CNFFormula, Literal
+
+    x1, x2 = Literal("x1"), Literal("x2")
+    unsat = CNFFormula(
+        [(x1, x2), (x1.negate(), x2), (x1, x2.negate()), (x1.negate(), x2.negate())]
+    )
+    result = benchmark.pedantic(solve_sat_via_embedding, args=(unsat,), rounds=3, iterations=1)
+    assert result is False

@@ -1,0 +1,52 @@
+"""E4 — Theorem 3.4: embeddings between shape graphs are decided in polynomial time.
+
+The benchmark measures the wall-clock cost of the maximal-simulation
+computation (flow-based witness engine) between random shape graphs of growing
+size.  The paper's claim is qualitative — membership in P — so the shape to
+look for is a gently growing curve, in contrast with the exponential behaviour
+of ``bench_embedding_arbitrary`` (Theorem 3.5) on graphs with arbitrary
+intervals.
+"""
+
+import random
+
+import pytest
+
+from repro.embedding.simulation import maximal_simulation
+from repro.schema.convert import schema_to_shape_graph
+from repro.workloads.generators import grow_schema_chain, random_shape_schema
+
+SIZES = [4, 8, 12, 16, 24]
+
+
+def _pair(num_types: int):
+    rng = random.Random(1000 + num_types)
+    base = random_shape_schema(num_types, num_labels=4, edges_per_type=3, rng=rng)
+    widened = grow_schema_chain(base, num_types // 2, rng=rng)[-1]
+    return schema_to_shape_graph(base), schema_to_shape_graph(widened)
+
+
+@pytest.mark.experiment("E4")
+@pytest.mark.parametrize("num_types", SIZES)
+def test_embedding_scaling_shape_graphs(benchmark, num_types):
+    left, right = _pair(num_types)
+    result = benchmark(maximal_simulation, left, right)
+    assert result.embeds  # widening chains always embed
+    benchmark.extra_info["types"] = num_types
+    benchmark.extra_info["witness_checks"] = result.witness_checks
+
+
+@pytest.mark.experiment("E4")
+@pytest.mark.parametrize("num_types", [8, 16])
+def test_embedding_negative_instances(benchmark, num_types):
+    """Non-embedding pairs are typically even faster (early pruning of pairs)."""
+    rng = random.Random(77 + num_types)
+    left = schema_to_shape_graph(
+        random_shape_schema(num_types, num_labels=4, edges_per_type=3, rng=rng)
+    )
+    right = schema_to_shape_graph(
+        random_shape_schema(num_types, num_labels=2, edges_per_type=1, rng=rng)
+    )
+    result = benchmark(maximal_simulation, left, right)
+    benchmark.extra_info["types"] = num_types
+    benchmark.extra_info["embeds"] = result.embeds

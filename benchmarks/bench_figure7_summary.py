@@ -1,0 +1,82 @@
+"""E13 — Figure 7: the complexity summary table, measured.
+
+Figure 7 of the paper summarises the separation::
+
+    DetShEx0-   : containment in P
+    ShEx0       : EXP-hard, in coNEXP
+    ShEx        : coNEXP-hard, in co2NEXP^NP
+
+This module measures one representative containment workload per class on
+matched input sizes.  The absolute numbers are machine-dependent; the *shape*
+to reproduce is the ordering — the DetShEx0- column stays flat and exact, the
+ShEx0 column needs certificates that grow exponentially (here: the Lemma 5.1
+verification workload), and the ShEx column falls back to bounded search whose
+exactness degrades (UNKNOWN verdicts) long before its runtime explodes.
+"""
+
+import random
+
+import pytest
+
+from repro.containment.api import Verdict, contains
+from repro.reductions.expfamily import exponential_counterexample, exponential_family
+from repro.schema.shex import ShExSchema
+from repro.schema.validation import satisfies
+from repro.workloads.generators import grow_schema_chain, random_detshex0_minus_schema
+
+SCALE = [1, 2, 3]
+
+
+@pytest.mark.experiment("E13")
+@pytest.mark.parametrize("scale", SCALE)
+def test_row_detshex0_minus(benchmark, scale):
+    """Row 1: exact polynomial containment."""
+    rng = random.Random(scale)
+    base = random_detshex0_minus_schema(4 * scale, num_labels=4, edges_per_type=3, rng=rng)
+    widened = grow_schema_chain(base, 2 * scale, rng=rng)[-1]
+    result = benchmark(contains, base, widened)
+    assert result.verdict is Verdict.CONTAINED and result.is_exact
+    benchmark.extra_info["class"] = "DetShEx0-"
+    benchmark.extra_info["types"] = 4 * scale
+    benchmark.extra_info["exact"] = True
+
+
+@pytest.mark.experiment("E13")
+@pytest.mark.parametrize("scale", SCALE)
+def test_row_shex0(benchmark, scale):
+    """Row 2: ShEx0 — deciding non-containment requires exponential certificates."""
+    schema_h, schema_k = exponential_family(scale)
+    witness = exponential_counterexample(scale)
+
+    def certify():
+        return satisfies(witness, schema_h) and not satisfies(witness, schema_k)
+
+    assert benchmark.pedantic(certify, rounds=3, iterations=1)
+    benchmark.extra_info["class"] = "ShEx0"
+    benchmark.extra_info["types"] = len(schema_h.types)
+    benchmark.extra_info["certificate_nodes"] = witness.node_count
+
+
+@pytest.mark.experiment("E13")
+@pytest.mark.parametrize("scale", SCALE)
+def test_row_shex(benchmark, scale):
+    """Row 3: full ShEx — only bounded search is available; exactness degrades."""
+    rng = random.Random(100 + scale)
+    labels = ["a", "b", "c"]
+    rules = {"o": "eps"}
+    for index in range(2 * scale):
+        label = labels[index % len(labels)]
+        rules[f"t{index}"] = f"({label} :: o | {label} :: o || {label} :: o)"
+    schema_h = ShExSchema(rules, name="shex-h")
+    rules_k = dict(rules)
+    rules_k[f"t0"] = "a :: o"
+    schema_k = ShExSchema(rules_k, name="shex-k")
+
+    def check():
+        return contains(schema_h, schema_k, samples=10 * scale, max_candidates=50, seed=scale)
+
+    result = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert result.verdict in (Verdict.NOT_CONTAINED, Verdict.UNKNOWN)
+    benchmark.extra_info["class"] = "ShEx"
+    benchmark.extra_info["types"] = len(schema_h.types)
+    benchmark.extra_info["verdict"] = result.verdict.value

@@ -1,0 +1,43 @@
+"""Ablation — the two witness engines on identical shape-graph workloads.
+
+DESIGN.md calls out one deliberate design choice: Theorem 3.4's witness search
+is implemented by a reduction to feasible flow rather than by the paper's
+push-forth/pull-back rerouting.  This ablation quantifies what the polynomial
+engine buys over the exact backtracking engine on the *same* inputs (both are
+correct on shape graphs; they are property-tested to agree).  On small
+neighborhoods backtracking can win on constants; the flow engine's advantage
+grows with the out-degree, which is what makes the maximal-simulation loop
+scale.
+"""
+
+import random
+
+import pytest
+
+from repro.embedding.simulation import maximal_simulation
+from repro.schema.convert import schema_to_shape_graph
+from repro.workloads.generators import random_shape_schema
+
+DEGREES = [2, 4, 6]
+
+
+def _pair(edges_per_type: int):
+    rng = random.Random(4242 + edges_per_type)
+    left = schema_to_shape_graph(
+        random_shape_schema(6, num_labels=3, edges_per_type=edges_per_type, rng=rng)
+    )
+    right = schema_to_shape_graph(
+        random_shape_schema(6, num_labels=3, edges_per_type=edges_per_type, rng=rng)
+    )
+    return left, right
+
+
+@pytest.mark.experiment("ablation")
+@pytest.mark.parametrize("engine", ["flow", "backtracking"])
+@pytest.mark.parametrize("edges_per_type", DEGREES)
+def test_witness_engine_ablation(benchmark, engine, edges_per_type):
+    left, right = _pair(edges_per_type)
+    result = benchmark(maximal_simulation, left, right, engine)
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["out_degree"] = edges_per_type
+    benchmark.extra_info["simulation_pairs"] = len(result.simulation)

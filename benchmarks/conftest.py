@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one experiment of the index in DESIGN.md
+(and of EXPERIMENTS.md).  The helpers here keep the workloads deterministic —
+every benchmark uses a fixed seed so the numbers in EXPERIMENTS.md are
+reproducible run to run (up to machine speed).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return random.Random(2019)  # the paper's year, for determinism
+
+
+def pytest_configure(config):
+    # Benchmarks are not meant to be collected by the plain unit-test run;
+    # the directory is only targeted explicitly (pytest benchmarks/).
+    config.addinivalue_line("markers", "experiment(id): which paper artifact a benchmark regenerates")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The complexity landscape of Figure 7, measured on a laptop.
+
+The paper's headline result is a separation between three classes of schemas:
+
+=============  =====================================
+DetShEx0-      containment in P
+ShEx0          EXP-hard, in coNEXP
+ShEx           coNEXP-hard, in co2NEXP^NP
+=============  =====================================
+
+This example makes the separation *observable* without a cluster: it times the
+polynomial embedding-based decision on growing DetShEx0- schemas, contrasts it
+with the exponential growth of the minimal counter-examples of the Lemma 5.1
+ShEx0 family, and with the NP witness search that arbitrary intervals force
+(the SAT reduction of Theorem 3.5).
+
+Run it with ``python examples/complexity_landscape.py``.
+"""
+
+import time
+
+from repro import contains
+from repro.reductions.expfamily import exponential_counterexample, exponential_family
+from repro.reductions.logic import random_cnf
+from repro.reductions.sat import solve_sat_via_embedding
+from repro.schema.validation import satisfies
+from repro.workloads.generators import grow_schema_chain, random_detshex0_minus_schema
+
+
+def timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def main() -> None:
+    print("1. DetShEx0-: polynomial containment (Corollary 4.4)")
+    print(f"   {'types':>6} {'verdict':>14} {'time':>10}")
+    for num_types in (4, 8, 12, 16):
+        base = random_detshex0_minus_schema(num_types, num_labels=4, edges_per_type=3)
+        widened = grow_schema_chain(base, 3)[-1]
+        result, elapsed = timed(contains, base, widened)
+        print(f"   {num_types:>6} {result.verdict.value:>14} {elapsed * 1000:>8.1f}ms")
+
+    print()
+    print("2. ShEx0: minimal counter-examples grow exponentially (Lemma 5.1)")
+    print(f"   {'n':>6} {'schema types':>14} {'counter-example nodes':>24} {'verify time':>12}")
+    for n in (1, 2, 3, 4):
+        schema_h, schema_k = exponential_family(n)
+        witness = exponential_counterexample(n)
+        (_, elapsed) = timed(lambda: (satisfies(witness, schema_h), satisfies(witness, schema_k)))
+        print(
+            f"   {n:>6} {len(schema_h.types):>14} {witness.node_count:>24} "
+            f"{elapsed * 1000:>10.1f}ms"
+        )
+
+    print()
+    print("3. Arbitrary intervals: embedding is NP-complete (Theorem 3.5)")
+    print(f"   {'variables':>10} {'clauses':>8} {'embeds':>8} {'time':>10}")
+    for num_vars, num_clauses in ((2, 3), (3, 4), (3, 6), (4, 6)):
+        cnf = random_cnf(num_vars, num_clauses, clause_width=2)
+        result, elapsed = timed(solve_sat_via_embedding, cnf)
+        print(f"   {num_vars:>10} {num_clauses:>8} {str(result):>8} {elapsed * 1000:>8.1f}ms")
+
+    print()
+    print("The wall-clock trends mirror Figure 7: flat for DetShEx0-, exponential in the")
+    print("counter-example size for ShEx0, and combinatorial for arbitrary intervals.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validating an RDF knowledge graph and compressing it by node kinds.
+
+This example models a small social/organisational knowledge graph in the light
+Turtle dialect, validates it against a ShEx schema, shows how the maximal
+typing explains *why* a node is (or is not) valid, and finally demonstrates the
+kind-based compression of Section 6.1: nodes that are indistinguishable to the
+schemas are fused into one compressed node with edge multiplicities, and the
+compressed graph is re-validated with the Presburger-based procedure of
+Proposition 6.2.
+
+Run it with ``python examples/rdf_validation.py``.
+"""
+
+from repro import (
+    parse_schema,
+    parse_turtle_lite,
+    rdf_to_simple_graph,
+    satisfies_compressed,
+    validate,
+)
+from repro.containment.kinds import fuse_by_kinds
+
+DATA = """
+@prefix ex: <http://example.org/org#> .
+
+ex:acme  ex:name "ACME Corp" ;
+         ex:employs ex:alice , ex:bob , ex:carol .
+
+ex:alice ex:name "Alice" ;
+         ex:reportsTo ex:bob .
+ex:bob   ex:name "Bob" ;
+         ex:email "bob@acme.example" .
+ex:carol ex:name "Carol" ;
+         ex:reportsTo ex:bob .
+
+# A dangling node: a team without the mandatory name.
+ex:team1 ex:member ex:alice .
+"""
+
+SCHEMA = """
+Org    -> name :: Lit, employs :: Person+
+Person -> name :: Lit, email :: Lit?, reportsTo :: Person?
+Team   -> name :: Lit, member :: Person*
+Lit    -> isLiteral :: Marker
+Marker -> eps
+"""
+
+
+def main() -> None:
+    schema = parse_schema(SCHEMA, name="org")
+    rdf = parse_turtle_lite(DATA, name="org-data")
+    graph = rdf_to_simple_graph(rdf)
+    print(f"{len(rdf)} triples, {graph.node_count} graph nodes")
+
+    report = validate(graph, schema)
+    print(f"\ngraph satisfies the schema: {report.satisfied}")
+    print("maximal typing:")
+    for node in sorted(graph.nodes, key=str):
+        types = ", ".join(sorted(report.typing.types_of(node))) or "(no type!)"
+        print(f"  {str(node):<32} : {types}")
+    if report.untyped_nodes:
+        print("\nnodes with no type (the validation errors to fix):")
+        for node in report.untyped_nodes:
+            labels = ", ".join(sorted({e.label for e in graph.out_edges(node)})) or "no edges"
+            print(f"  {node}  (outgoing: {labels})")
+
+    # Fix the data: give the team its mandatory name, then re-validate.
+    fixed = parse_turtle_lite(
+        DATA + '\nex:team1 ex:name "Platform team" .\n', name="org-data-fixed"
+    )
+    fixed_graph = rdf_to_simple_graph(fixed)
+    fixed_report = validate(fixed_graph, schema)
+    print(f"\nafter adding the missing name, the graph validates: {fixed_report.satisfied}")
+
+    # Kind-based compression (Section 6.1): nodes the schema cannot distinguish
+    # are fused; the compressed graph still validates (Proposition 6.2 procedure).
+    fused, kinds = fuse_by_kinds(fixed_graph, schema, schema)
+    print(
+        f"\nkind compression: {fixed_graph.node_count} nodes -> {fused.node_count} kind nodes, "
+        f"{fixed_graph.edge_count} edges -> {fused.edge_count} compressed edges"
+    )
+    print(f"compressed graph still satisfies the schema: {satisfies_compressed(fused, schema)}")
+    print("\ncompressed graph:")
+    for line in str(fused).splitlines()[1:]:
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

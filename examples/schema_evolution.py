@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Schema evolution audit: is every version of a schema backward compatible?
+
+A data publisher evolves its ShEx schema over time.  Backward compatibility of
+release ``k+1`` with release ``k`` is exactly the containment question
+``L(S_k) ⊆ L(S_{k+1})`` — every graph valid yesterday must stay valid today.
+This example maintains a small release history of a product-catalogue schema
+and audits every consecutive pair, reporting the decision method used (exact
+polynomial embedding for DetShEx0- pairs, sound embedding or counter-example
+search otherwise) together with certificates.
+
+Run it with ``python examples/schema_evolution.py``.
+"""
+
+from repro import Verdict, contains, parse_schema, schema_class
+
+RELEASES = {
+    "v1": """
+        Catalog -> entry :: Product*
+        Product -> name :: Text, price :: Text, category :: Category
+        Category -> label :: Text
+        Text -> eps
+    """,
+    # v2: products may carry an optional description — a pure widening.
+    "v2": """
+        Catalog -> entry :: Product*
+        Product -> name :: Text, price :: Text, category :: Category, descr :: Text?
+        Category -> label :: Text
+        Text -> eps
+    """,
+    # v3: categories may form a hierarchy (optional parent), still a widening.
+    "v3": """
+        Catalog -> entry :: Product*
+        Product -> name :: Text, price :: Text, category :: Category, descr :: Text?
+        Category -> label :: Text, parent :: Category?
+        Text -> eps
+    """,
+    # v4: BREAKING — every product now requires a description.
+    "v4": """
+        Catalog -> entry :: Product*
+        Product -> name :: Text, price :: Text, category :: Category, descr :: Text
+        Category -> label :: Text, parent :: Category?
+        Text -> eps
+    """,
+}
+
+
+def main() -> None:
+    schemas = {name: parse_schema(text, name=name) for name, text in RELEASES.items()}
+    print("release classes:")
+    for name, schema in schemas.items():
+        print(f"  {name}: {schema_class(schema)}")
+    print()
+
+    names = list(schemas)
+    print(f"{'upgrade':<12} {'backward compatible?':<22} {'method':<28} certificate")
+    print("-" * 86)
+    for old_name, new_name in zip(names, names[1:]):
+        result = contains(schemas[old_name], schemas[new_name])
+        if result.verdict is Verdict.CONTAINED:
+            certificate = f"embedding with {len(result.embedding.simulation)} simulation pairs"
+        elif result.verdict is Verdict.NOT_CONTAINED:
+            certificate = (
+                f"counter-example with {result.counterexample.node_count} nodes"
+                if result.counterexample is not None
+                else "embedding refuted"
+            )
+        else:
+            certificate = "none (verdict unknown within budget)"
+        print(
+            f"{old_name + ' -> ' + new_name:<12} "
+            f"{result.verdict.value:<22} {result.method:<28} {certificate}"
+        )
+
+    print()
+    breaking = contains(schemas["v3"], schemas["v4"])
+    if breaking.counterexample is not None:
+        print("the v3 -> v4 upgrade breaks this (previously valid) instance:")
+        for line in str(breaking.counterexample).splitlines()[1:]:
+            print("   " + line)
+
+
+if __name__ == "__main__":
+    main()

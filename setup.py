@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so that
+the package can also be installed in environments whose tooling predates PEP
+660 editable installs (legacy ``pip install -e .`` without the ``wheel``
+package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,100 @@
+"""repro — Containment of Shape Expression Schemas for RDF.
+
+A reference implementation of the decision procedures, constructions, and
+complexity separations of *"Containment of Shape Expression Schemas for RDF"*
+(S. Staworko and P. Wieczorek, PODS 2019 / arXiv:1803.07303):
+
+* regular bag expressions, shape expression schemas, and their validation
+  semantics over (RDF) graphs;
+* shape graphs, embeddings, and the polynomial witness search of Theorem 3.4;
+* the tractable containment procedure for DetShEx0- (Corollary 4.4) with
+  characterizing graphs (Lemma 4.2);
+* counter-example search, kind-based compression, compressed-graph validation
+  via Presburger arithmetic (Section 6);
+* executable versions of the paper's hardness reductions (Theorems 3.5, 4.5,
+  Lemma 5.1).
+
+The most common entry points are re-exported here::
+
+    from repro import parse_schema, contains, satisfies
+
+    old = parse_schema("Bug -> descr :: Lit, related :: Bug*\\nLit -> eps")
+    new = parse_schema("Bug -> descr :: Lit?, related :: Bug*\\nLit -> eps")
+    result = contains(old, new)      # old ⊆ new ?
+    print(result.verdict)            # Verdict.CONTAINED
+"""
+
+from repro.core.bags import Bag
+from repro.core.intervals import Interval, ONE, OPT, PLUS, STAR, ZERO
+from repro.rbe.ast import RBE, atom, concat, disj
+from repro.rbe.parser import parse_rbe
+from repro.rbe.membership import rbe_matches
+from repro.graphs.graph import Edge, Graph
+from repro.graphs.compressed import CompressedGraph, pack_simple_graph
+from repro.rdf.model import IRI, Literal, BlankNode, Triple, RDFGraph
+from repro.rdf.parser import parse_ntriples, parse_turtle_lite
+from repro.rdf.convert import rdf_to_simple_graph
+from repro.schema.shex import ShExSchema
+from repro.schema.parser import parse_schema
+from repro.schema.classes import SchemaClass, schema_class
+from repro.schema.convert import schema_to_shape_graph, shape_graph_to_schema
+from repro.schema.typing import Typing, maximal_typing
+from repro.schema.validation import satisfies, satisfies_compressed, validate
+from repro.embedding.simulation import embeds, find_embedding, maximal_simulation
+from repro.containment.api import Verdict, ContainmentResult, contains, equivalent
+from repro.containment.characterizing import characterizing_graph, characterizing_graph_for_schema
+from repro.containment.counterexample import find_counterexample
+from repro.containment.detshex import contains_detshex0_minus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bag",
+    "Interval",
+    "ZERO",
+    "ONE",
+    "OPT",
+    "PLUS",
+    "STAR",
+    "RBE",
+    "atom",
+    "concat",
+    "disj",
+    "parse_rbe",
+    "rbe_matches",
+    "Edge",
+    "Graph",
+    "CompressedGraph",
+    "pack_simple_graph",
+    "IRI",
+    "Literal",
+    "BlankNode",
+    "Triple",
+    "RDFGraph",
+    "parse_ntriples",
+    "parse_turtle_lite",
+    "rdf_to_simple_graph",
+    "ShExSchema",
+    "parse_schema",
+    "SchemaClass",
+    "schema_class",
+    "schema_to_shape_graph",
+    "shape_graph_to_schema",
+    "Typing",
+    "maximal_typing",
+    "satisfies",
+    "satisfies_compressed",
+    "validate",
+    "embeds",
+    "find_embedding",
+    "maximal_simulation",
+    "Verdict",
+    "ContainmentResult",
+    "contains",
+    "equivalent",
+    "characterizing_graph",
+    "characterizing_graph_for_schema",
+    "find_counterexample",
+    "contains_detshex0_minus",
+    "__version__",
+]

@@ -1,0 +1,129 @@
+"""Command-line interface: validate RDF data and check schema containment.
+
+Usage examples (after ``pip install -e .``)::
+
+    # Validate an RDF document against a schema
+    shex-containment validate --schema schema.shex --data data.ttl
+
+    # Check containment of two schemas
+    shex-containment contains --left old.shex --right new.shex
+
+    # Classify a schema in the paper's hierarchy
+    shex-containment classify --schema schema.shex
+
+Schemas use the rule syntax of :mod:`repro.schema.parser`; data files use the
+light Turtle dialect of :mod:`repro.rdf.parser` (or N-Triples with
+``--ntriples``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.containment.api import Verdict, contains, equivalent
+from repro.rdf.convert import rdf_to_simple_graph
+from repro.rdf.parser import parse_ntriples, parse_turtle_lite
+from repro.schema.classes import classification_report
+from repro.schema.parser import parse_schema
+from repro.schema.validation import validate
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _load_schema(path: str):
+    return parse_schema(_read(path), name=path)
+
+
+def _load_graph(path: str, ntriples: bool):
+    text = _read(path)
+    rdf = parse_ntriples(text, name=path) if ntriples else parse_turtle_lite(text, name=path)
+    return rdf_to_simple_graph(rdf, name=path)
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    graph = _load_graph(args.data, args.ntriples)
+    report = validate(graph, schema)
+    if report.satisfied:
+        print(f"VALID: every node of {args.data} is typed by {args.schema}")
+        if args.show_typing:
+            print(report.typing)
+        return 0
+    print(f"INVALID: {len(report.untyped_nodes)} node(s) have no type:")
+    for node in report.untyped_nodes:
+        print(f"  {node}")
+    return 1
+
+
+def _cmd_contains(args: argparse.Namespace) -> int:
+    left = _load_schema(args.left)
+    right = _load_schema(args.right)
+    checker = equivalent if args.equivalence else contains
+    result = checker(left, right, max_nodes=args.max_nodes, samples=args.samples)
+    relation = "≡" if args.equivalence else "⊆"
+    print(f"{args.left} {relation} {args.right}: {result.verdict.value}")
+    print(f"  method: {result.method}")
+    print(f"  classes: {result.left_class} / {result.right_class}")
+    if result.counterexample is not None and args.show_counterexample:
+        print("  counter-example:")
+        for line in str(result.counterexample).splitlines():
+            print(f"    {line}")
+    if result.verdict is Verdict.CONTAINED:
+        return 0
+    if result.verdict is Verdict.NOT_CONTAINED:
+        return 1
+    return 2
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    report = classification_report(schema)
+    print(f"classification of {args.schema}:")
+    for class_name, member in report.items():
+        print(f"  {class_name:<10} {'yes' if member else 'no'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="shex-containment",
+        description="Validation and containment for shape expression schemas (PODS 2019).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    validate_parser = subparsers.add_parser("validate", help="validate RDF data against a schema")
+    validate_parser.add_argument("--schema", required=True, help="schema rule file")
+    validate_parser.add_argument("--data", required=True, help="RDF data file")
+    validate_parser.add_argument("--ntriples", action="store_true", help="parse data as N-Triples")
+    validate_parser.add_argument("--show-typing", action="store_true", help="print the maximal typing")
+    validate_parser.set_defaults(handler=_cmd_validate)
+
+    contains_parser = subparsers.add_parser("contains", help="check schema containment")
+    contains_parser.add_argument("--left", required=True, help="candidate sub-schema")
+    contains_parser.add_argument("--right", required=True, help="candidate super-schema")
+    contains_parser.add_argument("--equivalence", action="store_true", help="check both directions")
+    contains_parser.add_argument("--max-nodes", type=int, default=40, help="counter-example size budget")
+    contains_parser.add_argument("--samples", type=int, default=30, help="random candidates to try")
+    contains_parser.add_argument(
+        "--show-counterexample", action="store_true", help="print the counter-example graph"
+    )
+    contains_parser.set_defaults(handler=_cmd_contains)
+
+    classify_parser = subparsers.add_parser("classify", help="classify a schema in the paper's hierarchy")
+    classify_parser.add_argument("--schema", required=True, help="schema rule file")
+    classify_parser.set_defaults(handler=_cmd_classify)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

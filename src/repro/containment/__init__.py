@@ -1,0 +1,31 @@
+"""Containment of shape expression schemas: exact, sound, and search-based checkers."""
+
+from repro.containment.api import (
+    Verdict,
+    ContainmentResult,
+    contains,
+    equivalent,
+)
+from repro.containment.detshex import contains_detshex0_minus
+from repro.containment.characterizing import characterizing_graph, characterizing_graph_for_schema
+from repro.containment.counterexample import (
+    find_counterexample,
+    CounterexampleSearch,
+    enumerate_instances,
+)
+from repro.containment.kinds import node_kinds, fuse_by_kinds
+
+__all__ = [
+    "Verdict",
+    "ContainmentResult",
+    "contains",
+    "equivalent",
+    "contains_detshex0_minus",
+    "characterizing_graph",
+    "characterizing_graph_for_schema",
+    "find_counterexample",
+    "CounterexampleSearch",
+    "enumerate_instances",
+    "node_kinds",
+    "fuse_by_kinds",
+]

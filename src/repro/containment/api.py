@@ -1,0 +1,212 @@
+"""The top-level containment API.
+
+:func:`contains` decides (or attempts to decide) ``L(S1) ⊆ L(S2)`` and reports
+a verdict together with a certificate:
+
+* for pairs of DetShEx0- schemas the answer is **exact and polynomial**
+  (Corollary 4.4): an embedding certifies containment, the characterizing graph
+  of Lemma 4.2 certifies non-containment;
+* for pairs of ShEx0 schemas an embedding between the shape graphs is still a
+  *sound* positive test (Lemma 3.3); a verified counter-example is a sound
+  negative certificate; when neither is found within the configured budget the
+  verdict is ``UNKNOWN`` — the problem is EXP-complete (Theorems 5.3/5.4), so a
+  budget is unavoidable for a practical tool;
+* for general ShEx schemas only the counter-example search applies
+  (containment is coNEXP-hard, Proposition 6.5).
+
+The result object records which method produced the verdict and the search
+statistics, so benchmarks can report exactly what the paper's complexity table
+(Figure 7) predicts: exact fast answers in the deterministic fragment, and
+certificate-or-unknown answers whose cost grows quickly outside it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.containment.counterexample import CounterexampleSearch, find_counterexample
+from repro.containment.detshex import contains_detshex0_minus
+from repro.embedding.simulation import EmbeddingResult, maximal_simulation
+from repro.errors import SchemaClassError
+from repro.graphs.graph import Graph
+from repro.schema.classes import SchemaClass, is_detshex0_minus, is_shex0, schema_class
+from repro.schema.convert import schema_to_shape_graph, shape_graph_to_schema
+from repro.schema.shex import ShExSchema
+
+SchemaOrGraph = Union[ShExSchema, Graph]
+
+
+class Verdict(enum.Enum):
+    """Outcome of a containment check."""
+
+    CONTAINED = "contained"
+    NOT_CONTAINED = "not-contained"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        return self is Verdict.CONTAINED
+
+
+@dataclass
+class ContainmentResult:
+    """Verdict plus certificate and bookkeeping for ``contains(S1, S2)``."""
+
+    verdict: Verdict
+    method: str
+    left_class: SchemaClass
+    right_class: SchemaClass
+    embedding: Optional[EmbeddingResult] = None
+    counterexample: Optional[Graph] = None
+    search: Optional[CounterexampleSearch] = None
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the verdict is definitive (never for ``UNKNOWN``)."""
+        return self.verdict is not Verdict.UNKNOWN
+
+    def __bool__(self) -> bool:
+        return self.verdict is Verdict.CONTAINED
+
+    def __str__(self) -> str:
+        return (
+            f"{self.verdict.value} (method={self.method}, "
+            f"classes={self.left_class}/{self.right_class})"
+        )
+
+
+def _coerce_schema(schema_or_graph: SchemaOrGraph) -> ShExSchema:
+    if isinstance(schema_or_graph, ShExSchema):
+        return schema_or_graph
+    return shape_graph_to_schema(schema_or_graph)
+
+
+def contains(
+    subschema: SchemaOrGraph,
+    superschema: SchemaOrGraph,
+    method: str = "auto",
+    max_nodes: int = 40,
+    width: int = 1,
+    max_candidates: int = 500,
+    samples: int = 30,
+    seed: int = 0,
+) -> ContainmentResult:
+    """Check ``L(subschema) ⊆ L(superschema)``.
+
+    ``method`` is one of:
+
+    * ``"auto"`` — exact DetShEx0- decision when both schemas qualify, otherwise
+      embedding (sound for containment) followed by counter-example search;
+    * ``"embedding"`` — embedding only (positive answers are exact, a failed
+      embedding yields ``UNKNOWN`` unless both schemas are DetShEx0-);
+    * ``"counterexample"`` — search only (negative answers are exact, exhausted
+      searches yield ``UNKNOWN``).
+
+    Arguments past ``method`` tune the counter-example search budgets.
+    """
+    left = _coerce_schema(subschema)
+    right = _coerce_schema(superschema)
+    left_class = schema_class(left)
+    right_class = schema_class(right)
+
+    if method not in ("auto", "embedding", "counterexample"):
+        raise ValueError(f"unknown containment method {method!r}")
+
+    both_detshex0_minus = (
+        left_class is SchemaClass.DETSHEX0_MINUS and right_class is SchemaClass.DETSHEX0_MINUS
+    )
+    both_shex0 = is_shex0(left) and is_shex0(right)
+
+    # Exact polynomial fragment (Corollary 4.4).
+    if method in ("auto", "embedding") and both_detshex0_minus:
+        decided, certificate = contains_detshex0_minus(left, right, return_certificate=True)
+        if decided:
+            return ContainmentResult(
+                Verdict.CONTAINED, "detshex0-minus-embedding", left_class, right_class,
+                embedding=certificate,
+            )
+        counterexample = None
+        if method == "auto":
+            search = find_counterexample(
+                left, right, strategies=("characterizing",), max_nodes=max_nodes
+            )
+            counterexample = search.counterexample
+        return ContainmentResult(
+            Verdict.NOT_CONTAINED, "detshex0-minus-embedding", left_class, right_class,
+            embedding=certificate, counterexample=counterexample,
+        )
+
+    # Sound positive test by embedding of shape graphs (Lemma 3.3).
+    if method in ("auto", "embedding") and both_shex0:
+        result = maximal_simulation(
+            schema_to_shape_graph(left), schema_to_shape_graph(right)
+        )
+        if result.embeds:
+            return ContainmentResult(
+                Verdict.CONTAINED, "embedding", left_class, right_class, embedding=result
+            )
+        if method == "embedding":
+            return ContainmentResult(
+                Verdict.UNKNOWN, "embedding", left_class, right_class, embedding=result
+            )
+
+    if method == "embedding":
+        raise SchemaClassError(
+            "the embedding method applies only to ShEx0 schemas (shape graphs)"
+        )
+
+    # Certificate-producing negative test.
+    strategies = ("characterizing", "enumerate", "sample") if both_shex0 else ("sample",)
+    search = find_counterexample(
+        left,
+        right,
+        strategies=strategies,
+        max_nodes=max_nodes,
+        width=width,
+        max_candidates=max_candidates,
+        samples=samples,
+        seed=seed,
+    )
+    if search.counterexample is not None:
+        return ContainmentResult(
+            Verdict.NOT_CONTAINED, "counterexample", left_class, right_class,
+            counterexample=search.counterexample, search=search,
+        )
+    return ContainmentResult(
+        Verdict.UNKNOWN, "counterexample", left_class, right_class, search=search
+    )
+
+
+def equivalent(
+    schema_a: SchemaOrGraph,
+    schema_b: SchemaOrGraph,
+    **options,
+) -> ContainmentResult:
+    """Check both containments and combine the verdicts.
+
+    Returns a :class:`ContainmentResult` whose verdict is ``CONTAINED`` when the
+    two schemas are provably equivalent, ``NOT_CONTAINED`` when a counter-example
+    exists in either direction, and ``UNKNOWN`` otherwise; the certificate of
+    the failing direction (if any) is attached.
+    """
+    forward = contains(schema_a, schema_b, **options)
+    if forward.verdict is Verdict.NOT_CONTAINED:
+        return forward
+    backward = contains(schema_b, schema_a, **options)
+    if backward.verdict is Verdict.NOT_CONTAINED:
+        return backward
+    if forward.verdict is Verdict.CONTAINED and backward.verdict is Verdict.CONTAINED:
+        return ContainmentResult(
+            Verdict.CONTAINED,
+            f"{forward.method}+{backward.method}",
+            forward.left_class,
+            forward.right_class,
+            embedding=forward.embedding,
+        )
+    return ContainmentResult(
+        Verdict.UNKNOWN,
+        f"{forward.method}+{backward.method}",
+        forward.left_class,
+        forward.right_class,
+    )

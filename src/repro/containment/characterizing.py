@@ -1,0 +1,96 @@
+"""Characterizing graphs for DetShEx0- schemas (Lemma 4.2, Figure 5).
+
+For a shape graph ``H`` in DetShEx0-, the paper constructs a *characterizing*
+simple graph ``G ∈ L(H)`` of polynomial size such that for every
+``K ∈ DetShEx0-``, ``G ≼ K`` implies ``H ≼ K``.  Together with Lemma 3.3 this
+makes embedding a complete decision procedure for containment in DetShEx0-
+(Corollary 4.3) and yields the polynomial bound of Corollary 4.4.
+
+The construction implemented here creates, for every type ``t`` of ``H``, two
+characteristic nodes ``(t, 1)`` and ``(t, 0)``:
+
+* ``(t, 1)`` carries every optional (``?``) edge of ``t``; ``(t, 0)`` carries
+  none of them — so between the two nodes every ``?``-edge of ``t`` is
+  exercised both ways;
+* a ``1``-edge or a ``?``-edge of ``t`` towards type ``s`` points to the
+  *same-variant* characteristic node of ``s`` (the variant bit travels down
+  mandatory chains);
+* a ``*``-edge of ``t`` towards ``s`` is instantiated **twice**, once to
+  ``(s, 1)`` and once to ``(s, 0)``.
+
+The double instantiation of ``*``-edges is what forces, in any embedding of
+``G`` into a *deterministic* ``K``, both variants of ``s`` to be simulated by
+the single type ``K`` reaches with that label — which is exactly how the
+\\*-closure requirement of DetShEx0- makes the two variants of a ``?``-using
+type end up on the same ``K`` type (see the discussion after Lemma 4.2 in the
+paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.core.intervals import ONE, OPT, STAR
+from repro.errors import SchemaClassError
+from repro.graphs.graph import Graph
+from repro.graphs.shape import detshex0_minus_violations, is_detshex0_minus_graph
+from repro.schema.convert import schema_to_shape_graph
+from repro.schema.shex import ShExSchema
+
+NodeId = Hashable
+
+
+def characterizing_graph(shape_graph: Graph, check: bool = True) -> Graph:
+    """The characterizing simple graph of a DetShEx0- shape graph (Lemma 4.2).
+
+    With ``check=True`` (default) the input is verified to lie in DetShEx0- and
+    a :class:`SchemaClassError` listing the violations is raised otherwise.
+    The resulting graph has exactly ``2 · |N_H|`` nodes and at most
+    ``2 · (|E_1| + |E_?| + 2·|E_*|)`` edges — polynomial in ``H`` as the lemma
+    requires.
+    """
+    if check and not is_detshex0_minus_graph(shape_graph):
+        reasons = "; ".join(detshex0_minus_violations(shape_graph))
+        raise SchemaClassError(
+            f"characterizing graphs are only defined for DetShEx0- shape graphs: {reasons}"
+        )
+    characteristic = Graph(f"char({shape_graph.name})" if shape_graph.name else "characterizing")
+    for type_node in shape_graph.nodes:
+        characteristic.add_node((type_node, 1))
+        characteristic.add_node((type_node, 0))
+    for type_node in shape_graph.nodes:
+        for variant in (1, 0):
+            source = (type_node, variant)
+            for edge in shape_graph.out_edges(type_node):
+                if edge.occur == ONE:
+                    characteristic.add_edge(source, edge.label, (edge.target, variant))
+                elif edge.occur == OPT:
+                    if variant == 1:
+                        characteristic.add_edge(source, edge.label, (edge.target, variant))
+                elif edge.occur == STAR:
+                    characteristic.add_edge(source, edge.label, (edge.target, 1))
+                    characteristic.add_edge(source, edge.label, (edge.target, 0))
+                else:
+                    raise SchemaClassError(
+                        f"unexpected occurrence interval {edge.occur} in a DetShEx0- graph"
+                    )
+    return characteristic
+
+
+def characterizing_embedding(shape_graph: Graph) -> Dict[Tuple[NodeId, int], NodeId]:
+    """The canonical embedding of the characterizing graph back into ``H``.
+
+    Every characteristic node ``(t, v)`` is simulated by the type ``t`` it was
+    built from; this is the witness that the characterizing graph belongs to
+    ``L(H)`` and is checked by the unit tests.
+    """
+    return {
+        (type_node, variant): type_node
+        for type_node in shape_graph.nodes
+        for variant in (1, 0)
+    }
+
+
+def characterizing_graph_for_schema(schema: ShExSchema, check: bool = True) -> Graph:
+    """Convenience wrapper building the characterizing graph of a DetShEx0- schema."""
+    return characterizing_graph(schema_to_shape_graph(schema), check=check)

@@ -1,0 +1,265 @@
+"""Counter-example search: finding graphs in ``L(H) \\ L(K)``.
+
+A counter-example is a verified certificate of non-containment.  Because the
+containment problem is EXP-hard already for ShEx0 (Theorem 5.3) and minimal
+counter-examples can be exponentially large (Lemma 5.1), a complete search is
+hopeless beyond tiny schemas; the strategies below are the practically useful
+mix the library exposes:
+
+* **characterizing** — for ``H`` in DetShEx0-, the characterizing graph of
+  Lemma 4.2 is a canonical candidate: when ``K`` is in DetShEx0- as well it is
+  a *complete* test (Corollary 4.3);
+* **enumerate** — systematic bounded unfolding of ``H`` into candidate
+  instances (exhaustive over a finite family of canonical instances, capped by
+  node/width budgets);
+* **sample** — randomised instance sampling guided by ``H``.
+
+Every candidate is verified (``G ∈ L(H)`` and ``G ∉ L(K)``) before being
+reported, so a returned counter-example is always a genuine certificate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.intervals import Interval
+from repro.graphs.graph import Graph
+from repro.rbe.rbe0 import as_rbe0
+from repro.schema.classes import is_detshex0_minus, is_shex0
+from repro.schema.shex import ShExSchema
+from repro.schema.validation import satisfies
+from repro.workloads.generators import sample_instance
+
+
+@dataclass
+class CounterexampleSearch:
+    """Statistics and outcome of a counter-example search."""
+
+    counterexample: Optional[Graph] = None
+    candidates_checked: int = 0
+    strategies_used: Tuple[str, ...] = ()
+    exhausted: bool = False
+
+    def __bool__(self) -> bool:
+        return self.counterexample is not None
+
+
+def _is_counterexample(graph: Graph, schema_h: ShExSchema, schema_k: ShExSchema) -> bool:
+    return satisfies(graph, schema_h) and not satisfies(graph, schema_k)
+
+
+# --------------------------------------------------------------------------- #
+# Systematic bounded enumeration of canonical instances
+# --------------------------------------------------------------------------- #
+def _atom_count_choices(interval: Interval, width: int) -> List[int]:
+    """Candidate multiplicities to try for one atom of an RBE0 rule."""
+    lower = interval.lower
+    upper = interval.upper
+    choices = [lower]
+    ceiling = upper if upper is not None else lower + width
+    for value in range(lower + 1, min(ceiling, lower + width) + 1):
+        choices.append(value)
+    return sorted(set(choices))
+
+
+def enumerate_instances(
+    schema: ShExSchema,
+    root_type: str,
+    max_nodes: int = 40,
+    width: int = 1,
+    max_graphs: Optional[int] = None,
+) -> Iterator[Graph]:
+    """Enumerate canonical instances of ``L(schema)`` unfolded from ``root_type``.
+
+    The enumeration works on ShEx0 schemas: every created node of type ``t``
+    instantiates each atom ``a :: s ^ I`` of its rule with a multiplicity chosen
+    from a small candidate set (``I``'s lower bound and up to ``width`` extra
+    occurrences), creating fresh children which are themselves expanded.  When
+    the node budget is reached, pending children are closed onto existing nodes
+    of the required type when possible (otherwise the branch is discarded).
+
+    Instances are yielded as constructed; they are canonical members of
+    ``L(schema)`` by construction but callers performing containment checks
+    should still verify them (the library's search functions do).
+    """
+    profile_cache = {}
+    for type_name in schema.types:
+        profile = as_rbe0(schema.definition(type_name))
+        if profile is None:
+            raise ValueError(
+                "enumerate_instances requires a ShEx0 schema "
+                f"(type {type_name!r} is not RBE0)"
+            )
+        profile_cache[type_name] = profile
+
+    produced = 0
+
+    # The enumeration state is a work queue of nodes still to expand plus the
+    # partially built graph; it is explored depth-first over the choice points
+    # (one choice point per (node, atom) pair).
+    def expand(
+        graph: Graph,
+        node_types: Dict[str, str],
+        queue: List[str],
+        counter: itertools.count,
+    ) -> Iterator[Graph]:
+        nonlocal produced
+        if max_graphs is not None and produced >= max_graphs:
+            return
+        if not queue:
+            produced += 1
+            yield graph
+            return
+        node = queue[0]
+        rest = queue[1:]
+        type_name = node_types[node]
+        profile = profile_cache[type_name]
+        atoms = list(profile.atoms)
+
+        def choose(atom_index: int, partial: List[Tuple[str, str, int]]) -> Iterator[Graph]:
+            if atom_index == len(atoms):
+                yield from materialise(partial)
+                return
+            symbol, interval = atoms[atom_index]
+            label, target_type = symbol
+            for count in _atom_count_choices(interval, width):
+                yield from choose(atom_index + 1, partial + [(label, target_type, count)])
+
+        def materialise(choices: List[Tuple[str, str, int]]) -> Iterator[Graph]:
+            clone = graph.copy()
+            clone_types = dict(node_types)
+            clone_queue = list(rest)
+            existing_by_type: Dict[str, List[str]] = {}
+            for known, known_type in clone_types.items():
+                existing_by_type.setdefault(known_type, []).append(known)
+            ok = True
+            for label, target_type, count in choices:
+                for occurrence in range(count):
+                    if clone.node_count < max_nodes:
+                        child = f"{target_type}#{next(counter)}"
+                        clone.add_node(child)
+                        clone_types[child] = target_type
+                        existing_by_type.setdefault(target_type, []).append(child)
+                        clone_queue.append(child)
+                        clone.add_edge(node, label, child)
+                    else:
+                        # Budget reached: close onto an existing node of the type.
+                        candidates = [
+                            candidate
+                            for candidate in existing_by_type.get(target_type, [])
+                            if all(
+                                not (e.label == label and e.target == candidate)
+                                for e in clone.out_edges(node)
+                            )
+                        ]
+                        if not candidates:
+                            ok = False
+                            break
+                        clone.add_edge(node, label, candidates[0])
+                if not ok:
+                    break
+            if not ok:
+                return
+            yield from expand(clone, clone_types, clone_queue, counter)
+
+        yield from choose(0, [])
+
+    root_graph = Graph(f"enum({schema.name})" if schema.name else "enumerated")
+    root_node = f"{root_type}#0"
+    root_graph.add_node(root_node)
+    counter = itertools.count(1)
+    yield from expand(root_graph, {root_node: root_type}, [root_node], counter)
+
+
+# --------------------------------------------------------------------------- #
+# Search strategies
+# --------------------------------------------------------------------------- #
+def find_counterexample(
+    schema_h: ShExSchema,
+    schema_k: ShExSchema,
+    strategies: Sequence[str] = ("characterizing", "enumerate", "sample"),
+    max_nodes: int = 40,
+    width: int = 1,
+    max_candidates: int = 2000,
+    samples: int = 50,
+    seed: int = 0,
+) -> CounterexampleSearch:
+    """Search for a graph in ``L(schema_h) \\ L(schema_k)``.
+
+    Strategies are tried in order; the first verified counter-example wins.
+    ``exhausted`` is set on the result only when the enumeration strategy ran to
+    completion without exceeding its candidate budget — in that case, *for the
+    explored family of canonical instances*, no counter-example exists (this is
+    a complete answer only for schema pairs whose minimal counter-examples fall
+    within the explored bounds).
+    """
+    result = CounterexampleSearch()
+    used: List[str] = []
+    rng = random.Random(seed)
+
+    for strategy in strategies:
+        if strategy == "characterizing":
+            if not is_detshex0_minus(schema_h):
+                continue
+            used.append(strategy)
+            from repro.containment.characterizing import characterizing_graph_for_schema
+
+            candidate = characterizing_graph_for_schema(schema_h)
+            result.candidates_checked += 1
+            if _is_counterexample(candidate, schema_h, schema_k):
+                result.counterexample = candidate
+                break
+        elif strategy == "enumerate":
+            if not is_shex0(schema_h):
+                continue
+            used.append(strategy)
+            exhausted_all_roots = True
+            found = False
+            for root_type in sorted(schema_h.types):
+                budget_left = max_candidates - result.candidates_checked
+                if budget_left <= 0:
+                    exhausted_all_roots = False
+                    break
+                enumerated = 0
+                for candidate in enumerate_instances(
+                    schema_h, root_type, max_nodes=max_nodes, width=width,
+                    max_graphs=budget_left,
+                ):
+                    enumerated += 1
+                    result.candidates_checked += 1
+                    if _is_counterexample(candidate, schema_h, schema_k):
+                        result.counterexample = candidate
+                        found = True
+                        break
+                if found:
+                    break
+                if enumerated >= budget_left:
+                    exhausted_all_roots = False
+            if found:
+                break
+            result.exhausted = exhausted_all_roots
+        elif strategy == "sample":
+            used.append(strategy)
+            found = False
+            for _ in range(samples):
+                root = rng.choice(sorted(schema_h.types))
+                candidate = sample_instance(
+                    schema_h, root_type=root, rng=rng, max_nodes=max_nodes, verify=False
+                )
+                if candidate is None:
+                    continue
+                result.candidates_checked += 1
+                if _is_counterexample(candidate, schema_h, schema_k):
+                    result.counterexample = candidate
+                    found = True
+                    break
+            if found:
+                break
+        else:
+            raise ValueError(f"unknown counter-example strategy {strategy!r}")
+
+    result.strategies_used = tuple(used)
+    return result

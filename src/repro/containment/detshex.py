@@ -1,0 +1,54 @@
+"""Polynomial containment for DetShEx0- (Section 4, Corollaries 4.3 and 4.4).
+
+For shape graphs ``H`` and ``K`` in DetShEx0-, ``L(H) ⊆ L(K)`` holds *iff*
+``H`` embeds in ``K`` (Corollary 4.3): embedding is always sufficient
+(Lemma 3.3), and the characterizing graph of Lemma 4.2 makes it necessary.
+Since embeddings between shape graphs are decided in polynomial time
+(Theorem 3.4), containment for DetShEx0- is in P (Corollary 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.embedding.simulation import EmbeddingResult, maximal_simulation
+from repro.errors import SchemaClassError
+from repro.graphs.graph import Graph
+from repro.graphs.shape import detshex0_minus_violations, is_detshex0_minus_graph
+from repro.schema.convert import schema_to_shape_graph
+from repro.schema.shex import ShExSchema
+
+SchemaOrGraph = Union[ShExSchema, Graph]
+
+
+def _as_shape_graph(schema_or_graph: SchemaOrGraph, role: str) -> Graph:
+    if isinstance(schema_or_graph, Graph):
+        graph = schema_or_graph
+    else:
+        graph = schema_to_shape_graph(schema_or_graph)
+    violations = detshex0_minus_violations(graph)
+    if violations:
+        raise SchemaClassError(
+            f"the {role} schema is not in DetShEx0-: " + "; ".join(violations)
+        )
+    return graph
+
+
+def contains_detshex0_minus(
+    subschema: SchemaOrGraph,
+    superschema: SchemaOrGraph,
+    return_certificate: bool = False,
+) -> Union[bool, Tuple[bool, EmbeddingResult]]:
+    """Decide ``subschema ⊆ superschema`` for DetShEx0- schemas in polynomial time.
+
+    Both arguments may be :class:`ShExSchema` objects or shape graphs.  With
+    ``return_certificate=True`` the embedding result (maximal simulation plus
+    witnesses, or the unmatched types proving non-containment) is returned as
+    well.
+    """
+    left = _as_shape_graph(subschema, "left")
+    right = _as_shape_graph(superschema, "right")
+    result = maximal_simulation(left, right, engine="flow", collect_witnesses=return_certificate)
+    if return_certificate:
+        return result.embeds, result
+    return result.embeds

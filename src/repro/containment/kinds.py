@@ -1,0 +1,91 @@
+"""Kinds of nodes and kind-based compression of counter-examples (Section 6.1).
+
+Given two schemas ``H`` and ``K`` and a graph ``G``, the *kind* of a node is the
+pair ``(T, S)`` of the sets of types of ``H`` and of ``K`` the node satisfies
+under the respective maximal typings.  Nodes of the same kind are
+interchangeable for both schemas: redirecting edges between them and fusing
+them preserves the counter-example property.  Fusing all nodes of the same kind
+and merging parallel edges into multiplicities yields a *compressed*
+counter-example with at most ``2^{|Γ_H|} · 2^{|Γ_K|}`` nodes — the first half of
+the exponential/double-exponential counter-example bounds (Theorems 5.2
+and 6.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Optional, Tuple
+
+from repro.core.intervals import Interval
+from repro.graphs.compressed import CompressedGraph
+from repro.graphs.graph import Graph
+from repro.schema.shex import ShExSchema
+from repro.schema.typing import maximal_typing
+
+NodeId = Hashable
+Kind = Tuple[FrozenSet[str], FrozenSet[str]]
+
+
+def node_kinds(
+    graph: Graph,
+    schema_h: ShExSchema,
+    schema_k: ShExSchema,
+) -> Dict[NodeId, Kind]:
+    """The kind ``(Typing_H(n), Typing_K(n))`` of every node of the graph."""
+    typing_h = maximal_typing(graph, schema_h)
+    typing_k = maximal_typing(graph, schema_k)
+    return {
+        node: (typing_h.types_of(node), typing_k.types_of(node))
+        for node in graph.nodes
+    }
+
+
+def fuse_by_kinds(
+    graph: Graph,
+    schema_h: ShExSchema,
+    schema_k: ShExSchema,
+    kinds: Optional[Dict[NodeId, Kind]] = None,
+) -> Tuple[CompressedGraph, Dict[NodeId, Kind]]:
+    """Fuse all nodes of the same kind into a single compressed node.
+
+    Following the paper's construction: one representative node is (arbitrarily
+    but deterministically) chosen per kind; the fused node keeps the outgoing
+    edges of the representative only, re-targeted to kinds and compressed into
+    multiplicities.  The result is returned together with the kind map used.
+
+    Properties (exercised by the tests):
+
+    * the fused graph never *loses* types — every type a node had is still held
+      by its kind node, so satisfaction of either schema is preserved;
+    * the number of nodes is the number of distinct kinds, hence at most
+      ``2^{|Γ_H|} · 2^{|Γ_K|}`` (the bound behind Theorems 5.2 / 6.4);
+    * on acyclic counter-examples (and in the common case in general) the fused
+      graph remains a counter-example.  Fusion can, however, *add* types when
+      it introduces cycles (the greatest-fixpoint typing may then grow), so
+      unlike the refined construction in the paper's appendix this direct
+      fusion is not guaranteed to preserve non-satisfaction; callers that need
+      a certified compressed counter-example should re-validate the result,
+      as :mod:`repro.containment.counterexample` does for its certificates.
+    """
+    if kinds is None:
+        kinds = node_kinds(graph, schema_h, schema_k)
+    representatives: Dict[Kind, NodeId] = {}
+    for node in sorted(graph.nodes, key=repr):
+        representatives.setdefault(kinds[node], node)
+
+    def kind_name(kind: Kind) -> str:
+        h_part = ",".join(sorted(kind[0])) or "-"
+        k_part = ",".join(sorted(kind[1])) or "-"
+        return f"[{h_part}|{k_part}]"
+
+    fused = CompressedGraph(f"kinds({graph.name})" if graph.name else "kind-fused")
+    for kind in representatives:
+        fused.add_node(kind_name(kind))
+    for kind, representative in representatives.items():
+        counts: Dict[Tuple[str, str], int] = {}
+        for edge in graph.out_edges(representative):
+            target_kind = kind_name(kinds[edge.target])
+            key = (edge.label, target_kind)
+            counts[key] = counts.get(key, 0) + 1
+        for (label, target_kind), count in counts.items():
+            fused.add_edge(kind_name(kind), label, target_kind, Interval.singleton(count))
+    return fused, kinds

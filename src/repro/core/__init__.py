@@ -1,0 +1,25 @@
+"""Core value types shared by the whole library: intervals and bags."""
+
+from repro.core.intervals import (
+    Interval,
+    ZERO,
+    ONE,
+    OPT,
+    PLUS,
+    STAR,
+    BASIC_INTERVALS,
+    interval_sum,
+)
+from repro.core.bags import Bag
+
+__all__ = [
+    "Interval",
+    "ZERO",
+    "ONE",
+    "OPT",
+    "PLUS",
+    "STAR",
+    "BASIC_INTERVALS",
+    "interval_sum",
+    "Bag",
+]

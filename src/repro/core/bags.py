@@ -1,0 +1,177 @@
+"""Bags (multisets) of symbols and bag languages (Section 2 of the paper).
+
+A bag over an alphabet ``Δ`` maps each symbol to its number of occurrences.
+Bags are the objects regular bag expressions (RBE) define languages of: the
+outbound neighborhood of an RDF node, with edges assigned types, is a bag over
+``Σ × Γ`` and type satisfaction asks whether that bag belongs to the language of
+the type definition.
+
+The class below is a thin immutable wrapper over a ``dict`` with the operations
+the paper uses: bag union ``⊎`` (Python ``+``), scalar repetition, Parikh
+vectors, and pretty-printing using the ``{| ... |}`` notation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple, Union
+
+Symbol = Union[str, Tuple]
+
+
+class Bag(Mapping[Symbol, int]):
+    """An immutable bag (multiset) of hashable symbols.
+
+    Construction accepts an iterable of symbols (possibly repeated), a mapping
+    from symbol to count, or nothing (the empty bag ``ε``)::
+
+        Bag(["a", "a", "c"])        # {|a, a, c|}
+        Bag({"a": 2, "c": 1})       # same bag
+        Bag()                       # ε
+    """
+
+    __slots__ = ("_counts", "_hash")
+
+    def __init__(self, items: Union[Iterable[Symbol], Mapping[Symbol, int], None] = None):
+        counts: Dict[Symbol, int] = {}
+        if items is None:
+            pass
+        elif isinstance(items, Mapping):
+            for symbol, count in items.items():
+                if count < 0:
+                    raise ValueError(f"negative multiplicity {count} for {symbol!r}")
+                if count > 0:
+                    counts[symbol] = counts.get(symbol, 0) + count
+        else:
+            for symbol in items:
+                counts[symbol] = counts.get(symbol, 0) + 1
+        self._counts = counts
+        self._hash = None
+
+    # ------------------------------------------------------------------ #
+    # Mapping protocol
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, symbol: Symbol) -> int:
+        return self._counts.get(symbol, 0)
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        """Number of *distinct* symbols in the bag."""
+        return len(self._counts)
+
+    def __contains__(self, symbol) -> bool:
+        return symbol in self._counts
+
+    # ------------------------------------------------------------------ #
+    # Bag queries
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Total number of occurrences (counting multiplicity)."""
+        return sum(self._counts.values())
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the empty bag ε."""
+        return not self._counts
+
+    def support(self) -> frozenset:
+        """The set of symbols with at least one occurrence."""
+        return frozenset(self._counts)
+
+    def count(self, symbol: Symbol) -> int:
+        """Number of occurrences of ``symbol`` (0 when absent)."""
+        return self._counts.get(symbol, 0)
+
+    def elements(self) -> Iterator[Symbol]:
+        """Iterate over occurrences, repeating each symbol per its multiplicity."""
+        for symbol, count in self._counts.items():
+            for _ in range(count):
+                yield symbol
+
+    def parikh(self, alphabet: Sequence[Symbol]) -> Tuple[int, ...]:
+        """The Parikh vector of the bag with respect to an ordered alphabet."""
+        return tuple(self._counts.get(symbol, 0) for symbol in alphabet)
+
+    def restrict(self, symbols: Iterable[Symbol]) -> "Bag":
+        """The sub-bag keeping only the given symbols."""
+        wanted = set(symbols)
+        return Bag({s: c for s, c in self._counts.items() if s in wanted})
+
+    # ------------------------------------------------------------------ #
+    # Bag algebra
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "Bag") -> "Bag":
+        """Bag union ``⊎``: multiplicities add up."""
+        if not isinstance(other, Bag):
+            return NotImplemented
+        merged = Counter(self._counts)
+        merged.update(other._counts)
+        return Bag(merged)
+
+    def __sub__(self, other: "Bag") -> "Bag":
+        """Bag difference; raises ``ValueError`` when ``other`` is not a sub-bag."""
+        if not isinstance(other, Bag):
+            return NotImplemented
+        result: Dict[Symbol, int] = dict(self._counts)
+        for symbol, count in other._counts.items():
+            have = result.get(symbol, 0)
+            if count > have:
+                raise ValueError(f"cannot remove {count} x {symbol!r}: only {have} present")
+            if count == have:
+                result.pop(symbol, None)
+            else:
+                result[symbol] = have - count
+        return Bag(result)
+
+    def __mul__(self, times: int) -> "Bag":
+        """Scalar repetition: the bag union of ``times`` copies of the bag."""
+        if not isinstance(times, int):
+            return NotImplemented
+        if times < 0:
+            raise ValueError("cannot repeat a bag a negative number of times")
+        return Bag({s: c * times for s, c in self._counts.items()})
+
+    __rmul__ = __mul__
+
+    def issubbag(self, other: "Bag") -> bool:
+        """True when every multiplicity in ``self`` is at most that in ``other``."""
+        return all(count <= other.count(symbol) for symbol, count in self._counts.items())
+
+    # ------------------------------------------------------------------ #
+    # Equality / hashing / presentation
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Bag):
+            return self._counts == other._counts
+        if isinstance(other, Mapping):
+            return self._counts == {s: c for s, c in other.items() if c}
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._counts.items()))
+        return self._hash
+
+    def __str__(self) -> str:
+        if self.is_empty:
+            return "{||}"
+        parts = []
+        for symbol in sorted(self._counts, key=repr):
+            parts.extend([_format_symbol(symbol)] * self._counts[symbol])
+        return "{|" + ", ".join(parts) + "|}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bag({dict(self._counts)!r})"
+
+
+def _format_symbol(symbol: Symbol) -> str:
+    if isinstance(symbol, tuple) and len(symbol) == 2:
+        return f"{symbol[0]}::{symbol[1]}"
+    return str(symbol)
+
+
+#: The empty bag ε.
+EMPTY_BAG = Bag()

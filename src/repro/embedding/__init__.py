@@ -1,0 +1,25 @@
+"""Embeddings of graphs in shape graphs: witnesses, maximal simulations, embedding tests."""
+
+from repro.embedding.witness import (
+    find_witness,
+    find_witness_flow,
+    find_witness_backtracking,
+    verify_witness,
+)
+from repro.embedding.simulation import (
+    maximal_simulation,
+    embeds,
+    find_embedding,
+    EmbeddingResult,
+)
+
+__all__ = [
+    "find_witness",
+    "find_witness_flow",
+    "find_witness_backtracking",
+    "verify_witness",
+    "maximal_simulation",
+    "embeds",
+    "find_embedding",
+    "EmbeddingResult",
+]

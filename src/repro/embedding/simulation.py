@@ -1,0 +1,140 @@
+"""Maximal simulations and embeddings between graphs (Section 3).
+
+A relation ``R ⊆ N_G × N_H`` is a *simulation of G in H* when every related
+pair has a witness (Definition 3.1).  Simulations are closed under union, so a
+unique maximal simulation exists; it is computed by the natural fix-point
+refinement: start from the full relation and repeatedly drop pairs without a
+witness.  ``G`` *embeds* in ``H`` (written ``G ≼ H``) when the maximal
+simulation covers every node of ``G``.
+
+Embeddings are the engine of the containment results: ``G ≼ H`` implies
+``L(G) ⊆ L(H)`` (Lemma 3.3), and for DetShEx0- the converse also holds
+(Corollary 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Optional, Set, Tuple
+
+from repro.embedding.witness import Witness, find_witness
+from repro.graphs.graph import Graph
+
+NodeId = Hashable
+Pair = Tuple[NodeId, NodeId]
+
+
+@dataclass
+class EmbeddingResult:
+    """The outcome of an embedding test.
+
+    ``embeds`` tells whether every node of the source graph is simulated by
+    some node of the target graph; ``simulation`` is the maximal simulation;
+    ``witnesses`` holds, for every related pair, one witness function (source
+    edge id → target edge) proving the simulation; ``unmatched`` lists the
+    source nodes with no simulating partner (empty iff ``embeds``).
+    """
+
+    embeds: bool
+    simulation: Set[Pair]
+    witnesses: Dict[Pair, Witness] = field(default_factory=dict)
+    unmatched: Tuple[NodeId, ...] = ()
+    refinement_rounds: int = 0
+    witness_checks: int = 0
+
+    def __bool__(self) -> bool:
+        return self.embeds
+
+    def simulators_of(self, node: NodeId) -> Set[NodeId]:
+        """The target nodes that simulate ``node``."""
+        return {m for (n, m) in self.simulation if n == node}
+
+
+def _initial_relation(source: Graph, target: Graph) -> Set[Pair]:
+    """A sound over-approximation of the maximal simulation.
+
+    A pair ``(n, m)`` can only be in a simulation when every outgoing label of
+    ``n`` also occurs on ``m`` (each source edge needs a same-label sink) and
+    every *mandatory* outgoing label of ``m`` (lower bound ≥ 1) occurs on ``n``
+    (otherwise the sink is in deficit).  Both conditions are necessary, so
+    filtering by them never removes valid pairs.
+    """
+    relation: Set[Pair] = set()
+    mandatory: Dict[NodeId, Set[str]] = {}
+    for m in target.nodes:
+        mandatory[m] = {
+            edge.label for edge in target.out_edges(m) if edge.occur.lower >= 1
+        }
+    for n in source.nodes:
+        labels_n = source.out_labels(n)
+        for m in target.nodes:
+            if not labels_n <= target.out_labels(m):
+                continue
+            if not mandatory[m] <= labels_n:
+                continue
+            relation.add((n, m))
+    return relation
+
+
+def maximal_simulation(
+    source: Graph,
+    target: Graph,
+    engine: str = "auto",
+    collect_witnesses: bool = False,
+) -> EmbeddingResult:
+    """Compute the maximal simulation of ``source`` in ``target``.
+
+    ``engine`` selects the witness search procedure (see
+    :func:`repro.embedding.witness.find_witness`).  With
+    ``collect_witnesses=True`` the result also stores one witness per surviving
+    pair, which makes the result a self-contained certificate.
+    """
+    relation = _initial_relation(source, target)
+    rounds = 0
+    checks = 0
+    changed = True
+    while changed:
+        changed = False
+        rounds += 1
+        for pair in sorted(relation, key=repr):
+            n, m = pair
+            checks += 1
+            witness = find_witness(
+                source.out_edges(n), target.out_edges(m), relation, engine=engine
+            )
+            if witness is None:
+                relation.discard(pair)
+                changed = True
+    witnesses: Dict[Pair, Witness] = {}
+    if collect_witnesses:
+        for pair in relation:
+            n, m = pair
+            witness = find_witness(
+                source.out_edges(n), target.out_edges(m), relation, engine=engine
+            )
+            if witness is not None:
+                witnesses[pair] = witness
+    covered = {n for (n, _) in relation}
+    unmatched = tuple(sorted((n for n in source.nodes if n not in covered), key=repr))
+    return EmbeddingResult(
+        embeds=not unmatched,
+        simulation=relation,
+        witnesses=witnesses,
+        unmatched=unmatched,
+        refinement_rounds=rounds,
+        witness_checks=checks,
+    )
+
+
+def find_embedding(
+    source: Graph,
+    target: Graph,
+    engine: str = "auto",
+) -> EmbeddingResult:
+    """Compute the maximal simulation together with witnesses (a full certificate)."""
+    return maximal_simulation(source, target, engine=engine, collect_witnesses=True)
+
+
+def embeds(source: Graph, target: Graph, engine: str = "auto") -> bool:
+    """Decide ``source ≼ target`` (every source node simulated by some target node)."""
+    return maximal_simulation(source, target, engine=engine).embeds

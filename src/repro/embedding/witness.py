@@ -1,0 +1,280 @@
+"""Witnesses of simulation (Definition 3.1) and their search engines.
+
+Given nodes ``n`` of ``G`` and ``m`` of ``H`` and a candidate relation ``R``,
+a *witness of simulation of n by m* is a function ``λ : out(n) → out(m)`` such
+that every source edge is mapped to a sink edge with the same label whose end
+points are related by ``R``, and, for every sink edge ``f``, the ⊕-sum of the
+occurrence intervals of the source edges routed to ``f`` is included in the
+occurrence interval of ``f``.
+
+Two engines are provided:
+
+* :func:`find_witness_flow` — polynomial, for *basic* occurrence intervals on
+  both sides (the case of shape graphs, Theorem 3.4).  The paper proves
+  tractability with a push-forth / pull-back rerouting argument; we obtain the
+  same bound by reducing witness existence to a feasible-flow problem with
+  lower bounds, which is equivalent: the category analysis below shows that
+  with basic intervals the interval-sum conditions degenerate into unit
+  counting constraints per sink.
+* :func:`find_witness_backtracking` — exact for arbitrary intervals (the
+  problem is then NP-complete, Theorem 3.5), with interval-sum pruning.
+
+:func:`find_witness` picks the appropriate engine automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.intervals import Interval, ONE, OPT, PLUS, STAR, ZERO, interval_sum
+from repro.errors import ReproError
+from repro.graphs.graph import Edge, Graph
+from repro.util.assignment import feasible_assignment
+
+NodeId = Hashable
+#: A witness maps source edge ids to sink edges.
+Witness = Dict[int, Edge]
+
+
+def _admissible_sinks(
+    source: Edge,
+    sinks: Sequence[Edge],
+    relation: Set[Tuple[NodeId, NodeId]],
+) -> List[Edge]:
+    """Sinks with the same label whose end point simulates the source's end point."""
+    return [
+        sink
+        for sink in sinks
+        if sink.label == source.label and (source.target, sink.target) in relation
+    ]
+
+
+def verify_witness(
+    sources: Sequence[Edge],
+    sinks: Sequence[Edge],
+    witness: Mapping[int, Edge],
+    relation: Set[Tuple[NodeId, NodeId]],
+) -> bool:
+    """Check conditions 1–3 of Definition 3.1 for a candidate witness."""
+    sink_ids = {sink.edge_id for sink in sinks}
+    if set(witness) != {source.edge_id for source in sources}:
+        return False
+    by_source = {source.edge_id: source for source in sources}
+    routed: Dict[int, List[Interval]] = {sink.edge_id: [] for sink in sinks}
+    for source_id, sink in witness.items():
+        source = by_source[source_id]
+        if sink.edge_id not in sink_ids:
+            return False
+        if source.label != sink.label:
+            return False
+        if (source.target, sink.target) not in relation:
+            return False
+        routed[sink.edge_id].append(source.occur)
+    for sink in sinks:
+        if not interval_sum(routed[sink.edge_id]).issubset(sink.occur):
+            return False
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# Polynomial engine for basic intervals (Theorem 3.4)
+# --------------------------------------------------------------------------- #
+_CATEGORIES = {
+    (1, 1): "one",
+    (0, 1): "opt",
+    (1, None): "plus",
+    (0, None): "star",
+}
+
+
+def _category(interval: Interval) -> Optional[str]:
+    return _CATEGORIES.get((interval.lower, interval.upper))
+
+
+def find_witness_flow(
+    sources: Sequence[Edge],
+    sinks: Sequence[Edge],
+    relation: Set[Tuple[NodeId, NodeId]],
+) -> Optional[Witness]:
+    """Polynomial witness search for basic occurrence intervals.
+
+    With basic intervals the interval-sum condition of Definition 3.1 reduces,
+    per sink, to counting constraints over *categories* of sources:
+
+    * a ``1``-sink must receive exactly one ``1``-source and nothing else;
+    * a ``?``-sink may receive at most one source, which must be a ``1`` or
+      ``?`` source;
+    * a ``+``-sink must receive at least one ``1`` or ``+`` source and may
+      additionally receive anything;
+    * a ``*``-sink may receive anything.
+
+    These constraints are solved exactly as an assignment-with-group-bounds
+    problem (a feasible flow with lower bounds), hence in polynomial time.
+    """
+    source_categories: Dict[int, str] = {}
+    for source in sources:
+        category = _category(source.occur)
+        if category is None:
+            raise ReproError(
+                f"source edge {source} uses a non-basic interval; use the backtracking engine"
+            )
+        source_categories[source.edge_id] = category
+    sink_categories: Dict[int, str] = {}
+    for sink in sinks:
+        category = _category(sink.occur)
+        if category is None:
+            raise ReproError(
+                f"sink edge {sink} uses a non-basic interval; use the backtracking engine"
+            )
+        sink_categories[sink.edge_id] = category
+
+    group_bounds: Dict[Tuple[str, int], Tuple[int, Optional[int]]] = {}
+    group_sink: Dict[Tuple[str, int], Edge] = {}
+    for sink in sinks:
+        category = sink_categories[sink.edge_id]
+        if category == "one":
+            group_bounds[("only", sink.edge_id)] = (1, 1)
+            group_sink[("only", sink.edge_id)] = sink
+        elif category == "opt":
+            group_bounds[("only", sink.edge_id)] = (0, 1)
+            group_sink[("only", sink.edge_id)] = sink
+        elif category == "plus":
+            group_bounds[("core", sink.edge_id)] = (1, None)
+            group_sink[("core", sink.edge_id)] = sink
+            group_bounds[("rest", sink.edge_id)] = (0, None)
+            group_sink[("rest", sink.edge_id)] = sink
+        else:  # star
+            group_bounds[("only", sink.edge_id)] = (0, None)
+            group_sink[("only", sink.edge_id)] = sink
+
+    allowed: Dict[int, List[Tuple[str, int]]] = {}
+    for source in sources:
+        category = source_categories[source.edge_id]
+        options: List[Tuple[str, int]] = []
+        for sink in _admissible_sinks(source, sinks, relation):
+            sink_category = sink_categories[sink.edge_id]
+            if sink_category == "one":
+                if category == "one":
+                    options.append(("only", sink.edge_id))
+            elif sink_category == "opt":
+                if category in ("one", "opt"):
+                    options.append(("only", sink.edge_id))
+            elif sink_category == "plus":
+                if category in ("one", "plus"):
+                    options.append(("core", sink.edge_id))
+                else:
+                    options.append(("rest", sink.edge_id))
+            else:  # star
+                options.append(("only", sink.edge_id))
+        if not options:
+            return None
+        allowed[source.edge_id] = options
+
+    assignment = feasible_assignment(allowed, group_bounds)
+    if assignment is None:
+        return None
+    witness = {
+        source_id: group_sink[group] for source_id, group in assignment.items()
+    }
+    return witness
+
+
+# --------------------------------------------------------------------------- #
+# Exact engine for arbitrary intervals (Theorem 3.5: NP-complete)
+# --------------------------------------------------------------------------- #
+def find_witness_backtracking(
+    sources: Sequence[Edge],
+    sinks: Sequence[Edge],
+    relation: Set[Tuple[NodeId, NodeId]],
+) -> Optional[Witness]:
+    """Exact witness search for arbitrary occurrence intervals.
+
+    Sources are routed one by one (most-constrained first); partial routings
+    are pruned as soon as the accumulated lower bounds of a sink exceed its
+    upper bound, and the final routing is checked against the full interval-sum
+    condition.
+    """
+    admissible: Dict[int, List[Edge]] = {}
+    by_id: Dict[int, Edge] = {}
+    for source in sources:
+        by_id[source.edge_id] = source
+        options = _admissible_sinks(source, sinks, relation)
+        if not options:
+            return None
+        admissible[source.edge_id] = options
+    order = sorted(admissible, key=lambda source_id: len(admissible[source_id]))
+
+    routed_lower: Dict[int, int] = {sink.edge_id: 0 for sink in sinks}
+    routed_upper: Dict[int, Optional[int]] = {sink.edge_id: 0 for sink in sinks}
+    assignment: Dict[int, Edge] = {}
+
+    def sink_can_accept(sink: Edge, source: Edge) -> bool:
+        # Overflow check on accumulated upper bounds: once the guaranteed
+        # maximum inflow exceeds the sink's upper bound the routing is dead.
+        if sink.occur.upper is None:
+            return True
+        current = routed_upper[sink.edge_id]
+        if current is None:
+            return False
+        addition = source.occur.upper
+        if addition is None:
+            return False
+        return current + addition <= sink.occur.upper
+
+    def place(index: int) -> bool:
+        if index == len(order):
+            return _deficits_absent(sinks, routed_lower)
+        source_id = order[index]
+        source = by_id[source_id]
+        for sink in admissible[source_id]:
+            if not sink_can_accept(sink, source):
+                continue
+            assignment[source_id] = sink
+            routed_lower[sink.edge_id] += source.occur.lower
+            previous_upper = routed_upper[sink.edge_id]
+            if previous_upper is None or source.occur.upper is None:
+                routed_upper[sink.edge_id] = None
+            else:
+                routed_upper[sink.edge_id] = previous_upper + source.occur.upper
+            if place(index + 1):
+                return True
+            del assignment[source_id]
+            routed_lower[sink.edge_id] -= source.occur.lower
+            routed_upper[sink.edge_id] = previous_upper
+        return False
+
+    if place(0):
+        return dict(assignment)
+    return None
+
+
+def _deficits_absent(sinks: Sequence[Edge], routed_lower: Mapping[int, int]) -> bool:
+    return all(routed_lower[sink.edge_id] >= sink.occur.lower for sink in sinks)
+
+
+# --------------------------------------------------------------------------- #
+# Dispatcher
+# --------------------------------------------------------------------------- #
+def find_witness(
+    sources: Sequence[Edge],
+    sinks: Sequence[Edge],
+    relation: Set[Tuple[NodeId, NodeId]],
+    engine: str = "auto",
+) -> Optional[Witness]:
+    """Find a witness of simulation, selecting the engine automatically.
+
+    ``engine`` is one of ``"auto"``, ``"flow"`` (polynomial, basic intervals
+    only) and ``"backtracking"`` (arbitrary intervals).
+    """
+    if engine == "flow":
+        return find_witness_flow(sources, sinks, relation)
+    if engine == "backtracking":
+        return find_witness_backtracking(sources, sinks, relation)
+    if engine != "auto":
+        raise ReproError(f"unknown witness engine {engine!r}")
+    basic = all(edge.occur.is_basic for edge in sources) and all(
+        edge.occur.is_basic for edge in sinks
+    )
+    if basic:
+        return find_witness_flow(sources, sinks, relation)
+    return find_witness_backtracking(sources, sinks, relation)

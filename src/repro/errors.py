@@ -1,0 +1,62 @@
+"""Exception hierarchy for the ShEx containment library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming out of this package with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class IntervalError(ReproError):
+    """Raised when an occurrence interval is malformed (e.g. lower > upper)."""
+
+
+class RBESyntaxError(ReproError):
+    """Raised when a regular bag expression cannot be parsed."""
+
+
+class SchemaSyntaxError(ReproError):
+    """Raised when a shape expression schema cannot be parsed."""
+
+
+class SchemaClassError(ReproError):
+    """Raised when a schema does not belong to the class required by an algorithm.
+
+    For instance :func:`repro.containment.detshex.contains_detshex0_minus`
+    raises this error when one of its arguments is not in DetShEx0-.
+    """
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs (dangling edges, duplicate edge ids, ...)."""
+
+
+class NotSimpleGraphError(GraphError):
+    """Raised when a simple graph was expected but the graph is not simple."""
+
+
+class RDFSyntaxError(ReproError):
+    """Raised when RDF triples cannot be parsed."""
+
+
+class PresburgerError(ReproError):
+    """Raised for malformed Presburger formulas or unsupported constructs."""
+
+
+class ReductionError(ReproError):
+    """Raised when a propositional formula fed to a reduction is malformed."""
+
+
+class BudgetExceededError(ReproError):
+    """Raised when a search exceeds its configured node/time budget.
+
+    Carries the partial statistics gathered so far in :attr:`stats`.
+    """
+
+    def __init__(self, message: str, stats=None):
+        super().__init__(message)
+        self.stats = stats

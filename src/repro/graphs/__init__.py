@@ -1,0 +1,27 @@
+"""Graph models: general graphs, simple graphs (RDF abstraction), shape graphs, compressed graphs."""
+
+from repro.graphs.graph import Edge, Graph
+from repro.graphs.simple import simple_graph_from_triples, assert_simple, is_simple
+from repro.graphs.shape import (
+    is_shape_graph,
+    assert_shape_graph,
+    is_deterministic_shape_graph,
+    star_closed_references,
+    is_detshex0_minus_graph,
+)
+from repro.graphs.compressed import CompressedGraph, pack_simple_graph
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "simple_graph_from_triples",
+    "assert_simple",
+    "is_simple",
+    "is_shape_graph",
+    "assert_shape_graph",
+    "is_deterministic_shape_graph",
+    "star_closed_references",
+    "is_detshex0_minus_graph",
+    "CompressedGraph",
+    "pack_simple_graph",
+]

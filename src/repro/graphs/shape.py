@@ -1,0 +1,129 @@
+"""Shape graphs (ShEx0) and the deterministic subclasses of Section 4.
+
+A *shape graph* is a graph whose occurrence intervals are all basic
+(``1 ? + *``).  Shape graphs are the graphical form of ShEx(RBE0) schemas
+(Proposition 3.2): nodes play the role of types and an edge ``t -a[I]-> s``
+states that a node of type ``t`` has a number of outgoing ``a``-edges to nodes
+of type ``s`` that lies in ``I``.
+
+Section 4 singles out two deterministic subclasses:
+
+* **DetShEx0** — deterministic shape graphs: every node has at most one
+  outgoing edge per label (Definition 4.1);
+* **DetShEx0-** — deterministic shape graphs that additionally do not use
+  ``+`` and in which every type with an outgoing ``?``-edge is referenced at
+  least once and only through *\\*-closed* references.
+
+A reference (incoming edge) ``e`` to a type is *\\*-closed* when its interval is
+``*`` or all references to ``source(e)`` are themselves \\*-closed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set
+
+from repro.core.intervals import Interval, OPT, PLUS, STAR
+from repro.errors import GraphError
+from repro.graphs.graph import Edge, Graph
+
+NodeId = Hashable
+
+
+def is_shape_graph(graph: Graph) -> bool:
+    """True when every occurrence interval of the graph is basic."""
+    return graph.is_shape_graph()
+
+
+def assert_shape_graph(graph: Graph) -> Graph:
+    """Return ``graph`` unchanged, raising :class:`GraphError` otherwise."""
+    if not graph.is_shape_graph():
+        raise GraphError(
+            f"graph {graph.name!r} is not a shape graph: it uses non-basic intervals"
+        )
+    return graph
+
+
+def is_deterministic_shape_graph(graph: Graph) -> bool:
+    """Definition 4.1: at most one outgoing edge per (node, label)."""
+    for node in graph.nodes:
+        labels = [edge.label for edge in graph.out_edges(node)]
+        if len(labels) != len(set(labels)):
+            return False
+    return True
+
+
+def star_closed_references(graph: Graph) -> Dict[int, bool]:
+    """Compute, for every edge, whether it is a \\*-closed reference.
+
+    A reference ``e`` is \\*-closed if ``occur(e) = *`` or all references to
+    ``source(e)`` are \\*-closed.  We interpret the definition inductively (as a
+    least fixed point): a non-``*`` reference is \\*-closed only when its source
+    is referenced and every chain of references leading to it eventually passes
+    through a ``*``-edge.  This matches the paper's intuition ("any type using
+    ``?`` can only be referenced, directly or indirectly, through ``*``") and is
+    the reading under which the Figure 6 hardness instances fall *outside*
+    DetShEx0- as intended.
+    """
+    closed: Dict[int, bool] = {
+        edge.edge_id: edge.occur == STAR for edge in graph.edges
+    }
+    changed = True
+    while changed:
+        changed = False
+        for edge in graph.edges:
+            if closed[edge.edge_id]:
+                continue
+            incoming = graph.in_edges(edge.source)
+            if incoming and all(closed[e.edge_id] for e in incoming):
+                closed[edge.edge_id] = True
+                changed = True
+    return closed
+
+
+def is_detshex0_minus_graph(graph: Graph) -> bool:
+    """Membership in DetShEx0- (Definition 4.1).
+
+    The graph must be a deterministic shape graph, must not use ``+``, and every
+    node with an outgoing ``?``-edge must be referenced at least once with all
+    its references \\*-closed.
+    """
+    if not graph.is_shape_graph():
+        return False
+    if not is_deterministic_shape_graph(graph):
+        return False
+    if any(edge.occur == PLUS for edge in graph.edges):
+        return False
+    closed = star_closed_references(graph)
+    for node in graph.nodes:
+        uses_opt = any(edge.occur == OPT for edge in graph.out_edges(node))
+        if not uses_opt:
+            continue
+        references = graph.in_edges(node)
+        if not references:
+            return False
+        if any(not closed[edge.edge_id] for edge in references):
+            return False
+    return True
+
+
+def detshex0_minus_violations(graph: Graph) -> List[str]:
+    """Human-readable reasons why ``graph`` is not in DetShEx0- (empty when it is)."""
+    reasons: List[str] = []
+    if not graph.is_shape_graph():
+        reasons.append("graph uses non-basic occurrence intervals")
+    if not is_deterministic_shape_graph(graph):
+        reasons.append("some node has two outgoing edges with the same label")
+    plus_edges = [edge for edge in graph.edges if edge.occur == PLUS]
+    if plus_edges:
+        reasons.append(f"{len(plus_edges)} edge(s) use the interval '+'")
+    closed = star_closed_references(graph)
+    for node in sorted(graph.nodes, key=repr):
+        uses_opt = any(edge.occur == OPT for edge in graph.out_edges(node))
+        if not uses_opt:
+            continue
+        references = graph.in_edges(node)
+        if not references:
+            reasons.append(f"type {node!r} uses '?' but is never referenced")
+        elif any(not closed[edge.edge_id] for edge in references):
+            reasons.append(f"type {node!r} uses '?' but has a non-*-closed reference")
+    return reasons

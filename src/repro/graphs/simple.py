@@ -1,0 +1,51 @@
+"""Simple graphs — the RDF abstraction used throughout the paper.
+
+A *simple graph* (Definition 2.1) uses only the occurrence interval ``1`` and
+has no two edges with the same origin, end point, and predicate label.  For the
+purposes of containment this class adequately captures RDF graphs; node-level
+constraints (literal datatypes etc.) are simulated by extra outgoing edges, see
+:mod:`repro.rdf.convert`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Tuple
+
+from repro.errors import NotSimpleGraphError
+from repro.graphs.graph import Graph
+
+NodeId = Hashable
+
+
+def simple_graph_from_triples(
+    triples: Iterable[Tuple[NodeId, str, NodeId]],
+    name: str = "",
+) -> Graph:
+    """Build a simple graph from ``(subject, predicate, object)`` triples.
+
+    Duplicate triples are silently collapsed (RDF graphs are sets of triples).
+    """
+    graph = Graph(name)
+    seen = set()
+    for source, label, target in triples:
+        key = (source, label, target)
+        if key in seen:
+            continue
+        seen.add(key)
+        graph.add_edge(source, label, target)
+    return graph
+
+
+def is_simple(graph: Graph) -> bool:
+    """True when the graph belongs to the class G0 of simple graphs."""
+    return graph.is_simple()
+
+
+def assert_simple(graph: Graph) -> Graph:
+    """Return ``graph`` unchanged, raising :class:`NotSimpleGraphError` otherwise."""
+    if not graph.is_simple():
+        raise NotSimpleGraphError(
+            f"graph {graph.name!r} is not simple: it uses non-unit intervals "
+            "or duplicate (source, label, target) edges"
+        )
+    return graph

@@ -1,0 +1,41 @@
+"""Existential Presburger arithmetic: formulas, the ψ_E encoding of RBEs, and a solver."""
+
+from repro.presburger.formula import (
+    LinearTerm,
+    Comparison,
+    And,
+    Or,
+    Exists,
+    TrueFormula,
+    FalseFormula,
+    Formula,
+    var,
+    const,
+)
+from repro.presburger.build import (
+    rbe_to_formula,
+    rbe_language_nonempty,
+    rbe_language_witness,
+    rbe_membership_formula,
+)
+from repro.presburger.solver import solve_existential, is_satisfiable, small_model_bound
+
+__all__ = [
+    "LinearTerm",
+    "Comparison",
+    "And",
+    "Or",
+    "Exists",
+    "TrueFormula",
+    "FalseFormula",
+    "Formula",
+    "var",
+    "const",
+    "rbe_to_formula",
+    "rbe_language_nonempty",
+    "rbe_language_witness",
+    "rbe_membership_formula",
+    "solve_existential",
+    "is_satisfiable",
+    "small_model_bound",
+]

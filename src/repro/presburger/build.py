@@ -1,0 +1,195 @@
+"""The ψ_E encoding of regular bag expressions into Presburger arithmetic (Section 6.1).
+
+For an RBE (with intersection) ``E`` over an alphabet ``Δ = {a1, ..., ak}`` the
+paper constructs a formula ``ψ_E(x̄, n)`` such that ``ψ_E(w, n)`` holds exactly
+when the bag ``w`` (given by its Parikh vector ``x̄``) belongs to ``L(E)^n``.
+The construction is reproduced verbatim:
+
+* ``ψ_ε(x̄, n)         := ⋀_a x_a = 0``
+* ``ψ_a(x̄, n)         := x_a = n ∧ ⋀_{b≠a} x_b = 0``
+* ``ψ_{E^[k;l]}(x̄, n) := (n = 0 ∧ ⋀_a x_a = 0) ∨ (n > 0 ∧ ∃m. k·n ≤ m ∧ m ≤ l·n ∧ ψ_E(x̄, m))``
+* ``ψ_{E1|E2}(x̄, n)   := ∃x̄1 x̄2 n1 n2. n = n1+n2 ∧ x̄ = x̄1+x̄2 ∧ ψ_{E1}(x̄1, n1) ∧ ψ_{E2}(x̄2, n2)``
+* ``ψ_{E1||E2}(x̄, n)  := ∃x̄1 x̄2. x̄ = x̄1+x̄2 ∧ ψ_{E1}(x̄1, n) ∧ ψ_{E2}(x̄2, n)``
+* ``ψ_{E1∩E2}(x̄, n)   := ψ_{E1}(x̄, n) ∧ ψ_{E2}(x̄, n)``
+
+(The repetition case quantifies the *total* number ``m`` of uses of ``E`` across
+the ``n`` repetitions, with ``k·n ≤ m ≤ l·n``; this matches the paper's intent —
+each of the ``n`` groups uses between ``k`` and ``l`` copies — while staying in
+the existential fragment.)
+
+The key property, ``w ∈ L(E)^n  iff  ψ_E(w, n)``, is exercised by the property
+tests against the direct membership procedure of :mod:`repro.rbe.membership`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.bags import Bag
+from repro.core.intervals import Interval
+from repro.errors import PresburgerError
+from repro.presburger.formula import (
+    And,
+    Comparison,
+    Exists,
+    Formula,
+    LinearTerm,
+    conjunction,
+    const,
+    disjunction,
+    eq,
+    fresh_variable,
+    ge,
+    gt,
+    le,
+    var,
+)
+from repro.rbe.ast import (
+    RBE,
+    Concatenation,
+    Disjunction,
+    Epsilon,
+    Intersection,
+    Repetition,
+    SymbolAtom,
+)
+
+Symbol = Hashable
+
+
+def _symbol_key(symbol: Symbol) -> str:
+    """A stable printable key for a symbol (labels or (label, type) pairs)."""
+    if isinstance(symbol, tuple) and len(symbol) == 2:
+        return f"{symbol[0]}::{symbol[1]}"
+    return str(symbol)
+
+
+def rbe_to_formula(
+    expr: RBE,
+    count_variables: Dict[Symbol, str],
+    repetitions: LinearTerm,
+) -> Formula:
+    """Build ``ψ_expr(x̄, n)`` with ``x̄`` given by ``count_variables`` and ``n`` by ``repetitions``.
+
+    ``count_variables`` maps every symbol of the relevant alphabet to the name
+    of the Presburger variable holding its count.  Symbols of the alphabet that
+    the sub-expression does not mention are constrained to zero, exactly as the
+    paper's definition does.
+    """
+    alphabet = tuple(count_variables)
+    return _psi(expr, alphabet, count_variables, repetitions)
+
+
+def _zero_all(alphabet, count_variables) -> Formula:
+    return conjunction(eq(var(count_variables[a]), 0) for a in alphabet)
+
+
+def _psi(expr: RBE, alphabet, xvars: Dict[Symbol, str], n: LinearTerm) -> Formula:
+    if isinstance(expr, Epsilon):
+        return _zero_all(alphabet, xvars)
+    if isinstance(expr, SymbolAtom):
+        if expr.symbol not in xvars:
+            raise PresburgerError(
+                f"symbol {expr.symbol!r} missing from the count-variable mapping"
+            )
+        atoms: List[Formula] = [eq(var(xvars[expr.symbol]), n)]
+        atoms.extend(
+            eq(var(xvars[a]), 0) for a in alphabet if a != expr.symbol
+        )
+        return conjunction(atoms)
+    if isinstance(expr, Repetition):
+        return _psi_repetition(expr, alphabet, xvars, n)
+    if isinstance(expr, Disjunction):
+        return _psi_disjunction(expr, alphabet, xvars, n)
+    if isinstance(expr, Concatenation):
+        return _psi_concatenation(expr, alphabet, xvars, n)
+    if isinstance(expr, Intersection):
+        return conjunction(_psi(op, alphabet, xvars, n) for op in expr.operands)
+    raise PresburgerError(f"unknown RBE node {type(expr).__name__}")
+
+
+def _psi_repetition(expr: Repetition, alphabet, xvars, n: LinearTerm) -> Formula:
+    interval = expr.interval
+    zero_case = conjunction([eq(n, 0), _zero_all(alphabet, xvars)])
+    m_name = fresh_variable("m")
+    m = var(m_name)
+    bounds: List[Formula] = [gt(n, 0), ge(m, LinearTerm.of(0))]
+    # k*n <= m <= l*n ; an unbounded upper limit simply drops the right constraint.
+    bounds.append(ge(m, n * interval.lower))
+    if interval.upper is not None:
+        bounds.append(le(m, n * interval.upper))
+    body = conjunction(bounds + [_psi(expr.operand, alphabet, xvars, m)])
+    positive_case = Exists((m_name,), body)
+    return disjunction([zero_case, positive_case])
+
+
+def _split_variables(alphabet, xvars, parts: int, prefix: str):
+    """Fresh per-part count variables plus the constraints x = Σ parts."""
+    part_vars: List[Dict[Symbol, str]] = []
+    for index in range(parts):
+        part_vars.append({a: fresh_variable(f"{prefix}{index}_{_symbol_key(a)}") for a in alphabet})
+    constraints: List[Formula] = []
+    for a in alphabet:
+        total = LinearTerm.of(0)
+        for index in range(parts):
+            total = total + var(part_vars[index][a])
+        constraints.append(eq(var(xvars[a]), total))
+    bound_names = [name for mapping in part_vars for name in mapping.values()]
+    return part_vars, constraints, bound_names
+
+
+def _psi_disjunction(expr: Disjunction, alphabet, xvars, n: LinearTerm) -> Formula:
+    operands = expr.operands
+    part_vars, constraints, bound_names = _split_variables(alphabet, xvars, len(operands), "d")
+    n_vars = [fresh_variable("n") for _ in operands]
+    bound_names.extend(n_vars)
+    total_n = LinearTerm.of(0)
+    for name in n_vars:
+        total_n = total_n + var(name)
+    constraints.append(eq(n, total_n))
+    for operand, mapping, n_name in zip(operands, part_vars, n_vars):
+        constraints.append(_psi(operand, alphabet, mapping, var(n_name)))
+    return Exists(tuple(bound_names), conjunction(constraints))
+
+
+def _psi_concatenation(expr: Concatenation, alphabet, xvars, n: LinearTerm) -> Formula:
+    operands = expr.operands
+    part_vars, constraints, bound_names = _split_variables(alphabet, xvars, len(operands), "c")
+    for operand, mapping in zip(operands, part_vars):
+        constraints.append(_psi(operand, alphabet, mapping, n))
+    return Exists(tuple(bound_names), conjunction(constraints))
+
+
+# --------------------------------------------------------------------------- #
+# Convenience wrappers
+# --------------------------------------------------------------------------- #
+def rbe_membership_formula(expr: RBE, bag: Bag) -> Formula:
+    """The sentence stating ``bag ∈ L(expr)`` (i.e. ``ψ_E(w, 1)`` with w fixed)."""
+    alphabet = sorted(set(expr.alphabet()) | set(bag.support()), key=_symbol_key)
+    xvars = {a: fresh_variable(f"x_{_symbol_key(a)}") for a in alphabet}
+    pins = [eq(var(xvars[a]), bag.count(a)) for a in alphabet]
+    body = conjunction(pins + [rbe_to_formula(expr, xvars, const(1))])
+    return Exists(tuple(xvars.values()), body)
+
+
+def rbe_language_nonempty(expr: RBE) -> bool:
+    """Decide ``L(expr) ≠ ∅`` via the Presburger encoding (handles intersection)."""
+    from repro.presburger.solver import is_satisfiable
+
+    alphabet = sorted(expr.alphabet(), key=_symbol_key)
+    xvars = {a: fresh_variable(f"x_{_symbol_key(a)}") for a in alphabet}
+    formula = Exists(tuple(xvars.values()), rbe_to_formula(expr, xvars, const(1)))
+    return is_satisfiable(formula)
+
+
+def rbe_language_witness(expr: RBE) -> Optional[Bag]:
+    """Return some bag in ``L(expr)`` (via the Presburger encoding), or ``None``."""
+    from repro.presburger.solver import solve_existential
+
+    alphabet = sorted(expr.alphabet(), key=_symbol_key)
+    xvars = {a: fresh_variable(f"x_{_symbol_key(a)}") for a in alphabet}
+    formula = rbe_to_formula(expr, xvars, const(1))
+    solution = solve_existential(formula, list(xvars.values()))
+    if solution is None:
+        return None
+    return Bag({a: solution[xvars[a]] for a in alphabet if solution.get(xvars[a], 0) > 0})

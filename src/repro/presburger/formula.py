@@ -1,0 +1,344 @@
+"""Existential Presburger arithmetic formulas.
+
+The paper (Section 6.1) encodes the bag languages of regular bag expressions as
+existentially quantified formulas of Presburger arithmetic (first-order logic
+over the naturals with addition).  Validity of existential PA sentences is in
+NP [10], which yields Proposition 6.2 (validation of compressed graphs is in
+NP).
+
+This module implements the existential fragment we need:
+
+* linear terms over named variables with integer coefficients,
+* comparisons (=, <=, >=, <, >) between linear terms,
+* conjunction, disjunction, existential quantification, and the constants
+  true / false.
+
+Formulas are immutable trees; the solver (:mod:`repro.presburger.solver`) puts
+them into disjunctive normal form and solves each conjunct as an integer linear
+feasibility problem.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.errors import PresburgerError
+
+VarName = str
+
+
+@dataclass(frozen=True)
+class LinearTerm:
+    """A linear term ``c + Σ coeff_i * x_i`` over natural-number variables."""
+
+    coefficients: Tuple[Tuple[VarName, int], ...] = ()
+    constant: int = 0
+
+    # -- constructors ---------------------------------------------------------
+    @staticmethod
+    def of(value: Union["LinearTerm", int, str]) -> "LinearTerm":
+        if isinstance(value, LinearTerm):
+            return value
+        if isinstance(value, int):
+            return LinearTerm((), value)
+        if isinstance(value, str):
+            return LinearTerm(((value, 1),), 0)
+        raise PresburgerError(f"cannot interpret {value!r} as a linear term")
+
+    # -- algebra --------------------------------------------------------------
+    def _as_dict(self) -> Dict[VarName, int]:
+        result: Dict[VarName, int] = {}
+        for name, coeff in self.coefficients:
+            result[name] = result.get(name, 0) + coeff
+        return {name: coeff for name, coeff in result.items() if coeff != 0}
+
+    @staticmethod
+    def _from_dict(coeffs: Mapping[VarName, int], constant: int) -> "LinearTerm":
+        ordered = tuple(sorted((name, coeff) for name, coeff in coeffs.items() if coeff != 0))
+        return LinearTerm(ordered, constant)
+
+    def __add__(self, other: Union["LinearTerm", int, str]) -> "LinearTerm":
+        other = LinearTerm.of(other)
+        coeffs = self._as_dict()
+        for name, coeff in other.coefficients:
+            coeffs[name] = coeffs.get(name, 0) + coeff
+        return LinearTerm._from_dict(coeffs, self.constant + other.constant)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["LinearTerm", int, str]) -> "LinearTerm":
+        return self + LinearTerm.of(other) * -1
+
+    def __mul__(self, scalar: int) -> "LinearTerm":
+        if not isinstance(scalar, int):
+            return NotImplemented
+        coeffs = {name: coeff * scalar for name, coeff in self._as_dict().items()}
+        return LinearTerm._from_dict(coeffs, self.constant * scalar)
+
+    __rmul__ = __mul__
+
+    # -- queries --------------------------------------------------------------
+    def variables(self) -> FrozenSet[VarName]:
+        return frozenset(name for name, coeff in self.coefficients if coeff != 0)
+
+    def evaluate(self, assignment: Mapping[VarName, int]) -> int:
+        total = self.constant
+        for name, coeff in self.coefficients:
+            total += coeff * assignment.get(name, 0)
+        return total
+
+    def __str__(self) -> str:
+        parts = []
+        for name, coeff in self.coefficients:
+            if coeff == 1:
+                parts.append(name)
+            else:
+                parts.append(f"{coeff}*{name}")
+        if self.constant or not parts:
+            parts.append(str(self.constant))
+        return " + ".join(parts)
+
+
+def var(name: VarName) -> LinearTerm:
+    """The linear term consisting of a single variable."""
+    return LinearTerm(((name, 1),), 0)
+
+
+def const(value: int) -> LinearTerm:
+    """A constant linear term."""
+    return LinearTerm((), value)
+
+
+def eq(left, right) -> "Comparison":
+    """The atom ``left == right``."""
+    return Comparison(LinearTerm.of(left), "==", LinearTerm.of(right))
+
+
+def le(left, right) -> "Comparison":
+    """The atom ``left <= right``."""
+    return Comparison(LinearTerm.of(left), "<=", LinearTerm.of(right))
+
+
+def ge(left, right) -> "Comparison":
+    """The atom ``left >= right``."""
+    return Comparison(LinearTerm.of(left), ">=", LinearTerm.of(right))
+
+
+def lt(left, right) -> "Comparison":
+    """The atom ``left < right``."""
+    return Comparison(LinearTerm.of(left), "<", LinearTerm.of(right))
+
+
+def gt(left, right) -> "Comparison":
+    """The atom ``left > right``."""
+    return Comparison(LinearTerm.of(left), ">", LinearTerm.of(right))
+
+
+class Formula:
+    """Base class of Presburger formulas (existential fragment)."""
+
+    __slots__ = ()
+
+    def variables(self) -> FrozenSet[VarName]:
+        """All variables occurring in the formula (bound and free)."""
+        raise NotImplementedError
+
+    def free_variables(self) -> FrozenSet[VarName]:
+        raise NotImplementedError
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The formula that always holds."""
+
+    __slots__ = ()
+
+    def variables(self) -> FrozenSet[VarName]:
+        return frozenset()
+
+    def free_variables(self) -> FrozenSet[VarName]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    """The formula that never holds."""
+
+    __slots__ = ()
+
+    def variables(self) -> FrozenSet[VarName]:
+        return frozenset()
+
+    def free_variables(self) -> FrozenSet[VarName]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "false"
+
+
+TRUE = TrueFormula()
+FALSE = FalseFormula()
+
+_OPERATORS = ("==", "<=", ">=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Comparison(Formula):
+    """An atomic comparison between two linear terms."""
+
+    left: LinearTerm
+    operator: str
+    right: LinearTerm
+
+    __slots__ = ("left", "operator", "right")
+
+    def __post_init__(self):
+        if self.operator not in _OPERATORS:
+            raise PresburgerError(f"unsupported comparison operator {self.operator!r}")
+
+    def variables(self) -> FrozenSet[VarName]:
+        return self.left.variables() | self.right.variables()
+
+    def free_variables(self) -> FrozenSet[VarName]:
+        return self.variables()
+
+    def evaluate(self, assignment: Mapping[VarName, int]) -> bool:
+        lhs = self.left.evaluate(assignment)
+        rhs = self.right.evaluate(assignment)
+        if self.operator == "==":
+            return lhs == rhs
+        if self.operator == "<=":
+            return lhs <= rhs
+        if self.operator == ">=":
+            return lhs >= rhs
+        if self.operator == "<":
+            return lhs < rhs
+        return lhs > rhs
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.operator} {self.right})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction of formulas."""
+
+    operands: Tuple[Formula, ...]
+
+    __slots__ = ("operands",)
+
+    def variables(self) -> FrozenSet[VarName]:
+        result: FrozenSet[VarName] = frozenset()
+        for op in self.operands:
+            result |= op.variables()
+        return result
+
+    def free_variables(self) -> FrozenSet[VarName]:
+        result: FrozenSet[VarName] = frozenset()
+        for op in self.operands:
+            result |= op.free_variables()
+        return result
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction of formulas."""
+
+    operands: Tuple[Formula, ...]
+
+    __slots__ = ("operands",)
+
+    def variables(self) -> FrozenSet[VarName]:
+        result: FrozenSet[VarName] = frozenset()
+        for op in self.operands:
+            result |= op.variables()
+        return result
+
+    def free_variables(self) -> FrozenSet[VarName]:
+        result: FrozenSet[VarName] = frozenset()
+        for op in self.operands:
+            result |= op.free_variables()
+        return result
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over a tuple of natural-number variables."""
+
+    bound: Tuple[VarName, ...]
+    body: Formula
+
+    __slots__ = ("bound", "body")
+
+    def variables(self) -> FrozenSet[VarName]:
+        return frozenset(self.bound) | self.body.variables()
+
+    def free_variables(self) -> FrozenSet[VarName]:
+        return self.body.free_variables() - frozenset(self.bound)
+
+    def __str__(self) -> str:
+        names = ", ".join(self.bound)
+        return f"(exists {names}. {self.body})"
+
+
+def conjunction(operands: Iterable[Formula]) -> Formula:
+    """N-ary conjunction with constant folding."""
+    flat = []
+    for op in operands:
+        if isinstance(op, FalseFormula):
+            return FALSE
+        if isinstance(op, TrueFormula):
+            continue
+        if isinstance(op, And):
+            flat.extend(op.operands)
+        else:
+            flat.append(op)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disjunction(operands: Iterable[Formula]) -> Formula:
+    """N-ary disjunction with constant folding."""
+    flat = []
+    for op in operands:
+        if isinstance(op, TrueFormula):
+            return TRUE
+        if isinstance(op, FalseFormula):
+            continue
+        if isinstance(op, Or):
+            flat.extend(op.operands)
+        else:
+            flat.append(op)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+_fresh_counter = itertools.count()
+
+
+def fresh_variable(prefix: str = "v") -> VarName:
+    """A globally fresh variable name (used by the ψ_E construction)."""
+    return f"{prefix}#{next(_fresh_counter)}"

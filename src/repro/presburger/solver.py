@@ -1,0 +1,268 @@
+"""A solver for the existential fragment of Presburger arithmetic.
+
+Satisfiability of existentially quantified PA formulas is NP-complete; this is
+the fragment the paper relies on for Proposition 6.2 (validation of compressed
+graphs).  The solver here:
+
+1. renames bound variables apart,
+2. rewrites the formula into disjunctive normal form over comparison atoms,
+3. solves every conjunct as an integer-linear feasibility problem over
+   non-negative integers (via ``scipy.optimize.milp`` when available, falling
+   back to a small branch-and-bound enumeration otherwise).
+
+It also exposes :func:`small_model_bound`, the bound of Proposition 6.3
+(Weispfenning) that the paper uses to bound the size of compressed
+counter-examples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import PresburgerError
+from repro.presburger.formula import (
+    And,
+    Comparison,
+    Exists,
+    FalseFormula,
+    Formula,
+    LinearTerm,
+    Or,
+    TrueFormula,
+    fresh_variable,
+)
+
+try:  # pragma: no cover - exercised implicitly on import
+    import numpy as _np
+    from scipy.optimize import LinearConstraint as _LinearConstraint
+    from scipy.optimize import milp as _milp
+    from scipy.optimize import Bounds as _Bounds
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    _HAVE_SCIPY = False
+
+
+# --------------------------------------------------------------------------- #
+# Renaming bound variables apart
+# --------------------------------------------------------------------------- #
+def _rename_term(term: LinearTerm, mapping: Dict[str, str]) -> LinearTerm:
+    coefficients = tuple(
+        (mapping.get(name, name), coeff) for name, coeff in term.coefficients
+    )
+    return LinearTerm(coefficients, term.constant)
+
+
+def _rename(formula: Formula, mapping: Dict[str, str]) -> Formula:
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Comparison):
+        return Comparison(
+            _rename_term(formula.left, mapping),
+            formula.operator,
+            _rename_term(formula.right, mapping),
+        )
+    if isinstance(formula, And):
+        return And(tuple(_rename(op, mapping) for op in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(_rename(op, mapping) for op in formula.operands))
+    if isinstance(formula, Exists):
+        extended = dict(mapping)
+        fresh_names = []
+        for name in formula.bound:
+            fresh = fresh_variable(name.split("#")[0] or "v")
+            extended[name] = fresh
+            fresh_names.append(fresh)
+        return Exists(tuple(fresh_names), _rename(formula.body, extended))
+    raise PresburgerError(f"unknown formula node {type(formula).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# DNF conversion
+# --------------------------------------------------------------------------- #
+def _to_dnf(formula: Formula) -> List[List[Comparison]]:
+    """Disjunctive normal form as a list of conjunctions of atoms.
+
+    An empty list means *unsatisfiable*; a list containing an empty conjunction
+    means *trivially true*.
+    """
+    if isinstance(formula, TrueFormula):
+        return [[]]
+    if isinstance(formula, FalseFormula):
+        return []
+    if isinstance(formula, Comparison):
+        return [[formula]]
+    if isinstance(formula, Exists):
+        # Bound variables were renamed apart; the quantifier can be dropped in
+        # the purely existential fragment.
+        return _to_dnf(formula.body)
+    if isinstance(formula, Or):
+        result: List[List[Comparison]] = []
+        for operand in formula.operands:
+            result.extend(_to_dnf(operand))
+        return result
+    if isinstance(formula, And):
+        result = [[]]
+        for operand in formula.operands:
+            operand_dnf = _to_dnf(operand)
+            if not operand_dnf:
+                return []
+            result = [left + right for left in result for right in operand_dnf]
+        return result
+    raise PresburgerError(f"unknown formula node {type(formula).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# Linear feasibility over the naturals
+# --------------------------------------------------------------------------- #
+def _normalise_atom(atom: Comparison) -> Tuple[Dict[str, int], int, str]:
+    """Rewrite an atom as ``Σ coeff·x  OP  constant`` with OP in {==, <=}.
+
+    Strict comparisons over the integers are tightened: ``a < b`` becomes
+    ``a <= b - 1``.
+    """
+    diff = atom.left - atom.right
+    coeffs: Dict[str, int] = {}
+    for name, coeff in diff.coefficients:
+        coeffs[name] = coeffs.get(name, 0) + coeff
+    coeffs = {name: coeff for name, coeff in coeffs.items() if coeff != 0}
+    constant = diff.constant
+    operator = atom.operator
+    if operator == ">=":
+        coeffs = {name: -coeff for name, coeff in coeffs.items()}
+        constant = -constant
+        operator = "<="
+    elif operator == ">":
+        coeffs = {name: -coeff for name, coeff in coeffs.items()}
+        constant = -constant
+        operator = "<"
+    if operator == "<":
+        constant += 1
+        operator = "<="
+    # Now the atom reads  Σ coeff·x + constant  OP  0.
+    return coeffs, -constant, operator  # Σ coeff·x OP  -constant
+
+
+def _solve_conjunct(atoms: Sequence[Comparison]) -> Optional[Dict[str, int]]:
+    """Find a non-negative integer solution of a conjunction of atoms."""
+    equalities: List[Tuple[Dict[str, int], int]] = []
+    inequalities: List[Tuple[Dict[str, int], int]] = []
+    variables: List[str] = []
+    seen = set()
+    for atom in atoms:
+        coeffs, bound, operator = _normalise_atom(atom)
+        for name in coeffs:
+            if name not in seen:
+                seen.add(name)
+                variables.append(name)
+        if not coeffs:
+            satisfied = (0 == bound) if operator == "==" else (0 <= bound)
+            if not satisfied:
+                return None
+            continue
+        if operator == "==":
+            equalities.append((coeffs, bound))
+        else:
+            inequalities.append((coeffs, bound))
+    if not variables:
+        return {}
+    if _HAVE_SCIPY:
+        return _solve_with_milp(variables, equalities, inequalities)
+    return _solve_by_enumeration(variables, equalities, inequalities)
+
+
+def _solve_with_milp(variables, equalities, inequalities) -> Optional[Dict[str, int]]:
+    index = {name: i for i, name in enumerate(variables)}
+    n = len(variables)
+    constraints = []
+    if equalities:
+        matrix = _np.zeros((len(equalities), n))
+        rhs = _np.zeros(len(equalities))
+        for row, (coeffs, bound) in enumerate(equalities):
+            for name, coeff in coeffs.items():
+                matrix[row, index[name]] = coeff
+            rhs[row] = bound
+        constraints.append(_LinearConstraint(matrix, rhs, rhs))
+    if inequalities:
+        matrix = _np.zeros((len(inequalities), n))
+        rhs = _np.zeros(len(inequalities))
+        for row, (coeffs, bound) in enumerate(inequalities):
+            for name, coeff in coeffs.items():
+                matrix[row, index[name]] = coeff
+            rhs[row] = bound
+        constraints.append(_LinearConstraint(matrix, -_np.inf, rhs))
+    result = _milp(
+        c=_np.zeros(n),
+        constraints=constraints,
+        integrality=_np.ones(n),
+        bounds=_Bounds(0, _np.inf),
+    )
+    if not result.success or result.x is None:
+        return None
+    return {name: int(round(result.x[index[name]])) for name in variables}
+
+
+def _solve_by_enumeration(variables, equalities, inequalities, limit: int = 16):
+    """Tiny fallback enumeration over {0..limit}^n (only used without scipy)."""
+    for values in itertools.product(range(limit + 1), repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        ok = True
+        for coeffs, bound in equalities:
+            if sum(coeff * assignment[name] for name, coeff in coeffs.items()) != bound:
+                ok = False
+                break
+        if ok:
+            for coeffs, bound in inequalities:
+                if sum(coeff * assignment[name] for name, coeff in coeffs.items()) > bound:
+                    ok = False
+                    break
+        if ok:
+            return assignment
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Public API
+# --------------------------------------------------------------------------- #
+def solve_existential(
+    formula: Formula,
+    wanted: Optional[Iterable[str]] = None,
+) -> Optional[Dict[str, int]]:
+    """Find a satisfying assignment over the naturals, or ``None``.
+
+    All variables — free and existentially bound — range over non-negative
+    integers.  When ``wanted`` is given, only those variables are reported
+    (missing ones default to 0 in the result).
+    """
+    renamed = _rename(formula, {})
+    # Free variables keep their names because _rename only renames bound ones.
+    for conjunct in _to_dnf(renamed):
+        solution = _solve_conjunct(conjunct)
+        if solution is not None:
+            if wanted is None:
+                return solution
+            return {name: solution.get(name, 0) for name in wanted}
+    return None
+
+
+def is_satisfiable(formula: Formula) -> bool:
+    """True when the formula has a model over the naturals."""
+    return solve_existential(formula) is not None
+
+
+def small_model_bound(formula_size: int, num_variables: int, alternations: int = 1) -> int:
+    """The Weispfenning small-model bound of Proposition 6.3, as a log₂ value.
+
+    For a prenex PA formula ``Φ`` with ``k`` quantifier alternations, matrix size
+    ``|ϕ|`` and variables ``x̄``, Proposition 6.3 states that ``Φ`` is valid iff
+    it is valid when variables are restricted to ``{0, ..., B}`` where
+    ``log(B) = O(|ϕ|^(3·|x̄|^k))``.  This helper returns that exponent (with the
+    hidden constant taken as 1), i.e. ``log₂(B)``; the bound itself is usually
+    astronomically large, which is exactly the point the paper makes when it
+    concludes that counter-examples for full ShEx have double-exponential
+    compressed representations.
+    """
+    if formula_size < 1 or num_variables < 1:
+        raise PresburgerError("formula size and variable count must be positive")
+    return formula_size ** (3 * num_variables ** alternations)

@@ -1,0 +1,270 @@
+"""Membership and emptiness for regular bag expressions.
+
+Membership for general RBEs is NP-complete (Kopczynski & To, cited as [13] in
+the paper); the implementation below is an exact exponential-time procedure
+with memoisation and interval-based pruning, adequate for the schema sizes a
+containment checker manipulates.  The polynomial special case for RBE0 lives in
+:mod:`repro.rbe.rbe0`.
+
+The module also provides language non-emptiness (used by validation, where type
+satisfaction is an intersection-non-emptiness test), minimal witnesses, and a
+random sampler of bags used by the workload generators.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.bags import Bag
+from repro.core.intervals import Interval
+from repro.errors import ReproError
+from repro.rbe.ast import (
+    RBE,
+    Concatenation,
+    Disjunction,
+    Epsilon,
+    Intersection,
+    Repetition,
+    SymbolAtom,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Membership
+# --------------------------------------------------------------------------- #
+def rbe_matches(expr: RBE, bag: Bag) -> bool:
+    """Decide whether ``bag`` belongs to the bag language of ``expr``.
+
+    Exact for every RBE construct including intersection.  Worst-case
+    exponential (the problem is NP-complete in general) but heavily pruned:
+    sub-problems are memoised and branches whose total-size interval cannot
+    accommodate the bag are discarded immediately.
+    """
+    memo: Dict[Tuple[RBE, Bag], bool] = {}
+    return _matches(expr, bag, memo)
+
+
+def _matches(expr: RBE, bag: Bag, memo: Dict[Tuple[RBE, Bag], bool]) -> bool:
+    key = (expr, bag)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    result = _matches_uncached(expr, bag, memo)
+    memo[key] = result
+    return result
+
+
+def _matches_uncached(expr: RBE, bag: Bag, memo) -> bool:
+    if bag.size not in expr.size_interval():
+        return False
+    if isinstance(expr, Epsilon):
+        return bag.is_empty
+    if isinstance(expr, SymbolAtom):
+        return bag.size == 1 and bag.count(expr.symbol) == 1
+    if isinstance(expr, Disjunction):
+        return any(_matches(op, bag, memo) for op in expr.operands)
+    if isinstance(expr, Intersection):
+        return all(_matches(op, bag, memo) for op in expr.operands)
+    if isinstance(expr, Concatenation):
+        if not bag.support() <= expr.alphabet():
+            return False
+        return _matches_concat(list(expr.operands), bag, memo)
+    if isinstance(expr, Repetition):
+        if not bag.support() <= expr.alphabet():
+            return False
+        return _matches_repetition(expr, bag, memo)
+    raise ReproError(f"unknown RBE node {type(expr).__name__}")
+
+
+def _matches_concat(operands: List[RBE], bag: Bag, memo) -> bool:
+    """Split ``bag`` among the operands of an unordered concatenation."""
+    if not operands:
+        return bag.is_empty
+    if len(operands) == 1:
+        return _matches(operands[0], bag, memo)
+    first, rest = operands[0], operands[1:]
+    first_alphabet = first.alphabet()
+    rest_alphabet = frozenset().union(*(op.alphabet() for op in rest)) if rest else frozenset()
+    # Symbols only the first operand knows must go entirely to it; symbols it
+    # does not know must go entirely to the rest; shared symbols are enumerated.
+    forced_first: Dict = {}
+    for symbol in bag.support():
+        if symbol in first_alphabet and symbol not in rest_alphabet:
+            forced_first[symbol] = bag.count(symbol)
+        elif symbol not in first_alphabet and symbol not in rest_alphabet:
+            return False
+    shared = sorted(
+        (s for s in bag.support() if s in first_alphabet and s in rest_alphabet),
+        key=repr,
+    )
+    first_interval = first.size_interval()
+    forced_size = sum(forced_first.values())
+    ranges = [range(bag.count(symbol) + 1) for symbol in shared]
+    for counts in itertools.product(*ranges):
+        part_size = forced_size + sum(counts)
+        if part_size not in first_interval:
+            continue
+        part = dict(forced_first)
+        for symbol, count in zip(shared, counts):
+            if count:
+                part[symbol] = count
+        first_bag = Bag(part)
+        if not _matches(first, first_bag, memo):
+            continue
+        if _matches_concat(rest, bag - first_bag, memo):
+            return True
+    return False
+
+
+def _matches_repetition(expr: Repetition, bag: Bag, memo) -> bool:
+    """Check ``bag ∈ ⋃_{i ∈ I} L(E)^i`` by peeling non-empty factors."""
+    interval = expr.interval
+    operand = expr.operand
+    if bag.is_empty:
+        # Either zero repetitions are allowed, or any number of ε factors.
+        return 0 in interval or operand.nullable()
+    if interval.upper == 0:
+        return False
+    remaining = Interval(max(interval.lower - 1, 0),
+                         None if interval.upper is None else interval.upper - 1)
+    tail = Repetition(operand, remaining)
+    for factor in _iter_subbags(bag, operand):
+        if factor.is_empty:
+            continue
+        if not _matches(operand, factor, memo):
+            continue
+        if _matches(tail, bag - factor, memo):
+            return True
+    return False
+
+
+def _iter_subbags(bag: Bag, expr: RBE) -> Iterator[Bag]:
+    """Enumerate sub-bags of ``bag`` restricted to ``expr``'s alphabet and size bound."""
+    alphabet = expr.alphabet()
+    symbols = sorted((s for s in bag.support() if s in alphabet), key=repr)
+    size_interval = expr.size_interval()
+    ranges = [range(bag.count(symbol) + 1) for symbol in symbols]
+    for counts in itertools.product(*ranges):
+        total = sum(counts)
+        if total not in size_interval:
+            continue
+        yield Bag({symbol: count for symbol, count in zip(symbols, counts) if count})
+
+
+# --------------------------------------------------------------------------- #
+# Emptiness and witnesses
+# --------------------------------------------------------------------------- #
+def rbe_nonempty(expr: RBE) -> bool:
+    """Decide whether ``L(expr)`` contains at least one bag.
+
+    Trivial for intersection-free expressions; intersections are delegated to
+    the Presburger backend (Section 6.1 encoding), which is exact.
+    """
+    if isinstance(expr, (Epsilon, SymbolAtom)):
+        return True
+    if isinstance(expr, Disjunction):
+        return any(rbe_nonempty(op) for op in expr.operands)
+    if isinstance(expr, Concatenation):
+        return all(rbe_nonempty(op) for op in expr.operands)
+    if isinstance(expr, Repetition):
+        if 0 in expr.interval:
+            return True
+        return rbe_nonempty(expr.operand)
+    if isinstance(expr, Intersection):
+        from repro.presburger.build import rbe_language_nonempty
+
+        return rbe_language_nonempty(expr)
+    raise ReproError(f"unknown RBE node {type(expr).__name__}")
+
+
+def rbe_min_bag(expr: RBE) -> Optional[Bag]:
+    """Return a bag of minimum total size in ``L(expr)``, or ``None`` when empty.
+
+    For intersection nodes a (possibly non-minimal) witness is produced via
+    the Presburger backend.
+    """
+    if isinstance(expr, Epsilon):
+        return Bag()
+    if isinstance(expr, SymbolAtom):
+        return Bag([expr.symbol])
+    if isinstance(expr, Disjunction):
+        best: Optional[Bag] = None
+        for op in expr.operands:
+            candidate = rbe_min_bag(op)
+            if candidate is None:
+                continue
+            if best is None or candidate.size < best.size:
+                best = candidate
+        return best
+    if isinstance(expr, Concatenation):
+        total = Bag()
+        for op in expr.operands:
+            candidate = rbe_min_bag(op)
+            if candidate is None:
+                return None
+            total = total + candidate
+        return total
+    if isinstance(expr, Repetition):
+        if 0 in expr.interval:
+            return Bag()
+        inner = rbe_min_bag(expr.operand)
+        if inner is None:
+            return None
+        return inner * expr.interval.lower
+    if isinstance(expr, Intersection):
+        from repro.presburger.build import rbe_language_witness
+
+        return rbe_language_witness(expr)
+    raise ReproError(f"unknown RBE node {type(expr).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# Sampling (used by workload generators)
+# --------------------------------------------------------------------------- #
+def sample_bags(
+    expr: RBE,
+    count: int = 1,
+    rng: Optional[random.Random] = None,
+    max_repeat: int = 3,
+) -> List[Bag]:
+    """Draw ``count`` random bags from ``L(expr)``.
+
+    Repetitions with an unbounded upper limit are sampled with at most
+    ``max_repeat`` iterations above the lower bound.  Intersection nodes are
+    not supported (they do not occur in schemas, only in internal encodings).
+    """
+    rng = rng or random.Random(0)
+    return [_sample(expr, rng, max_repeat) for _ in range(count)]
+
+
+def _sample(expr: RBE, rng: random.Random, max_repeat: int) -> Bag:
+    if isinstance(expr, Epsilon):
+        return Bag()
+    if isinstance(expr, SymbolAtom):
+        return Bag([expr.symbol])
+    if isinstance(expr, Disjunction):
+        viable = [op for op in expr.operands if rbe_nonempty(op)]
+        if not viable:
+            raise ReproError("cannot sample from an empty language")
+        return _sample(rng.choice(viable), rng, max_repeat)
+    if isinstance(expr, Concatenation):
+        total = Bag()
+        for op in expr.operands:
+            total = total + _sample(op, rng, max_repeat)
+        return total
+    if isinstance(expr, Repetition):
+        lower = expr.interval.lower
+        if expr.interval.upper is None:
+            upper = lower + max_repeat
+        else:
+            upper = min(expr.interval.upper, lower + max_repeat)
+        times = rng.randint(lower, upper)
+        total = Bag()
+        for _ in range(times):
+            total = total + _sample(expr.operand, rng, max_repeat)
+        return total
+    if isinstance(expr, Intersection):
+        raise ReproError("sampling from intersections is not supported")
+    raise ReproError(f"unknown RBE node {type(expr).__name__}")

@@ -1,0 +1,214 @@
+"""A small recursive-descent parser for the textual form of regular bag expressions.
+
+The accepted syntax mirrors the paper's notation as closely as plain text allows::
+
+    eps                      the empty-bag expression ε
+    a                        a plain symbol
+    a :: t                   a shape-expression symbol (label ``a``, type ``t``)
+    E1 || E2     or  E1 , E2 unordered concatenation
+    E1 | E2                  disjunction
+    E1 & E2                  intersection
+    E?   E*   E+             repetition with a basic interval
+    E^[n;m]  E[n;m]  E^[2]   repetition with an explicit interval
+    ( E )                    grouping
+
+Operator precedence, loosest to tightest: ``|`` < ``&`` < ``||``/`,` < postfix
+repetition.  Example from Figure 1 of the paper::
+
+    descr :: Literal, reportedBy :: User, reproducedBy :: Employee?, related :: Bug*
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from repro.core.intervals import Interval
+from repro.errors import RBESyntaxError
+from repro.rbe.ast import (
+    EPSILON,
+    RBE,
+    Concatenation,
+    Disjunction,
+    Intersection,
+    Repetition,
+    SymbolAtom,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<CONCAT>\|\||,)
+  | (?P<DISJ>\|)
+  | (?P<AND>&)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<DCOLON>::)
+  | (?P<INTERVAL>\[[^\]]*\])
+  | (?P<CARET>\^)
+  | (?P<OPT>\?)
+  | (?P<STAR>\*)
+  | (?P<PLUS>\+)
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_\-']*|\d+)
+  | (?P<EPS>ε)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise RBESyntaxError(f"unexpected character {text[position]!r} at offset {position}")
+        kind = match.lastgroup
+        value = match.group()
+        position = match.end()
+        if kind == "WS":
+            continue
+        tokens.append(_Token(kind, value, match.start()))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[_Token], source: str):
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    # -- token utilities ----------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise RBESyntaxError(f"unexpected end of expression in {self._source!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._advance()
+        if token.kind != kind:
+            raise RBESyntaxError(
+                f"expected {kind} but found {token.text!r} at offset {token.position}"
+            )
+        return token
+
+    # -- grammar -------------------------------------------------------------
+    def parse(self) -> RBE:
+        expr = self._parse_disjunction()
+        leftover = self._peek()
+        if leftover is not None:
+            raise RBESyntaxError(
+                f"unexpected trailing input {leftover.text!r} at offset {leftover.position}"
+            )
+        return expr
+
+    def _parse_disjunction(self) -> RBE:
+        operands = [self._parse_intersection()]
+        while self._peek() is not None and self._peek().kind == "DISJ":
+            self._advance()
+            operands.append(self._parse_intersection())
+        if len(operands) == 1:
+            return operands[0]
+        return Disjunction(tuple(operands))
+
+    def _parse_intersection(self) -> RBE:
+        operands = [self._parse_concatenation()]
+        while self._peek() is not None and self._peek().kind == "AND":
+            self._advance()
+            operands.append(self._parse_concatenation())
+        if len(operands) == 1:
+            return operands[0]
+        return Intersection(tuple(operands))
+
+    def _parse_concatenation(self) -> RBE:
+        operands = [self._parse_postfix()]
+        while self._peek() is not None and self._peek().kind == "CONCAT":
+            self._advance()
+            operands.append(self._parse_postfix())
+        if len(operands) == 1:
+            return operands[0]
+        return Concatenation(tuple(operands))
+
+    def _parse_postfix(self) -> RBE:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind == "OPT":
+                self._advance()
+                expr = Repetition(expr, Interval.of("?"))
+            elif token.kind == "STAR":
+                self._advance()
+                expr = Repetition(expr, Interval.of("*"))
+            elif token.kind == "PLUS":
+                self._advance()
+                expr = Repetition(expr, Interval.of("+"))
+            elif token.kind == "INTERVAL":
+                self._advance()
+                expr = Repetition(expr, Interval.parse(token.text))
+            elif token.kind == "CARET":
+                self._advance()
+                follow = self._advance()
+                if follow.kind == "INTERVAL":
+                    expr = Repetition(expr, Interval.parse(follow.text))
+                elif follow.kind == "NAME" and follow.text.isdigit():
+                    expr = Repetition(expr, Interval.singleton(int(follow.text)))
+                elif follow.kind in ("OPT", "STAR", "PLUS"):
+                    expr = Repetition(expr, Interval.of(follow.text))
+                else:
+                    raise RBESyntaxError(
+                        f"expected an interval after '^' at offset {follow.position}"
+                    )
+            else:
+                break
+        return expr
+
+    def _parse_primary(self) -> RBE:
+        token = self._advance()
+        if token.kind == "LPAREN":
+            expr = self._parse_disjunction()
+            self._expect("RPAREN")
+            return expr
+        if token.kind == "EPS":
+            return EPSILON
+        if token.kind == "NAME":
+            if token.text in ("eps", "epsilon", "EPS"):
+                return EPSILON
+            label = token.text
+            if self._peek() is not None and self._peek().kind == "DCOLON":
+                self._advance()
+                type_token = self._expect("NAME")
+                return SymbolAtom((label, type_token.text))
+            return SymbolAtom(label)
+        raise RBESyntaxError(
+            f"unexpected token {token.text!r} at offset {token.position}"
+        )
+
+
+def parse_rbe(text: str) -> RBE:
+    """Parse the textual form of a regular bag expression.
+
+    >>> parse_rbe("a || b?")
+    Concatenation(operands=(SymbolAtom(symbol='a'), Repetition(operand=SymbolAtom(symbol='b'), interval=Interval(0, 1))))
+    """
+    stripped = text.strip()
+    if not stripped:
+        return EPSILON
+    return _Parser(_tokenize(stripped), text).parse()

@@ -1,0 +1,16 @@
+"""A minimal RDF substrate: terms, triples, an N-Triples-style parser, and conversion to simple graphs."""
+
+from repro.rdf.model import IRI, Literal, BlankNode, Triple, RDFGraph
+from repro.rdf.parser import parse_ntriples, parse_turtle_lite
+from repro.rdf.convert import rdf_to_simple_graph
+
+__all__ = [
+    "IRI",
+    "Literal",
+    "BlankNode",
+    "Triple",
+    "RDFGraph",
+    "parse_ntriples",
+    "parse_turtle_lite",
+    "rdf_to_simple_graph",
+]

@@ -1,0 +1,82 @@
+"""Conversion of RDF graphs into the simple-graph abstraction of the paper.
+
+Shape expression schemas constrain only the outbound neighborhood of nodes, so
+an RDF graph is abstracted as a simple graph over predicate labels
+(Definition 2.1).  Node-level constraints — for example that a value must be a
+literal of a given datatype — are "simulated" exactly as the paper suggests:
+each literal node receives an extra outgoing edge whose label names its kind
+(``Literal`` by default, or its datatype), so a schema can require
+``descr :: Literal`` by requiring the target to have that marker edge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.graphs.graph import Graph
+from repro.rdf.model import IRI, BlankNode, Literal, RDFGraph, Term
+
+#: Label of the marker edge added below literal nodes.
+LITERAL_MARKER_LABEL = "isLiteral"
+#: Node that all literal marker edges point to.
+LITERAL_MARKER_NODE = "__literal__"
+
+
+def default_predicate_name(predicate: IRI) -> str:
+    """Shorten a predicate IRI to its fragment or last path segment."""
+    value = predicate.value
+    for separator in ("#", "/"):
+        if separator in value:
+            tail = value.rsplit(separator, 1)[1]
+            if tail:
+                return tail
+    return value
+
+
+def rdf_to_simple_graph(
+    rdf: RDFGraph,
+    predicate_name: Optional[Callable[[IRI], str]] = None,
+    literal_marker: bool = True,
+    name: str = "",
+) -> Graph:
+    """Abstract an RDF graph into a simple graph.
+
+    * Subjects, IRI objects and blank nodes become graph nodes identified by a
+      readable string form.
+    * Each literal becomes its own node (one per occurrence position is not
+      needed: literals with equal value/datatype/language collapse, which is the
+      RDF semantics of literal terms).
+    * With ``literal_marker=True`` every literal node receives an extra outgoing
+      ``isLiteral`` edge to a shared marker node — the simulation the paper
+      describes for node-kind constraints.
+    """
+    naming = predicate_name or default_predicate_name
+    graph = Graph(name or rdf.name)
+    node_ids: Dict[Term, Hashable] = {}
+
+    def node_id(term: Term) -> Hashable:
+        if term in node_ids:
+            return node_ids[term]
+        if isinstance(term, IRI):
+            identifier = term.value
+        elif isinstance(term, BlankNode):
+            identifier = f"_:{term.label}"
+        else:
+            identifier = f"literal:{term.lexical}|{term.datatype or ''}|{term.language or ''}"
+        node_ids[term] = identifier
+        graph.add_node(identifier)
+        return identifier
+
+    literal_nodes = set()
+    for triple in rdf:
+        subject_id = node_id(triple.subject)
+        object_id = node_id(triple.object)
+        graph.add_edge(subject_id, naming(triple.predicate), object_id)
+        if isinstance(triple.object, Literal):
+            literal_nodes.add(object_id)
+
+    if literal_marker and literal_nodes:
+        graph.add_node(LITERAL_MARKER_NODE)
+        for literal_id in sorted(literal_nodes):
+            graph.add_edge(literal_id, LITERAL_MARKER_LABEL, LITERAL_MARKER_NODE)
+    return graph

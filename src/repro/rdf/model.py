@@ -1,0 +1,136 @@
+"""A minimal RDF data model: IRIs, literals, blank nodes, triples, graphs.
+
+The containment machinery never depends on RDF specifics — the paper abstracts
+RDF graphs as *simple graphs* — but a practical library must ingest actual RDF
+data for validation.  This module provides just enough of RDF to do so without
+external dependencies: the three kinds of terms, triples, and a triple set with
+convenience accessors.  Conversion to the graph model lives in
+:mod:`repro.rdf.convert`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+
+@dataclass(frozen=True)
+class IRI:
+    """An IRI reference (kept as an opaque string; no normalisation is applied)."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f"<{self.value}>"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An RDF literal with optional datatype IRI and language tag."""
+
+    lexical: str
+    datatype: Optional[str] = None
+    language: Optional[str] = None
+
+    def __str__(self) -> str:
+        rendered = f'"{self.lexical}"'
+        if self.language:
+            rendered += f"@{self.language}"
+        elif self.datatype:
+            rendered += f"^^<{self.datatype}>"
+        return rendered
+
+
+@dataclass(frozen=True)
+class BlankNode:
+    """A blank node, identified by its local label."""
+
+    label: str
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+
+Term = Union[IRI, Literal, BlankNode]
+SubjectTerm = Union[IRI, BlankNode]
+
+
+@dataclass(frozen=True)
+class Triple:
+    """A single RDF triple ``(subject, predicate, object)``."""
+
+    subject: SubjectTerm
+    predicate: IRI
+    object: Term
+
+    def __str__(self) -> str:
+        return f"{self.subject} {self.predicate} {self.object} ."
+
+
+class RDFGraph:
+    """A set of RDF triples with simple indexing by subject and predicate."""
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None, name: str = ""):
+        self.name = name
+        self._triples: Set[Triple] = set()
+        self._by_subject: Dict[SubjectTerm, List[Triple]] = {}
+        if triples:
+            for triple in triples:
+                self.add(triple)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(self, triple: Triple) -> None:
+        """Add a triple (sets have no duplicates, so re-adding is a no-op)."""
+        if triple in self._triples:
+            return
+        self._triples.add(triple)
+        self._by_subject.setdefault(triple.subject, []).append(triple)
+
+    def add_triple(self, subject: SubjectTerm, predicate: IRI, obj: Term) -> None:
+        self.add(Triple(subject, predicate, obj))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    @property
+    def triples(self) -> Set[Triple]:
+        return set(self._triples)
+
+    def subjects(self) -> Set[SubjectTerm]:
+        return set(self._by_subject)
+
+    def nodes(self) -> Set[Term]:
+        """All terms appearing in subject or object position."""
+        terms: Set[Term] = set()
+        for triple in self._triples:
+            terms.add(triple.subject)
+            terms.add(triple.object)
+        return terms
+
+    def predicates(self) -> Set[IRI]:
+        return {triple.predicate for triple in self._triples}
+
+    def outgoing(self, subject: SubjectTerm) -> List[Triple]:
+        """All triples with the given subject."""
+        return list(self._by_subject.get(subject, ()))
+
+    def objects(self, subject: SubjectTerm, predicate: IRI) -> List[Term]:
+        return [
+            triple.object
+            for triple in self._by_subject.get(subject, ())
+            if triple.predicate == predicate
+        ]
+
+    def __str__(self) -> str:
+        return "\n".join(str(triple) for triple in sorted(self._triples, key=str))

@@ -1,0 +1,220 @@
+"""Parsers for a practical subset of N-Triples and a light Turtle dialect.
+
+Two entry points are provided:
+
+* :func:`parse_ntriples` — one triple per line, terms written as ``<iri>``,
+  ``_:blank``, or ``"literal"`` (optionally ``@lang`` / ``^^<datatype>``),
+  terminated by ``.``.  Comment lines start with ``#``.
+* :func:`parse_turtle_lite` — the same term syntax plus ``@prefix`` declarations,
+  prefixed names (``ex:bug1``), the ``a`` keyword for ``rdf:type``, and the
+  ``;`` / ``,`` separators for repeated subjects and predicates.  This is not a
+  full Turtle parser, but it covers the shapes of data the examples and tests
+  use, keeping the library free of external dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import RDFSyntaxError
+from repro.rdf.model import IRI, BlankNode, Literal, RDFGraph, Term, Triple
+
+RDF_TYPE = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+_TERM_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<IRI><[^>]*>)
+  | (?P<BLANK>_:[A-Za-z0-9_\-]+)
+  | (?P<LITERAL>"(?:[^"\\]|\\.)*"(?:@[A-Za-z\-]+|\^\^<[^>]*>)?)
+  | (?P<PNAME>[A-Za-z_][A-Za-z0-9_\-]*:[A-Za-z0-9_\-.]*)
+  | (?P<KEYWORD>@prefix|a\b)
+  | (?P<PUNCT>[.;,])
+    """,
+    re.VERBOSE,
+)
+
+
+def _unescape(text: str) -> str:
+    return (
+        text.replace("\\\\", "\\")
+        .replace('\\"', '"')
+        .replace("\\n", "\n")
+        .replace("\\t", "\t")
+    )
+
+
+def _parse_literal(token: str) -> Literal:
+    match = re.match(r'^"((?:[^"\\]|\\.)*)"(?:@([A-Za-z\-]+)|\^\^<([^>]*)>)?$', token)
+    if match is None:
+        raise RDFSyntaxError(f"malformed literal {token!r}")
+    lexical, language, datatype = match.groups()
+    return Literal(_unescape(lexical), datatype=datatype, language=language)
+
+
+def parse_ntriples(text: str, name: str = "") -> RDFGraph:
+    """Parse N-Triples-style input (one ``subject predicate object .`` per line)."""
+    graph = RDFGraph(name=name)
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = _tokenize(line, line_number)
+        terms = [token for token in tokens if token[0] in ("IRI", "BLANK", "LITERAL", "PNAME")]
+        puncts = [token for token in tokens if token[0] == "PUNCT"]
+        if len(terms) != 3 or not puncts or puncts[-1][1] != ".":
+            raise RDFSyntaxError(f"line {line_number}: expected 'subject predicate object .'")
+        subject = _term_from_token(terms[0], {}, line_number, allow_literal=False)
+        predicate = _term_from_token(terms[1], {}, line_number, allow_literal=False)
+        if not isinstance(predicate, IRI):
+            raise RDFSyntaxError(f"line {line_number}: predicate must be an IRI")
+        obj = _term_from_token(terms[2], {}, line_number, allow_literal=True)
+        graph.add(Triple(subject, predicate, obj))
+    return graph
+
+
+def _tokenize(line: str, line_number: int) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(line):
+        match = _TERM_RE.match(line, position)
+        if match is None:
+            raise RDFSyntaxError(
+                f"line {line_number}: unexpected character {line[position]!r} at column {position}"
+            )
+        kind = match.lastgroup
+        if kind != "WS":
+            tokens.append((kind, match.group()))
+        position = match.end()
+    return tokens
+
+
+def _term_from_token(
+    token: Tuple[str, str],
+    prefixes: Dict[str, str],
+    line_number: int,
+    allow_literal: bool,
+) -> Term:
+    kind, text = token
+    if kind == "IRI":
+        return IRI(text[1:-1])
+    if kind == "BLANK":
+        return BlankNode(text[2:])
+    if kind == "LITERAL":
+        if not allow_literal:
+            raise RDFSyntaxError(f"line {line_number}: literal not allowed here")
+        return _parse_literal(text)
+    if kind == "PNAME":
+        prefix, _, local = text.partition(":")
+        if prefix not in prefixes:
+            raise RDFSyntaxError(f"line {line_number}: unknown prefix {prefix!r}")
+        return IRI(prefixes[prefix] + local)
+    raise RDFSyntaxError(f"line {line_number}: unexpected token {text!r}")
+
+
+def parse_turtle_lite(text: str, name: str = "") -> RDFGraph:
+    """Parse the light Turtle dialect described in the module docstring."""
+    graph = RDFGraph(name=name)
+    prefixes: Dict[str, str] = {}
+    # Strip comments, keep line structure for error messages.
+    statements = _split_statements(text)
+    for line_number, statement in statements:
+        tokens = _tokenize(statement, line_number)
+        if not tokens:
+            continue
+        if tokens[0] == ("KEYWORD", "@prefix"):
+            _handle_prefix(tokens, prefixes, line_number)
+            continue
+        _handle_statement(tokens, graph, prefixes, line_number)
+    return graph
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a trailing ``#`` comment, ignoring ``#`` inside IRIs and literals."""
+    inside_iri = False
+    inside_string = False
+    for index, character in enumerate(line):
+        if character == "<" and not inside_string:
+            inside_iri = True
+        elif character == ">" and not inside_string:
+            inside_iri = False
+        elif character == '"' and not inside_iri and (index == 0 or line[index - 1] != "\\"):
+            inside_string = not inside_string
+        elif character == "#" and not inside_iri and not inside_string:
+            return line[:index]
+    return line
+
+
+def _split_statements(text: str) -> List[Tuple[int, str]]:
+    """Split input into '.'-terminated statements while tracking line numbers."""
+    statements: List[Tuple[int, str]] = []
+    current: List[str] = []
+    start_line = 1
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).rstrip()
+        if not line.strip():
+            continue
+        if not current:
+            start_line = line_number
+        current.append(line)
+        if line.rstrip().endswith("."):
+            statements.append((start_line, " ".join(current)))
+            current = []
+    if current:
+        statements.append((start_line, " ".join(current)))
+    return statements
+
+
+def _handle_prefix(tokens, prefixes: Dict[str, str], line_number: int) -> None:
+    if len(tokens) < 3 or tokens[1][0] != "PNAME" and tokens[1][0] != "IRI":
+        raise RDFSyntaxError(f"line {line_number}: malformed @prefix declaration")
+    # tokens: @prefix ex: <http://...> .
+    pname = tokens[1]
+    iri = tokens[2]
+    if pname[0] != "PNAME" or iri[0] != "IRI":
+        raise RDFSyntaxError(f"line {line_number}: malformed @prefix declaration")
+    prefix = pname[1].rstrip(":").split(":")[0]
+    prefixes[prefix] = iri[1][1:-1]
+
+
+def _handle_statement(tokens, graph: RDFGraph, prefixes, line_number: int) -> None:
+    index = 0
+
+    def next_term(allow_literal: bool) -> Term:
+        nonlocal index
+        if index >= len(tokens):
+            raise RDFSyntaxError(f"line {line_number}: unexpected end of statement")
+        kind, text = tokens[index]
+        index += 1
+        if kind == "KEYWORD" and text == "a":
+            return IRI(RDF_TYPE)
+        return _term_from_token((kind, text), prefixes, line_number, allow_literal)
+
+    subject = next_term(allow_literal=False)
+    while True:
+        predicate = next_term(allow_literal=False)
+        if not isinstance(predicate, IRI):
+            raise RDFSyntaxError(f"line {line_number}: predicate must be an IRI")
+        while True:
+            obj = next_term(allow_literal=True)
+            graph.add(Triple(subject, predicate, obj))
+            if index < len(tokens) and tokens[index] == ("PUNCT", ","):
+                index += 1
+                continue
+            break
+        if index < len(tokens) and tokens[index] == ("PUNCT", ";"):
+            index += 1
+            # allow trailing ';' before '.'
+            if index < len(tokens) and tokens[index] == ("PUNCT", "."):
+                index += 1
+                return
+            continue
+        if index < len(tokens) and tokens[index] == ("PUNCT", "."):
+            index += 1
+            if index != len(tokens):
+                raise RDFSyntaxError(f"line {line_number}: trailing tokens after '.'")
+            return
+        if index >= len(tokens):
+            return
+        raise RDFSyntaxError(f"line {line_number}: expected ';', ',' or '.'")

@@ -1,0 +1,45 @@
+"""The paper's hardness reductions, implemented as executable constructions."""
+
+from repro.reductions.logic import (
+    CNFFormula,
+    DNFFormula,
+    Literal,
+    random_cnf,
+    random_dnf,
+    brute_force_satisfiable,
+    brute_force_tautology,
+)
+from repro.reductions.sat import (
+    sat_reduction_graphs,
+    solve_sat_via_embedding,
+    normalize_cnf_for_reduction,
+)
+from repro.reductions.dnf import (
+    dnf_reduction_schemas,
+    is_tautology_via_containment,
+    decide_dnf_containment_exactly,
+    valuation_graph,
+)
+from repro.reductions.expfamily import (
+    exponential_family,
+    exponential_counterexample,
+)
+
+__all__ = [
+    "CNFFormula",
+    "DNFFormula",
+    "Literal",
+    "random_cnf",
+    "random_dnf",
+    "brute_force_satisfiable",
+    "brute_force_tautology",
+    "sat_reduction_graphs",
+    "solve_sat_via_embedding",
+    "normalize_cnf_for_reduction",
+    "dnf_reduction_schemas",
+    "is_tautology_via_containment",
+    "decide_dnf_containment_exactly",
+    "valuation_graph",
+    "exponential_family",
+    "exponential_counterexample",
+]

@@ -1,0 +1,130 @@
+"""The DNF-tautology reduction of Theorem 4.5: containment for DetShEx0 is coNP-hard.
+
+Given a DNF formula ``ϕ`` over variables ``x1 .. xn`` with terms ``d1 .. dm``,
+two deterministic ShEx0 schemas ``H`` and ``K`` are built (Figure 6) such that
+``L(H) ⊆ L(K)`` iff ``ϕ`` is a tautology:
+
+* ``H`` describes valuation graphs: a root with one ``xi``-edge per variable to
+  a value node that may carry a ``t``-edge, an ``f``-edge, both, or neither.
+* ``K`` covers every such graph except the ones encoding a *proper* valuation
+  that falsifies every term: root types ``r0_i`` / ``r1_i`` cover the improper
+  cases (variable ``i`` with no value / both values), and one root type per
+  term covers the valuations satisfying that term.
+
+Both schemas are in DetShEx0 but (intentionally) not in DetShEx0-: the value
+types use ``?`` yet are referenced only through ``1``-edges, which is exactly
+the feature the tractable class forbids.
+
+Because the library has no general polynomial decision procedure for DetShEx0
+(none can exist unless P = coNP), the module also provides
+:func:`decide_dnf_containment_exactly`, which decides containment for *this
+family* exactly by enumerating the ``4^n`` canonical valuation graphs — the
+proof of Theorem 4.5 shows these are the only counter-example candidates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.reductions.logic import DNFFormula
+from repro.schema.shex import ShExSchema
+from repro.schema.validation import satisfies
+
+
+def dnf_reduction_schemas(dnf: DNFFormula) -> Tuple[ShExSchema, ShExSchema]:
+    """Build the schema pair ``(H, K)`` of Theorem 4.5 for a DNF formula."""
+    variables = dnf.variables()
+
+    h_rules: Dict[str, str] = {
+        "r": " || ".join(f"{variable} :: v" for variable in variables) or "eps",
+        "v": "t :: o? || f :: o?",
+        "o": "eps",
+    }
+    schema_h = ShExSchema(h_rules, name="dnf-H")
+
+    k_rules: Dict[str, str] = {
+        "o": "eps",
+        "vany": "t :: o? || f :: o?",
+        "vnone": "eps",
+        "vboth": "t :: o || f :: o",
+        "vtrue": "t :: o || f :: o?",
+        "vfalse": "f :: o || t :: o?",
+    }
+    for index, variable in enumerate(variables):
+        none_atoms = [
+            f"{other} :: {'vnone' if other == variable else 'vany'}" for other in variables
+        ]
+        both_atoms = [
+            f"{other} :: {'vboth' if other == variable else 'vany'}" for other in variables
+        ]
+        k_rules[f"r0_{index}"] = " || ".join(none_atoms)
+        k_rules[f"r1_{index}"] = " || ".join(both_atoms)
+    for term_index, term in enumerate(dnf.clauses):
+        required: Dict[str, str] = {}
+        for literal in term:
+            required[literal.variable] = "vtrue" if literal.positive else "vfalse"
+        atoms = [
+            f"{variable} :: {required.get(variable, 'vany')}" for variable in variables
+        ]
+        k_rules[f"rd_{term_index}"] = " || ".join(atoms)
+    schema_k = ShExSchema(k_rules, name="dnf-K")
+    return schema_h, schema_k
+
+
+def valuation_graph(
+    variables: Iterable[str],
+    valuation: Dict[str, Optional[bool]],
+) -> Graph:
+    """The canonical instance of ``L(H)`` encoding a (possibly improper) valuation.
+
+    ``valuation[x]`` may be ``True`` (only a ``t``-edge), ``False`` (only an
+    ``f``-edge), ``"both"`` (both edges) or ``None`` (no edge); proper
+    valuations use only ``True`` / ``False``.
+    """
+    graph = Graph("valuation")
+    graph.add_node("leaf")
+    graph.add_node("root")
+    for variable in variables:
+        value_node = f"value_{variable}"
+        graph.add_edge("root", variable, value_node)
+        value = valuation.get(variable)
+        if value is True or value == "both":
+            graph.add_edge(value_node, "t", "leaf")
+        if value is False or value == "both":
+            graph.add_edge(value_node, "f", "leaf")
+    return graph
+
+
+def decide_dnf_containment_exactly(
+    schema_h: ShExSchema,
+    schema_k: ShExSchema,
+    dnf: DNFFormula,
+) -> Tuple[bool, Optional[Graph]]:
+    """Decide ``H ⊆ K`` for the Theorem 4.5 family by exhausting valuation graphs.
+
+    The proof of the theorem shows that a counter-example exists iff some
+    *proper* valuation graph is one, so enumerating the ``2^n`` proper
+    valuations (plus verifying them) decides containment exactly for this
+    family.  Returns ``(contained, counterexample_or_None)``.
+    """
+    variables = dnf.variables()
+    for values in itertools.product((False, True), repeat=len(variables)):
+        valuation = dict(zip(variables, values))
+        candidate = valuation_graph(variables, valuation)
+        if satisfies(candidate, schema_h) and not satisfies(candidate, schema_k):
+            return False, candidate
+    return True, None
+
+
+def is_tautology_via_containment(dnf: DNFFormula) -> bool:
+    """Decide tautology of a DNF formula through the containment reduction.
+
+    Builds the schema pair of Theorem 4.5 and decides the containment exactly
+    (via :func:`decide_dnf_containment_exactly`); by the theorem the answer
+    equals tautology of the input formula.
+    """
+    schema_h, schema_k = dnf_reduction_schemas(dnf)
+    contained, _ = decide_dnf_containment_exactly(schema_h, schema_k, dnf)
+    return contained

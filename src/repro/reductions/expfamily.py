@@ -1,0 +1,140 @@
+"""The exponential counter-example family of Lemma 5.1.
+
+For every ``n`` the lemma exhibits two shape graphs (ShEx0 schemas) ``H`` and
+``K`` with ``H ⊄ K`` whose *smallest* counter-example has exponentially many
+nodes: the counter-example must be a full binary tree of depth ``n`` whose
+``2^n`` leaves carry pairwise-distinct subsets of ``{a1, ..., an}``.
+
+The schemas (adapted verbatim from the proof, with the convention that an atom
+with interval ``[0;0]`` is simply omitted):
+
+* tree types ``t(i) → L::t(i+1) || R::t(i+1)`` for ``i ≤ n`` and leaves
+  ``t(n+1) → a1::o? || ... || an::o?``;
+* usage-tracking types ``s(j)_{i,M,d}`` recording whether symbol ``a_i`` is
+  used (``M=1``) or missing (``M=0``) in a leaf reached through the ``d``
+  subtree;
+* error types ``p(j)_{i,d}`` that type the root of any tree in which some node
+  at depth ``i`` has a leaf missing ``a_i`` in its left subtree or using
+  ``a_i`` in its right subtree.
+
+``H`` consists of all rules, ``K`` of all rules except the one defining
+``t(1)``; thus a graph is a counter-example exactly when some node has only the
+type ``t(1)`` — which the ``p``-types prevent unless the tree encodes all
+``2^n`` distinct subsets.  :func:`exponential_counterexample` constructs that
+canonical counter-example explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graphs.graph import Graph
+from repro.schema.shex import ShExSchema
+
+
+def _leaf_rule(n: int, fixed_index: int = 0, fixed_used: bool = True) -> str:
+    """The rule body of a leaf type; ``fixed_index`` > 0 pins symbol ``a_i`` on/off."""
+    atoms: List[str] = []
+    for i in range(1, n + 1):
+        if i == fixed_index:
+            if fixed_used:
+                atoms.append(f"a{i} :: o")
+            # a missing (M = 0) symbol contributes no atom at all
+        else:
+            atoms.append(f"a{i} :: o?")
+    return " || ".join(atoms) if atoms else "eps"
+
+
+def exponential_family(n: int) -> Tuple[ShExSchema, ShExSchema]:
+    """Build the schema pair ``(H_n, K_n)`` of Lemma 5.1.
+
+    ``H_n ⊄ K_n`` for every ``n ≥ 1`` and the minimal counter-example has
+    ``2^{n+1}`` nodes (the full binary tree of depth ``n`` with pairwise
+    distinct leaf subsets, plus the shared leaf-target node).
+    """
+    if n < 1:
+        raise ValueError("the family is defined for n >= 1")
+    rules: Dict[str, str] = {"o": "eps"}
+
+    # Tree skeleton types t(1) .. t(n+1).
+    for level in range(1, n + 1):
+        rules[f"t{level}"] = f"L :: t{level + 1} || R :: t{level + 1}"
+    rules[f"t{n + 1}"] = _leaf_rule(n)
+
+    # Usage-tracking leaf types s(n+1)_{i,M,d}.
+    for i in range(1, n + 1):
+        for used in (0, 1):
+            for direction in ("L", "R"):
+                rules[f"s{n + 1}_{i}_{used}_{direction}"] = _leaf_rule(
+                    n, fixed_index=i, fixed_used=bool(used)
+                )
+
+    # Usage propagation types s(j)_{i,M,d} for j = i+1 .. n.
+    for i in range(1, n + 1):
+        for level in range(i + 1, n + 1):
+            for used in (0, 1):
+                rules[f"s{level}_{i}_{used}_L"] = (
+                    f"L :: s{level + 1}_{i}_{used}_L? || "
+                    f"L :: s{level + 1}_{i}_{used}_R? || "
+                    f"R :: t{level + 1}"
+                )
+                rules[f"s{level}_{i}_{used}_R"] = (
+                    f"L :: t{level + 1} || "
+                    f"R :: s{level + 1}_{i}_{used}_L? || "
+                    f"R :: s{level + 1}_{i}_{used}_R?"
+                )
+
+    # Error types: p(i)_{i,d} detect the violation at depth i ...
+    for i in range(1, n + 1):
+        rules[f"p{i}_{i}_L"] = (
+            f"L :: s{i + 1}_{i}_0_L? || L :: s{i + 1}_{i}_0_R? || R :: t{i + 1}"
+        )
+        rules[f"p{i}_{i}_R"] = (
+            f"L :: t{i + 1} || R :: s{i + 1}_{i}_1_L? || R :: s{i + 1}_{i}_1_R?"
+        )
+        # ... and p(j)_{i,d} propagate it up to the root for j = 1 .. i-1.
+        for level in range(1, i):
+            rules[f"p{level}_{i}_L"] = (
+                f"L :: p{level + 1}_{i}_L? || L :: p{level + 1}_{i}_R? || R :: t{level + 1}"
+            )
+            rules[f"p{level}_{i}_R"] = (
+                f"L :: t{level + 1} || R :: p{level + 1}_{i}_L? || R :: p{level + 1}_{i}_R?"
+            )
+
+    schema_h = ShExSchema(rules, name=f"exp-family-H-{n}")
+    k_rules = dict(rules)
+    del k_rules["t1"]
+    schema_k = ShExSchema(k_rules, name=f"exp-family-K-{n}", strict=False)
+    return schema_h, schema_k
+
+
+def exponential_counterexample(n: int) -> Graph:
+    """The canonical counter-example for ``(H_n, K_n)``: a full binary tree.
+
+    The tree has depth ``n``; the leaf reached by the left/right choices
+    ``b_1 .. b_n`` carries exactly the symbols ``{a_i | b_i = L}`` — so all
+    ``2^n`` leaves carry pairwise distinct subsets of ``{a_1, ..., a_n}``.
+    Its root satisfies ``t(1)`` in ``H_n`` but no type of ``K_n``.
+    """
+    if n < 1:
+        raise ValueError("the family is defined for n >= 1")
+    graph = Graph(f"exp-counterexample-{n}")
+    graph.add_node("o")
+
+    def build(path: Tuple[str, ...]) -> str:
+        node = "root" if not path else "node_" + "".join(path)
+        graph.add_node(node)
+        depth = len(path)
+        if depth == n:
+            for index, direction in enumerate(path, start=1):
+                if direction == "L":
+                    graph.add_edge(node, f"a{index}", "o")
+            return node
+        left = build(path + ("L",))
+        right = build(path + ("R",))
+        graph.add_edge(node, "L", left)
+        graph.add_edge(node, "R", right)
+        return node
+
+    build(())
+    return graph

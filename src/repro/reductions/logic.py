@@ -1,0 +1,153 @@
+"""Propositional formulas (CNF and DNF) with brute-force reference procedures.
+
+The hardness constructions of the paper reduce from SAT of CNF formulas
+(Theorem 3.5) and from tautology of DNF formulas (Theorem 4.5).  This module
+provides the formula data types, random instance generators, and exponential
+brute-force deciders used to cross-validate the reductions in the tests and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReductionError
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A propositional literal: a variable name and a polarity."""
+
+    variable: str
+    positive: bool = True
+
+    def negate(self) -> "Literal":
+        return Literal(self.variable, not self.positive)
+
+    def satisfied_by(self, valuation: Dict[str, bool]) -> bool:
+        value = valuation.get(self.variable, False)
+        return value if self.positive else not value
+
+    def __str__(self) -> str:
+        return self.variable if self.positive else f"~{self.variable}"
+
+
+Clause = Tuple[Literal, ...]
+
+
+class _FormulaBase:
+    """Shared plumbing for CNF and DNF formulas (lists of literal tuples)."""
+
+    def __init__(self, clauses: Iterable[Sequence[Literal]]):
+        self.clauses: List[Clause] = [tuple(clause) for clause in clauses]
+        if any(len(clause) == 0 for clause in self.clauses):
+            raise ReductionError("empty clauses/terms are not allowed")
+
+    def variables(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for clause in self.clauses:
+            for literal in clause:
+                seen.setdefault(literal.variable, None)
+        return list(seen)
+
+    def occurrence_counts(self) -> Dict[Tuple[str, bool], int]:
+        """How many times each (variable, polarity) pair occurs."""
+        counts: Dict[Tuple[str, bool], int] = {}
+        for clause in self.clauses:
+            for literal in clause:
+                key = (literal.variable, literal.positive)
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+
+class CNFFormula(_FormulaBase):
+    """A conjunction of disjunctive clauses."""
+
+    def satisfied_by(self, valuation: Dict[str, bool]) -> bool:
+        return all(
+            any(literal.satisfied_by(valuation) for literal in clause)
+            for clause in self.clauses
+        )
+
+    def __str__(self) -> str:
+        return " & ".join(
+            "(" + " | ".join(str(literal) for literal in clause) + ")"
+            for clause in self.clauses
+        )
+
+
+class DNFFormula(_FormulaBase):
+    """A disjunction of conjunctive terms."""
+
+    def satisfied_by(self, valuation: Dict[str, bool]) -> bool:
+        return any(
+            all(literal.satisfied_by(valuation) for literal in term)
+            for term in self.clauses
+        )
+
+    def __str__(self) -> str:
+        return " | ".join(
+            "(" + " & ".join(str(literal) for literal in term) + ")"
+            for term in self.clauses
+        )
+
+
+def _all_valuations(variables: Sequence[str]) -> Iterable[Dict[str, bool]]:
+    for values in itertools.product((False, True), repeat=len(variables)):
+        yield dict(zip(variables, values))
+
+
+def brute_force_satisfiable(cnf: CNFFormula) -> Optional[Dict[str, bool]]:
+    """A satisfying valuation of the CNF formula, or ``None`` (exponential search)."""
+    variables = cnf.variables()
+    for valuation in _all_valuations(variables):
+        if cnf.satisfied_by(valuation):
+            return valuation
+    return None
+
+
+def brute_force_tautology(dnf: DNFFormula) -> Optional[Dict[str, bool]]:
+    """``None`` when the DNF formula is a tautology, otherwise a falsifying valuation."""
+    variables = dnf.variables()
+    for valuation in _all_valuations(variables):
+        if not dnf.satisfied_by(valuation):
+            return valuation
+    return None
+
+
+def random_cnf(
+    num_variables: int,
+    num_clauses: int,
+    clause_width: int = 3,
+    rng: Optional[random.Random] = None,
+) -> CNFFormula:
+    """A random CNF formula (variables named ``x1 .. xn``)."""
+    rng = rng or random.Random(0)
+    variables = [f"x{i + 1}" for i in range(num_variables)]
+    clauses = []
+    for _ in range(num_clauses):
+        chosen = rng.sample(variables, k=min(clause_width, num_variables))
+        clauses.append(tuple(Literal(v, rng.random() < 0.5) for v in chosen))
+    return CNFFormula(clauses)
+
+
+def random_dnf(
+    num_variables: int,
+    num_terms: int,
+    term_width: int = 2,
+    rng: Optional[random.Random] = None,
+) -> DNFFormula:
+    """A random DNF formula (variables named ``x1 .. xn``)."""
+    rng = rng or random.Random(0)
+    variables = [f"x{i + 1}" for i in range(num_variables)]
+    terms = []
+    for _ in range(num_terms):
+        chosen = rng.sample(variables, k=min(term_width, num_variables))
+        terms.append(tuple(Literal(v, rng.random() < 0.5) for v in chosen))
+    return DNFFormula(terms)

@@ -1,0 +1,168 @@
+"""The SAT reduction of Theorem 3.5: embedding with arbitrary intervals is NP-hard.
+
+Given a CNF formula ``ϕ``, the paper builds two graphs ``H`` and ``K`` with
+arbitrary occurrence intervals such that ``ϕ`` is satisfiable iff ``H`` embeds
+in ``K``.  The construction assumes every variable has exactly ``k`` positive
+and ``k`` negative occurrences (and at least one of each); arbitrary CNF inputs
+are first normalised by :func:`normalize_cnf_for_reduction`, which pads each
+variable with one tautological clause containing the missing positive and
+negative copies — padding never changes satisfiability.
+
+The reduction (with occurrence ``j`` of a variable meaning its ``j``-th
+*positive* or ``j``-th *negative* occurrence):
+
+* ``H`` has a root ``r1`` with, per variable ``x_i``: an ``a``-edge of interval
+  ``[k;k]`` to a gadget type ``w_i``, and unit ``a``-edges to occurrence types
+  ``x_{i,j}`` and ``¬x_{i,j}`` for ``j = 1..k``.  ``w_i`` has a ``v_i``-edge to
+  ``o``; each occurrence type has an edge labelled by its own occurrence name.
+* ``K`` has a root ``r2`` with ``a``-edges of interval ``[k;k]`` to ``x_i`` and
+  ``¬x_i`` (one per polarity per variable) and ``a``-edges of interval ``+`` to
+  one clause type per clause.  ``x_i`` / ``¬x_i`` accept the ``v_i`` marker and
+  any of the matching occurrence labels, all optional; a clause type accepts
+  the occurrence labels of its literals, all optional.
+
+``ϕ`` is satisfiable iff ``r1`` is simulated by ``r2`` iff ``H ≼ K``
+(Theorem 3.5); the embedding check must therefore use the NP backtracking
+witness engine, which is exactly the hardness message of the theorem.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.intervals import Interval
+from repro.embedding.simulation import embeds, maximal_simulation
+from repro.errors import ReductionError
+from repro.graphs.graph import Graph
+from repro.reductions.logic import CNFFormula, Literal
+
+
+def normalize_cnf_for_reduction(cnf: CNFFormula) -> Tuple[CNFFormula, int]:
+    """Pad a CNF formula so every variable has exactly ``k`` positive and ``k`` negative occurrences.
+
+    One tautological clause (containing both polarities of the variable) is
+    appended per variable needing padding; the returned ``k`` is the common
+    occurrence count.  Padding preserves satisfiability because tautological
+    clauses are satisfied by every valuation.
+    """
+    variables = cnf.variables()
+    if not variables:
+        raise ReductionError("the CNF formula must mention at least one variable")
+    counts = cnf.occurrence_counts()
+    highest = max(
+        max(counts.get((v, True), 0), counts.get((v, False), 0)) for v in variables
+    )
+    k = highest + 1  # headroom guarantees every padding clause has both polarities
+    clauses = list(cnf.clauses)
+    for variable in variables:
+        missing_positive = k - counts.get((variable, True), 0)
+        missing_negative = k - counts.get((variable, False), 0)
+        padding = tuple(
+            [Literal(variable, True)] * missing_positive
+            + [Literal(variable, False)] * missing_negative
+        )
+        clauses.append(padding)
+    return CNFFormula(clauses), k
+
+
+def _occurrence_labels(cnf: CNFFormula) -> Dict[Tuple[int, int], str]:
+    """Assign each literal occurrence its label ``x_{i,j}`` / ``not_x_{i,j}``.
+
+    Returns a map from (clause index, literal index) to the occurrence label,
+    where ``j`` counts positive and negative occurrences of a variable
+    separately (1-based), matching the convention of the construction.
+    """
+    variables = cnf.variables()
+    positive_seen = {v: 0 for v in variables}
+    negative_seen = {v: 0 for v in variables}
+    labels: Dict[Tuple[int, int], str] = {}
+    for clause_index, clause in enumerate(cnf.clauses):
+        for literal_index, literal in enumerate(clause):
+            if literal.positive:
+                positive_seen[literal.variable] += 1
+                j = positive_seen[literal.variable]
+                labels[(clause_index, literal_index)] = f"{literal.variable}_{j}"
+            else:
+                negative_seen[literal.variable] += 1
+                j = negative_seen[literal.variable]
+                labels[(clause_index, literal_index)] = f"not_{literal.variable}_{j}"
+    return labels
+
+
+def sat_reduction_graphs(cnf: CNFFormula) -> Tuple[Graph, Graph, CNFFormula, int]:
+    """Build the graphs ``(H, K)`` of Theorem 3.5 for a CNF formula.
+
+    Returns ``(H, K, normalised_formula, k)``.  The graphs use the arbitrary
+    intervals ``[k;k]`` and ``+`` and therefore exercise the NP witness engine.
+    """
+    normalised, k = normalize_cnf_for_reduction(cnf)
+    variables = normalised.variables()
+    occurrence_label = _occurrence_labels(normalised)
+
+    graph_h = Graph("sat-H")
+    graph_h.add_node("o")
+    for variable in variables:
+        gadget = f"w_{variable}"
+        graph_h.add_edge("r1", "a", gadget, Interval.singleton(k))
+        graph_h.add_edge(gadget, f"v_{variable}", "o", "1")
+        for j in range(1, k + 1):
+            positive_type = f"pos_{variable}_{j}"
+            negative_type = f"neg_{variable}_{j}"
+            graph_h.add_edge("r1", "a", positive_type, "1")
+            graph_h.add_edge("r1", "a", negative_type, "1")
+            graph_h.add_edge(positive_type, f"{variable}_{j}", "o", "1")
+            graph_h.add_edge(negative_type, f"not_{variable}_{j}", "o", "1")
+
+    graph_k = Graph("sat-K")
+    graph_k.add_node("o")
+    for variable in variables:
+        true_type = f"val1_{variable}"
+        false_type = f"val0_{variable}"
+        graph_k.add_edge("r2", "a", true_type, Interval.singleton(k))
+        graph_k.add_edge("r2", "a", false_type, Interval.singleton(k))
+        graph_k.add_edge(true_type, f"v_{variable}", "o", "?")
+        graph_k.add_edge(false_type, f"v_{variable}", "o", "?")
+        for j in range(1, k + 1):
+            graph_k.add_edge(true_type, f"{variable}_{j}", "o", "?")
+            graph_k.add_edge(false_type, f"not_{variable}_{j}", "o", "?")
+    for clause_index, clause in enumerate(normalised.clauses):
+        clause_type = f"clause_{clause_index}"
+        graph_k.add_edge("r2", "a", clause_type, "+")
+        for literal_index in range(len(clause)):
+            label = occurrence_label[(clause_index, literal_index)]
+            graph_k.add_edge(clause_type, label, "o", "?")
+    return graph_h, graph_k, normalised, k
+
+
+def solve_sat_via_embedding(cnf: CNFFormula) -> bool:
+    """Decide satisfiability of a CNF formula through the Theorem 3.5 reduction.
+
+    Builds ``(H, K)`` and returns whether ``H`` embeds in ``K`` — which, by the
+    theorem, holds exactly when the formula is satisfiable.
+    """
+    graph_h, graph_k, _, _ = sat_reduction_graphs(cnf)
+    return embeds(graph_h, graph_k, engine="backtracking")
+
+
+def extract_valuation(cnf: CNFFormula) -> Optional[Dict[str, bool]]:
+    """Recover a satisfying valuation from the embedding, or ``None`` when unsatisfiable.
+
+    Following the proof of Theorem 3.5: in any witness for ``(r1, r2)`` the
+    gadget ``w_i`` (interval ``[k;k]``) must be routed to the sink of exactly
+    one polarity type of ``x_i``, and that polarity is the value of ``x_i``.
+    """
+    graph_h, graph_k, normalised, _ = sat_reduction_graphs(cnf)
+    result = maximal_simulation(graph_h, graph_k, engine="backtracking", collect_witnesses=True)
+    if ("r1", "r2") not in result.simulation:
+        return None
+    witness = result.witnesses.get(("r1", "r2"))
+    if witness is None:  # pragma: no cover - defensive
+        return None
+    edge_by_id = {edge.edge_id: edge for edge in graph_h.out_edges("r1")}
+    valuation: Dict[str, bool] = {}
+    for source_id, sink in witness.items():
+        source = edge_by_id[source_id]
+        if str(source.target).startswith("w_"):
+            variable = str(source.target)[2:]
+            valuation[variable] = str(sink.target).startswith("val1_")
+    return valuation

@@ -1,0 +1,36 @@
+"""Shape expression schemas: objects, parsing, classes, conversion, and validation."""
+
+from repro.schema.shex import ShExSchema
+from repro.schema.parser import parse_schema
+from repro.schema.classes import (
+    SchemaClass,
+    schema_class,
+    is_shex0,
+    is_deterministic,
+    is_detshex0,
+    is_detshex0_minus,
+)
+from repro.schema.convert import schema_to_shape_graph, shape_graph_to_schema
+from repro.schema.typing import Typing, maximal_typing, is_valid_typing, satisfies_type
+from repro.schema.validation import satisfies, satisfies_compressed, ValidationReport, validate
+
+__all__ = [
+    "ShExSchema",
+    "parse_schema",
+    "SchemaClass",
+    "schema_class",
+    "is_shex0",
+    "is_deterministic",
+    "is_detshex0",
+    "is_detshex0_minus",
+    "schema_to_shape_graph",
+    "shape_graph_to_schema",
+    "Typing",
+    "maximal_typing",
+    "is_valid_typing",
+    "satisfies_type",
+    "satisfies",
+    "satisfies_compressed",
+    "ValidationReport",
+    "validate",
+]

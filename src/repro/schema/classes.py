@@ -1,0 +1,110 @@
+"""Schema classes: ShEx, ShEx0, DetShEx, DetShEx0, DetShEx0- and SORBE schemas.
+
+The paper's complexity landscape (Figure 7) is organised around syntactic
+subclasses of shape expression schemas:
+
+* **ShEx** — arbitrary regular bag expressions in type definitions;
+* **ShEx(RBE0) = ShEx0** — every definition is an RBE0 expression
+  ``a1::t1^M1 || ... || an::tn^Mn`` with basic intervals (Proposition 3.2:
+  these are exactly the schemas representable as shape graphs);
+* **DetShEx** — deterministic schemas: no label is used with two different
+  types inside one definition;
+* **DetShEx0** — deterministic shape graphs: ShEx0 where additionally every
+  label occurs at most once per definition (Definition 4.1);
+* **DetShEx0-** — DetShEx0 without ``+`` and where every type using ``?`` is
+  referenced at least once, only through \\*-closed references
+  (Definition 4.1); containment for this class is decided in polynomial time
+  by embeddings (Corollary 4.4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from enum import Enum
+from typing import Dict, List, Set, Tuple
+
+from repro.rbe.rbe0 import as_rbe0
+from repro.rbe.sorbe import is_sorbe
+from repro.schema.shex import ShExSchema, TypeName
+
+
+class SchemaClass(Enum):
+    """The most specific class a schema belongs to, ordered by inclusion."""
+
+    DETSHEX0_MINUS = "DetShEx0-"
+    DETSHEX0 = "DetShEx0"
+    SHEX0 = "ShEx0"
+    DETSHEX = "DetShEx"
+    SHEX = "ShEx"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def is_shex0(schema: ShExSchema) -> bool:
+    """True when every type definition is an RBE0 expression (shape-graph schemas)."""
+    return all(as_rbe0(expr) is not None for expr in schema.rules().values())
+
+
+def is_deterministic(schema: ShExSchema) -> bool:
+    """The DetShEx condition: within one definition, a label pairs with at most one type."""
+    for expr in schema.rules().values():
+        label_types: Dict[str, Set[TypeName]] = {}
+        for symbol in expr.symbol_occurrences():
+            if isinstance(symbol, tuple) and len(symbol) == 2:
+                label_types.setdefault(symbol[0], set()).add(symbol[1])
+        if any(len(types) > 1 for types in label_types.values()):
+            return False
+    return True
+
+
+def is_detshex0(schema: ShExSchema) -> bool:
+    """Definition 4.1 lifted to schemas: RBE0 rules with each label used at most once."""
+    for expr in schema.rules().values():
+        profile = as_rbe0(expr)
+        if profile is None:
+            return False
+        labels = Counter(symbol[0] for symbol, _ in profile.atoms)
+        if any(count > 1 for count in labels.values()):
+            return False
+    return True
+
+
+def is_detshex0_minus(schema: ShExSchema) -> bool:
+    """Membership in DetShEx0- (the tractable containment class of Section 4)."""
+    if not is_detshex0(schema):
+        return False
+    from repro.graphs.shape import is_detshex0_minus_graph
+    from repro.schema.convert import schema_to_shape_graph
+
+    return is_detshex0_minus_graph(schema_to_shape_graph(schema))
+
+
+def is_sorbe_schema(schema: ShExSchema) -> bool:
+    """True when every definition is a single-occurrence RBE (the DetShEx of [15])."""
+    return all(is_sorbe(expr) for expr in schema.rules().values())
+
+
+def schema_class(schema: ShExSchema) -> SchemaClass:
+    """The most specific class of the paper's hierarchy the schema belongs to."""
+    if is_detshex0_minus(schema):
+        return SchemaClass.DETSHEX0_MINUS
+    if is_detshex0(schema):
+        return SchemaClass.DETSHEX0
+    if is_shex0(schema):
+        return SchemaClass.SHEX0
+    if is_deterministic(schema):
+        return SchemaClass.DETSHEX
+    return SchemaClass.SHEX
+
+
+def classification_report(schema: ShExSchema) -> Dict[str, bool]:
+    """Membership of the schema in every class (useful for diagnostics)."""
+    return {
+        "ShEx": True,
+        "DetShEx": is_deterministic(schema),
+        "ShEx0": is_shex0(schema),
+        "DetShEx0": is_detshex0(schema),
+        "DetShEx0-": is_detshex0_minus(schema),
+        "SORBE": is_sorbe_schema(schema),
+    }

@@ -1,0 +1,72 @@
+"""Conversion between ShEx(RBE0) schemas and shape graphs (Proposition 3.2).
+
+A schema whose rules are all RBE0 expressions is drawn as a *shape graph*: the
+nodes are the types and every atom ``a :: s ^ M`` of the rule for ``t`` becomes
+an edge ``t -a[M]-> s``.  Conversely any shape graph is read back as a schema
+whose rule for a node is the unordered concatenation of its outgoing edges.
+The two translations are mutually inverse up to the order of atoms, which the
+round-trip tests check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.core.intervals import ONE, Interval
+from repro.errors import SchemaClassError
+from repro.graphs.graph import Graph
+from repro.rbe.ast import EPSILON, RBE, Repetition, SymbolAtom, concat
+from repro.rbe.rbe0 import as_rbe0
+from repro.schema.shex import ShExSchema
+
+
+def schema_to_shape_graph(schema: ShExSchema, name: Optional[str] = None) -> Graph:
+    """Draw a ShEx(RBE0) schema as a shape graph.
+
+    Raises :class:`SchemaClassError` when some rule is not an RBE0 expression
+    (such schemas have no shape-graph form).
+    """
+    graph = Graph(name if name is not None else schema.name)
+    for type_name in schema.types:
+        graph.add_node(type_name)
+    for type_name in sorted(schema.types):
+        profile = as_rbe0(schema.definition(type_name))
+        if profile is None:
+            raise SchemaClassError(
+                f"type {type_name!r} is not defined by an RBE0 expression; "
+                "only ShEx0 schemas have a shape-graph form"
+            )
+        for symbol, interval in profile.atoms:
+            if not (isinstance(symbol, tuple) and len(symbol) == 2):
+                raise SchemaClassError(
+                    f"type {type_name!r} uses the untyped symbol {symbol!r}; "
+                    "shape expressions must use 'label :: type' atoms"
+                )
+            label, target = symbol
+            graph.add_edge(type_name, label, target, interval)
+    return graph
+
+
+def shape_graph_to_schema(graph: Graph, name: Optional[str] = None) -> ShExSchema:
+    """Read a shape graph back as a ShEx(RBE0) schema.
+
+    Node identifiers become type names via ``str``; an edge ``t -a[M]-> s``
+    becomes the atom ``a :: s ^ M`` of the rule for ``t``.
+    """
+    if not graph.is_shape_graph():
+        raise SchemaClassError(
+            "only shape graphs (basic occurrence intervals) can be read as ShEx0 schemas"
+        )
+    rules: Dict[str, RBE] = {}
+    node_names = {node: str(node) for node in graph.nodes}
+    if len(set(node_names.values())) != len(node_names):
+        raise SchemaClassError("node identifiers collide after string conversion")
+    for node in graph.nodes:
+        atoms = []
+        for edge in graph.out_edges(node):
+            atom_expr: RBE = SymbolAtom((edge.label, node_names[edge.target]))
+            if edge.occur != ONE:
+                atom_expr = Repetition(atom_expr, edge.occur)
+            atoms.append(atom_expr)
+        rules[node_names[node]] = concat(*atoms) if atoms else EPSILON
+    return ShExSchema(rules, name=name if name is not None else graph.name, strict=False)

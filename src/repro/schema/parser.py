@@ -1,0 +1,75 @@
+"""A parser for the paper's textual notation of shape expression schemas.
+
+A schema is written as one rule per line::
+
+    Bug  -> descr :: Literal, reportedBy :: User, reproducedBy :: Employee?, related :: Bug*
+    User -> name :: Literal, email :: Literal?
+    Employee -> name :: Literal, email :: Literal
+    Literal -> eps
+
+The arrow may be written ``->`` or ``→``; the right-hand side uses the RBE
+syntax of :mod:`repro.rbe.parser` (``,`` and ``||`` both denote unordered
+concatenation; ``|`` disjunction; ``?``/``*``/``+``/``[n;m]`` repetition).
+Blank lines and ``#`` comments are ignored.  A rule may be split over several
+lines by ending intermediate lines with a trailing ``,``, ``|``, or ``||``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import SchemaSyntaxError
+from repro.schema.shex import ShExSchema
+
+
+def _join_continuations(lines: List[str]) -> List[Tuple[int, str]]:
+    """Merge lines that visibly continue the previous rule."""
+    merged: List[Tuple[int, str]] = []
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        continues_previous = (
+            merged
+            and "->" not in line
+            and "→" not in line
+            and (
+                merged[-1][1].rstrip().endswith((",", "|", "||", "&"))
+                or line.lstrip().startswith((",", "|", "||", "&"))
+            )
+        )
+        if continues_previous:
+            start, text = merged[-1]
+            merged[-1] = (start, text + " " + line.strip())
+        else:
+            merged.append((line_number, line.strip()))
+    return merged
+
+
+def parse_schema(text: str, name: str = "", strict: bool = True) -> ShExSchema:
+    """Parse a schema from its textual rule form.
+
+    >>> schema = parse_schema('''
+    ...     t0 -> a :: t1
+    ...     t1 -> b :: t2 || c :: t3
+    ...     t2 -> b :: t2? || c :: t3
+    ...     t3 -> eps
+    ... ''')
+    >>> sorted(schema.types)
+    ['t0', 't1', 't2', 't3']
+    """
+    rules: Dict[str, str] = {}
+    for line_number, line in _join_continuations(text.splitlines()):
+        normalised = line.replace("→", "->")
+        if "->" not in normalised:
+            raise SchemaSyntaxError(f"line {line_number}: expected 'Type -> expression'")
+        head, _, body = normalised.partition("->")
+        type_name = head.strip()
+        if not type_name or not type_name.replace("_", "").replace("-", "").isalnum():
+            raise SchemaSyntaxError(f"line {line_number}: bad type name {type_name!r}")
+        if type_name in rules:
+            raise SchemaSyntaxError(f"line {line_number}: duplicate rule for {type_name!r}")
+        rules[type_name] = body.strip() or "eps"
+    if not rules:
+        raise SchemaSyntaxError("schema text contains no rules")
+    return ShExSchema(rules, name=name, strict=strict)

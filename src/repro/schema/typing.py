@@ -1,0 +1,208 @@
+"""Typings of graphs with respect to shape expression schemas.
+
+A *typing* of a graph ``G`` w.r.t. a schema ``S`` is a relation
+``T ⊆ N_G × Γ_S``.  A node ``n`` satisfies a shape expression ``E`` w.r.t. ``T``
+when the intersection of ``L(E)`` with the language of the node's signature is
+non-empty — equivalently, when every outgoing edge of ``n`` can be assigned a
+type held (according to ``T``) by its end point so that the resulting bag over
+``Σ × Γ`` belongs to ``L(E)``.  A typing is *valid* when every node satisfies
+the definition of every type assigned to it; valid typings are closed under
+union, so a unique maximal typing exists — it is the greatest fixed point of
+the refinement operator implemented by :func:`maximal_typing`.
+
+``G`` satisfies ``S`` when the maximal typing assigns at least one type to
+every node (see :mod:`repro.schema.validation`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.bags import Bag
+from repro.graphs.graph import Graph
+from repro.rbe.ast import RBE
+from repro.rbe.membership import rbe_matches
+from repro.rbe.rbe0 import as_rbe0
+from repro.schema.shex import ShExSchema, TypeName
+from repro.util.assignment import feasible_assignment
+
+NodeId = Hashable
+
+
+class Typing:
+    """An immutable typing relation, viewed as a map from nodes to sets of types."""
+
+    def __init__(self, assignments: Mapping[NodeId, Iterable[TypeName]]):
+        self._assignments: Dict[NodeId, FrozenSet[TypeName]] = {
+            node: frozenset(types) for node, types in assignments.items()
+        }
+
+    def types_of(self, node: NodeId) -> FrozenSet[TypeName]:
+        """The set of types assigned to ``node`` (empty when unassigned)."""
+        return self._assignments.get(node, frozenset())
+
+    def domain(self) -> Set[NodeId]:
+        """The nodes that carry at least one type."""
+        return {node for node, types in self._assignments.items() if types}
+
+    def is_total(self, graph: Graph) -> bool:
+        """True when every node of the graph carries at least one type."""
+        return all(self.types_of(node) for node in graph.nodes)
+
+    def pairs(self) -> Set[Tuple[NodeId, TypeName]]:
+        """The typing as a set of ``(node, type)`` pairs."""
+        return {
+            (node, type_name)
+            for node, types in self._assignments.items()
+            for type_name in types
+        }
+
+    def as_dict(self) -> Dict[NodeId, FrozenSet[TypeName]]:
+        return dict(self._assignments)
+
+    def __contains__(self, pair: Tuple[NodeId, TypeName]) -> bool:
+        node, type_name = pair
+        return type_name in self.types_of(node)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Typing):
+            return self.pairs() == other.pairs()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.pairs()))
+
+    def __str__(self) -> str:
+        lines = []
+        for node in sorted(self._assignments, key=repr):
+            types = ", ".join(sorted(self._assignments[node]))
+            lines.append(f"{node}: {{{types}}}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Type satisfaction for a single node
+# --------------------------------------------------------------------------- #
+def satisfies_type(
+    graph: Graph,
+    node: NodeId,
+    type_name: TypeName,
+    schema: ShExSchema,
+    typing: Mapping[NodeId, Iterable[TypeName]],
+) -> bool:
+    """Does ``node`` satisfy the definition of ``type_name`` w.r.t. ``typing``?
+
+    ``typing`` maps nodes to the candidate types of their end points (anything
+    iterable; typically the current refinement state of
+    :func:`maximal_typing`).  The test asks for an assignment of every outgoing
+    edge to a type of its target such that the resulting bag matches the rule —
+    solved as a polynomial flow problem for RBE0 rules and by bounded
+    enumeration plus exact RBE membership otherwise.
+    """
+    expr = schema.definition(type_name)
+    edges = graph.out_edges(node)
+    alphabet = expr.alphabet()
+    candidates: List[Tuple[int, str, List[TypeName]]] = []
+    for edge in edges:
+        target_types = typing.get(edge.target, ())
+        options = [t for t in target_types if (edge.label, t) in alphabet]
+        if not options:
+            return False
+        candidates.append((edge.edge_id, edge.label, options))
+
+    profile = as_rbe0(expr)
+    if profile is not None:
+        group_bounds = {
+            symbol: (interval.lower, interval.upper)
+            for symbol, interval in profile.per_symbol_interval().items()
+        }
+        allowed = {
+            edge_id: [(label, t) for t in options]
+            for edge_id, label, options in candidates
+        }
+        return feasible_assignment(allowed, group_bounds) is not None
+    return _satisfies_general(expr, candidates)
+
+
+def _satisfies_general(
+    expr: RBE,
+    candidates: List[Tuple[int, str, List[TypeName]]],
+) -> bool:
+    """Exhaustive (but symmetry-reduced) search for general shape expressions."""
+    # Group edges that have identical label and candidate sets: only the counts
+    # per chosen type matter, not which concrete edge picked which type.
+    groups: Dict[Tuple[str, FrozenSet[TypeName]], int] = {}
+    group_options: Dict[Tuple[str, FrozenSet[TypeName]], List[TypeName]] = {}
+    for _, label, options in candidates:
+        key = (label, frozenset(options))
+        groups[key] = groups.get(key, 0) + 1
+        group_options[key] = sorted(set(options))
+
+    group_keys = list(groups)
+
+    def compositions(total: int, parts: int):
+        """All ways to write ``total`` as an ordered sum of ``parts`` naturals."""
+        if parts == 1:
+            yield (total,)
+            return
+        for head in range(total + 1):
+            for tail in compositions(total - head, parts - 1):
+                yield (head,) + tail
+
+    def assemble(index: int, bag_counts: Dict[Tuple[str, TypeName], int]) -> bool:
+        if index == len(group_keys):
+            return rbe_matches(expr, Bag(bag_counts))
+        key = group_keys[index]
+        label, _ = key
+        options = group_options[key]
+        for split in compositions(groups[key], len(options)):
+            extended = dict(bag_counts)
+            for type_name, count in zip(options, split):
+                if count:
+                    symbol = (label, type_name)
+                    extended[symbol] = extended.get(symbol, 0) + count
+            if assemble(index + 1, extended):
+                return True
+        return False
+
+    return assemble(0, {})
+
+
+# --------------------------------------------------------------------------- #
+# Maximal typing (greatest fixed point)
+# --------------------------------------------------------------------------- #
+def maximal_typing(graph: Graph, schema: ShExSchema) -> Typing:
+    """The unique maximal valid typing of ``graph`` with respect to ``schema``.
+
+    Computed by the standard refinement: start from the full relation
+    ``N × Γ`` and repeatedly drop pairs ``(n, t)`` whose node no longer
+    satisfies the definition of ``t`` under the current relation, until a fixed
+    point is reached.
+    """
+    current: Dict[NodeId, Set[TypeName]] = {
+        node: set(schema.types) for node in graph.nodes
+    }
+    changed = True
+    while changed:
+        changed = False
+        for node in graph.nodes:
+            for type_name in sorted(current[node]):
+                if not satisfies_type(graph, node, type_name, schema, current):
+                    current[node].discard(type_name)
+                    changed = True
+    return Typing(current)
+
+
+def is_valid_typing(
+    graph: Graph,
+    schema: ShExSchema,
+    typing: Mapping[NodeId, Iterable[TypeName]],
+) -> bool:
+    """Check that every assigned pair ``(n, t)`` satisfies its definition."""
+    prepared = {node: set(types) for node, types in typing.items()}
+    for node, types in prepared.items():
+        for type_name in types:
+            if not satisfies_type(graph, node, type_name, schema, prepared):
+                return False
+    return True

@@ -1,0 +1,138 @@
+"""Graph validation against shape expression schemas.
+
+``G`` satisfies ``S`` when the maximal typing assigns at least one type to
+every node of ``G``.  Two flavours are provided:
+
+* :func:`satisfies` / :func:`validate` for plain (simple or multi-) graphs —
+  the semantics of Section 2;
+* :func:`satisfies_compressed` for compressed graphs, where edge multiplicities
+  are exponents in the node signature and satisfaction is decided through the
+  existential Presburger encoding of Section 6.1 (Proposition 6.2: this
+  procedure is in NP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.presburger.build import rbe_to_formula
+from repro.presburger.formula import (
+    Exists,
+    conjunction,
+    const,
+    eq,
+    fresh_variable,
+    var,
+    LinearTerm,
+)
+from repro.presburger.solver import is_satisfiable
+from repro.schema.shex import ShExSchema, TypeName
+from repro.schema.typing import Typing, maximal_typing, satisfies_type
+
+NodeId = Hashable
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of validating a graph against a schema."""
+
+    satisfied: bool
+    typing: Typing
+    untyped_nodes: Tuple[NodeId, ...]
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+
+def validate(graph: Graph, schema: ShExSchema) -> ValidationReport:
+    """Compute the maximal typing and report whether every node is typed."""
+    typing = maximal_typing(graph, schema)
+    untyped = tuple(
+        sorted((node for node in graph.nodes if not typing.types_of(node)), key=repr)
+    )
+    return ValidationReport(satisfied=not untyped, typing=typing, untyped_nodes=untyped)
+
+
+def satisfies(graph: Graph, schema: ShExSchema) -> bool:
+    """True when ``graph`` satisfies ``schema`` (every node gets at least one type)."""
+    return validate(graph, schema).satisfied
+
+
+# --------------------------------------------------------------------------- #
+# Compressed graphs (Section 6.1)
+# --------------------------------------------------------------------------- #
+def satisfies_type_compressed(
+    graph: Graph,
+    node: NodeId,
+    type_name: TypeName,
+    schema: ShExSchema,
+    typing: Mapping[NodeId, Iterable[TypeName]],
+) -> bool:
+    """Type satisfaction for compressed graphs via existential Presburger arithmetic.
+
+    Every compressed edge ``e`` of multiplicity ``k`` introduces variables
+    ``y_{e,τ}`` (how many of the ``k`` parallel edges take type ``τ``), subject
+    to ``Σ_τ y_{e,τ} = k``; the per-symbol totals ``z_{a::τ}`` must satisfy
+    ``ψ_{δ(t)}(z̄, 1)``.  This is exactly the encoding behind Proposition 6.2.
+    """
+    expr = schema.definition(type_name)
+    alphabet = sorted(expr.alphabet(), key=repr)
+    symbol_set = set(alphabet)
+    edges = graph.out_edges(node)
+
+    y_vars: Dict[Tuple[int, TypeName], str] = {}
+    constraints = []
+    contributions: Dict[Tuple[str, TypeName], List[str]] = {}
+    for edge in edges:
+        multiplicity = edge.occur.lower
+        target_types = typing.get(edge.target, ())
+        options = [t for t in target_types if (edge.label, t) in symbol_set]
+        if not options:
+            if multiplicity > 0:
+                return False
+            continue
+        total = LinearTerm.of(0)
+        for type_name_option in options:
+            name = fresh_variable(f"y_{edge.edge_id}_{type_name_option}")
+            y_vars[(edge.edge_id, type_name_option)] = name
+            total = total + var(name)
+            contributions.setdefault((edge.label, type_name_option), []).append(name)
+        constraints.append(eq(total, multiplicity))
+
+    z_vars: Dict[object, str] = {}
+    for symbol in alphabet:
+        name = fresh_variable("z")
+        z_vars[symbol] = name
+        total = LinearTerm.of(0)
+        for contributor in contributions.get(symbol, ()):  # type: ignore[arg-type]
+            total = total + var(contributor)
+        constraints.append(eq(var(name), total))
+
+    constraints.append(rbe_to_formula(expr, z_vars, const(1)))
+    bound = tuple(y_vars.values()) + tuple(z_vars.values())
+    formula = Exists(bound, conjunction(constraints)) if bound else conjunction(constraints)
+    return is_satisfiable(formula)
+
+
+def maximal_typing_compressed(graph: Graph, schema: ShExSchema) -> Typing:
+    """The maximal typing of a compressed graph (Section 6.1 semantics)."""
+    current: Dict[NodeId, Set[TypeName]] = {
+        node: set(schema.types) for node in graph.nodes
+    }
+    changed = True
+    while changed:
+        changed = False
+        for node in graph.nodes:
+            for type_name in sorted(current[node]):
+                if not satisfies_type_compressed(graph, node, type_name, schema, current):
+                    current[node].discard(type_name)
+                    changed = True
+    return Typing(current)
+
+
+def satisfies_compressed(graph: Graph, schema: ShExSchema) -> bool:
+    """True when the compressed graph satisfies the schema (Proposition 6.2)."""
+    typing = maximal_typing_compressed(graph, schema)
+    return typing.is_total(graph)

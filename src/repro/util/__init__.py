@@ -1,0 +1,5 @@
+"""Internal utilities shared by validation and embedding algorithms."""
+
+from repro.util.assignment import feasible_assignment
+
+__all__ = ["feasible_assignment"]

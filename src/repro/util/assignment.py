@@ -1,0 +1,175 @@
+"""Bounded assignment feasibility via flows with lower bounds.
+
+Several algorithms of the paper boil down to the same combinatorial core:
+assign each of a set of *items* to exactly one of its *allowed groups* so that
+every group receives a number of items within a prescribed interval
+``[lo; hi]``:
+
+* type satisfaction for RBE0 definitions — every outgoing edge must be matched
+  to an atom of the definition while each atom group stays within its
+  occurrence interval (this is the tractable validation of ShEx0 from [15]);
+* witnesses of simulation for shape graphs — the flow-routing formulation used
+  to prove Theorem 3.4.
+
+The problem is solved exactly by a reduction to a feasible-circulation problem
+with lower bounds, itself reduced to plain max-flow (networkx).  The running
+time is polynomial in the number of items and groups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+Item = Hashable
+Group = Hashable
+
+
+def feasible_assignment(
+    allowed: Mapping[Item, Sequence[Group]],
+    group_bounds: Mapping[Group, Tuple[int, Optional[int]]],
+) -> Optional[Dict[Item, Group]]:
+    """Assign every item to one of its allowed groups, respecting group bounds.
+
+    ``allowed`` maps each item to the groups it may join; ``group_bounds`` maps
+    each group to ``(lo, hi)`` where ``hi`` may be ``None`` for "unbounded".
+    Groups with ``lo > 0`` must reach their lower bound even if no item lists
+    them — in that case the instance is infeasible.
+
+    Returns a complete assignment ``item -> group`` or ``None`` when the
+    instance is infeasible.
+    """
+    items = list(allowed)
+    groups = list(group_bounds)
+    if not items and all(lo == 0 for lo, _ in group_bounds.values()):
+        return {}
+    for item, options in allowed.items():
+        if not options:
+            return None
+
+    upper_cap = len(items)  # no group can receive more items than exist
+    graph = nx.DiGraph()
+    source, sink = "__source__", "__sink__"
+    super_source, super_sink = "__super_source__", "__super_sink__"
+    graph.add_node(source)
+    graph.add_node(sink)
+
+    # Track lower-bound excesses for the standard circulation transformation.
+    excess: Dict[Hashable, int] = {}
+
+    def add_edge(u, v, lower: int, upper: int) -> None:
+        if upper < lower:
+            raise ValueError("edge upper bound below lower bound")
+        graph.add_edge(u, v, capacity=upper - lower)
+        if lower:
+            excess[v] = excess.get(v, 0) + lower
+            excess[u] = excess.get(u, 0) - lower
+
+    item_nodes = {item: ("item", index) for index, item in enumerate(items)}
+    group_nodes = {group: ("group", index) for index, group in enumerate(groups)}
+
+    for item in items:
+        add_edge(source, item_nodes[item], 1, 1)
+        for group in allowed[item]:
+            if group not in group_nodes:
+                raise KeyError(f"item {item!r} allows unknown group {group!r}")
+            add_edge(item_nodes[item], group_nodes[group], 0, 1)
+    for group in groups:
+        lo, hi = group_bounds[group]
+        hi_eff = upper_cap if hi is None else min(hi, upper_cap)
+        if lo > hi_eff:
+            # The group demands more items than could possibly arrive.
+            return None
+        add_edge(group_nodes[group], sink, lo, hi_eff)
+    # Close the circulation.
+    add_edge(sink, source, 0, upper_cap)
+
+    graph.add_node(super_source)
+    graph.add_node(super_sink)
+    required = 0
+    for node, value in excess.items():
+        if value > 0:
+            graph.add_edge(super_source, node, capacity=value)
+            required += value
+        elif value < 0:
+            graph.add_edge(node, super_sink, capacity=-value)
+    if required == 0:
+        # No lower bounds anywhere; the trivial assignment question reduces to
+        # whether every item has an allowed group, which we already checked.
+        flow_value, flow = 0, {}
+    else:
+        flow_value, flow = nx.maximum_flow(graph, super_source, super_sink)
+        if flow_value != required:
+            return None
+
+    # Recover the assignment: for item -> group edges, actual flow = lower (=0)
+    # + transformed flow; saturated source->item edges force exactly one unit
+    # through each item.  Items whose unit travelled through the lower-bound
+    # bookkeeping (capacity-0 edges) need a second pass, so we recompute a
+    # concrete routing greedily constrained by the per-group totals.
+    group_load = {group: 0 for group in groups}
+    assignment: Dict[Item, Group] = {}
+    for item in items:
+        node = item_nodes[item]
+        chosen = None
+        for group in allowed[item]:
+            if flow.get(node, {}).get(group_nodes[group], 0) > 0:
+                chosen = group
+                break
+        if chosen is not None:
+            assignment[item] = chosen
+            group_load[chosen] += 1
+
+    unassigned = [item for item in items if item not in assignment]
+    if unassigned:
+        completed = _complete_assignment(unassigned, allowed, group_bounds, group_load, upper_cap)
+        if completed is None:
+            return None
+        assignment.update(completed)
+    # Final verification (defensive): every group within bounds.
+    for group, (lo, hi) in group_bounds.items():
+        load = sum(1 for g in assignment.values() if g == group)
+        if load < lo or (hi is not None and load > hi):
+            return None
+    if len(assignment) != len(items):
+        return None
+    return assignment
+
+
+def _complete_assignment(
+    unassigned: List[Item],
+    allowed: Mapping[Item, Sequence[Group]],
+    group_bounds: Mapping[Group, Tuple[int, Optional[int]]],
+    group_load: Dict[Group, int],
+    upper_cap: int,
+) -> Optional[Dict[Item, Group]]:
+    """Place the remaining items with a dedicated flow over residual capacities."""
+    graph = nx.DiGraph()
+    source, sink = "__source__", "__sink__"
+    for index, item in enumerate(unassigned):
+        item_node = ("item", index)
+        graph.add_edge(source, item_node, capacity=1)
+        for group in allowed[item]:
+            graph.add_edge(item_node, ("group", group), capacity=1)
+    for group, (lo, hi) in group_bounds.items():
+        hi_eff = upper_cap if hi is None else hi
+        residual = max(hi_eff - group_load.get(group, 0), 0)
+        # Items already assigned satisfy lower bounds; remaining capacity only.
+        if graph.has_node(("group", group)) or residual:
+            graph.add_edge(("group", group), sink, capacity=residual)
+    if not unassigned:
+        return {}
+    flow_value, flow = nx.maximum_flow(graph, source, sink)
+    if flow_value != len(unassigned):
+        return None
+    placement: Dict[Item, Group] = {}
+    for index, item in enumerate(unassigned):
+        item_node = ("item", index)
+        for group in allowed[item]:
+            if flow.get(item_node, {}).get(("group", group), 0) > 0:
+                placement[item] = group
+                break
+        if item not in placement:
+            return None
+    return placement

@@ -1,0 +1,37 @@
+"""Workloads: the paper's running examples and random generators of schemas and instances."""
+
+from repro.workloads.bugtracker import (
+    bug_tracker_schema,
+    bug_tracker_graph,
+    bug_tracker_refactored_schema,
+)
+from repro.workloads.figures import (
+    figure2_graph,
+    figure2_schema,
+    figure3_shape_graph,
+    figure4_graph_g,
+    figure4_graph_h,
+)
+from repro.workloads.generators import (
+    random_shape_schema,
+    random_detshex0_minus_schema,
+    random_shex_schema,
+    sample_instance,
+    grow_schema_chain,
+)
+
+__all__ = [
+    "bug_tracker_schema",
+    "bug_tracker_graph",
+    "bug_tracker_refactored_schema",
+    "figure2_graph",
+    "figure2_schema",
+    "figure3_shape_graph",
+    "figure4_graph_g",
+    "figure4_graph_h",
+    "random_shape_schema",
+    "random_detshex0_minus_schema",
+    "random_shex_schema",
+    "sample_instance",
+    "grow_schema_chain",
+]

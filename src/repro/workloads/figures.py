@@ -1,0 +1,84 @@
+"""The small running examples of Figures 2, 3 and 4 of the paper.
+
+* Figure 2: the simple graph ``G0`` and the schema ``S0`` whose maximal typing
+  assigns ``t0`` to ``n0``, ``t1`` and ``t2`` to ``n1``, and ``t3`` to ``n2``.
+* Figure 3: the shape graph ``H0`` corresponding to ``S0`` and the embedding of
+  ``G0`` into it.
+* Figure 4: two equivalent shape graphs ``G`` and ``H`` such that ``G ⊆ H``
+  but ``G`` does **not** embed in ``H`` — inclusion does not imply embedding.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.schema.parser import parse_schema
+from repro.schema.shex import ShExSchema
+
+
+def figure2_graph() -> Graph:
+    """The simple graph ``G0`` of Figure 2: ``n0 -a-> n1``, ``n1 -b-> n1``, ``n1 -c-> n2``."""
+    graph = Graph("G0")
+    graph.add_edge("n0", "a", "n1")
+    graph.add_edge("n1", "b", "n1")
+    graph.add_edge("n1", "c", "n2")
+    return graph
+
+
+def figure2_schema() -> ShExSchema:
+    """The schema ``S0`` of Figure 2."""
+    return parse_schema(
+        """
+        t0 -> a :: t1
+        t1 -> b :: t2 || c :: t3
+        t2 -> b :: t2? || c :: t3
+        t3 -> eps
+        """,
+        name="S0",
+    )
+
+
+def figure2_expected_typing() -> dict:
+    """The maximal typing ``T0`` of ``G0`` w.r.t. ``S0`` given in the paper."""
+    return {"n0": {"t0"}, "n1": {"t1", "t2"}, "n2": {"t3"}}
+
+
+def figure3_shape_graph() -> Graph:
+    """The shape graph ``H0`` of Figure 3 (the graphical form of ``S0``)."""
+    graph = Graph("H0")
+    graph.add_edge("t0", "a", "t1", "1")
+    graph.add_edge("t1", "b", "t2", "1")
+    graph.add_edge("t1", "c", "t3", "1")
+    graph.add_edge("t2", "b", "t2", "?")
+    graph.add_edge("t2", "c", "t3", "1")
+    return graph
+
+
+def figure4_graph_g() -> Graph:
+    """A shape graph ``G`` realising the Figure 4 phenomenon (inclusion without embedding).
+
+    Figure 4 illustrates that ``b :: t*`` is equivalent to the case enumeration
+    ``ε | b :: t | b :: t+`` and that the enumerated form admits no embedding of
+    the original.  ``G`` is the original: a node ``u`` with a single ``b*`` edge
+    to a childless node ``t``.
+    """
+    graph = Graph("Fig4-G")
+    graph.add_node("t")
+    graph.add_edge("u", "b", "t", "*")
+    return graph
+
+
+def figure4_graph_h() -> Graph:
+    """The case-enumerated counterpart ``H`` of :func:`figure4_graph_g`.
+
+    ``H`` replaces the ``b*`` node by the enumeration of its cases: a node with
+    no outgoing edges (zero ``b``-children) and a node with a mandatory ``b+``
+    edge (at least one ``b``-child).  ``L(G) = L(H)`` — both describe graphs of
+    depth at most one whose edges are all labelled ``b`` — yet ``G`` does not
+    embed in ``H`` because ``[0;∞] ⊄ [1;∞]`` and the childless node offers no
+    ``b`` edge at all (the paper's Figure 4 point: inclusion does not imply
+    embedding).
+    """
+    graph = Graph("Fig4-H")
+    graph.add_node("h_empty")
+    graph.add_edge("h_some", "b", "h_empty", "+")
+    return graph

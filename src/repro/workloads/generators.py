@@ -1,0 +1,308 @@
+"""Random generators of schemas and instances, used by tests and benchmarks.
+
+The generators cover the three classes the paper separates (Figure 7):
+
+* :func:`random_detshex0_minus_schema` — deterministic shape graphs without
+  ``+`` whose ``?``-types are \\*-closed (the tractable containment class);
+* :func:`random_shape_schema` — general ShEx0 schemas (shape graphs);
+* :func:`random_shex_schema` — schemas with disjunction and nesting (full ShEx).
+
+:func:`sample_instance` draws simple graphs from ``L(S)`` by unfolding type
+definitions, closing cycles by re-using existing nodes; the result is verified
+against the schema before being returned.  :func:`grow_schema_chain` produces
+nested pairs ``S_k ⊆ S_{k+1}`` used by scaling benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.intervals import Interval
+from repro.graphs.graph import Graph
+from repro.graphs.shape import is_detshex0_minus_graph
+from repro.rbe.ast import RBE, SymbolAtom, Repetition, concat, disj
+from repro.rbe.membership import sample_bags
+from repro.schema.convert import shape_graph_to_schema
+from repro.schema.shex import ShExSchema
+from repro.schema.validation import satisfies
+
+DEFAULT_LABELS = ("a", "b", "c", "d", "e", "f", "g", "h")
+
+
+def _type_names(count: int) -> List[str]:
+    return [f"t{i}" for i in range(count)]
+
+
+# --------------------------------------------------------------------------- #
+# Schema generators
+# --------------------------------------------------------------------------- #
+def random_shape_schema(
+    num_types: int,
+    num_labels: int = 4,
+    edges_per_type: int = 3,
+    intervals: Sequence[str] = ("1", "?", "+", "*"),
+    rng: Optional[random.Random] = None,
+    name: str = "random-shex0",
+) -> ShExSchema:
+    """A random ShEx0 schema with roughly ``edges_per_type`` atoms per rule."""
+    rng = rng or random.Random(0)
+    labels = list(DEFAULT_LABELS[:num_labels])
+    types = _type_names(num_types)
+    graph = Graph(name)
+    for type_name in types:
+        graph.add_node(type_name)
+    for type_name in types:
+        count = rng.randint(0, edges_per_type)
+        for _ in range(count):
+            label = rng.choice(labels)
+            target = rng.choice(types)
+            interval = Interval.of(rng.choice(list(intervals)))
+            graph.add_edge(type_name, label, target, interval)
+    return shape_graph_to_schema(graph, name=name)
+
+
+def random_detshex0_minus_schema(
+    num_types: int,
+    num_labels: int = 4,
+    edges_per_type: int = 3,
+    optional_probability: float = 0.3,
+    rng: Optional[random.Random] = None,
+    name: str = "random-detshex0-minus",
+) -> ShExSchema:
+    """A random DetShEx0- schema.
+
+    The generator first builds a deterministic shape graph using only ``1`` and
+    ``*`` intervals, then downgrades some ``1``-edges to ``?`` — but only on
+    types all of whose references are \\*-closed, so that the result provably
+    stays inside DetShEx0- (asserted before returning).
+    """
+    rng = rng or random.Random(0)
+    labels = list(DEFAULT_LABELS[:num_labels])
+    types = _type_names(num_types)
+    graph = Graph(name)
+    for type_name in types:
+        graph.add_node(type_name)
+    for index, type_name in enumerate(types):
+        available = labels[:]
+        rng.shuffle(available)
+        count = rng.randint(0, min(edges_per_type, len(available)))
+        for label in available[:count]:
+            target = rng.choice(types)
+            interval = Interval.of(rng.choice(["1", "*", "*"]))
+            graph.add_edge(type_name, label, target, interval)
+    # Downgrade eligible 1-edges to '?' on *-closed, referenced types.
+    from repro.graphs.shape import star_closed_references
+
+    closed = star_closed_references(graph)
+    eligible_types = {
+        type_name: bool(graph.in_edges(type_name))
+        and all(closed[e.edge_id] for e in graph.in_edges(type_name))
+        for type_name in types
+    }
+    for type_name in types:
+        if not eligible_types[type_name]:
+            continue
+        for edge in list(graph.out_edges(type_name)):
+            if edge.occur == Interval.of("1") and rng.random() < optional_probability:
+                graph.remove_edge(edge)
+                graph.add_edge(edge.source, edge.label, edge.target, "?")
+    if not is_detshex0_minus_graph(graph):  # pragma: no cover - defensive
+        raise AssertionError("generator produced a schema outside DetShEx0-")
+    return shape_graph_to_schema(graph, name=name)
+
+
+def random_shex_schema(
+    num_types: int,
+    num_labels: int = 4,
+    max_disjuncts: int = 2,
+    atoms_per_disjunct: int = 2,
+    rng: Optional[random.Random] = None,
+    name: str = "random-shex",
+) -> ShExSchema:
+    """A random full-ShEx schema whose rules mix disjunction and concatenation."""
+    rng = rng or random.Random(0)
+    labels = list(DEFAULT_LABELS[:num_labels])
+    types = _type_names(num_types)
+    rules: Dict[str, RBE] = {}
+    intervals = ["1", "?", "+", "*"]
+    for type_name in types:
+        disjuncts: List[RBE] = []
+        for _ in range(rng.randint(1, max_disjuncts)):
+            atoms: List[RBE] = []
+            for _ in range(rng.randint(0, atoms_per_disjunct)):
+                label = rng.choice(labels)
+                target = rng.choice(types)
+                atom_expr: RBE = SymbolAtom((label, target))
+                interval = Interval.of(rng.choice(intervals))
+                if str(interval) != "1":
+                    atom_expr = Repetition(atom_expr, interval)
+                atoms.append(atom_expr)
+            disjuncts.append(concat(*atoms))
+        rules[type_name] = disj(*disjuncts) if len(disjuncts) > 1 else disjuncts[0]
+    return ShExSchema(rules, name=name, strict=False)
+
+
+def grow_schema_chain(
+    base: ShExSchema,
+    steps: int,
+    rng: Optional[random.Random] = None,
+) -> List[ShExSchema]:
+    """A chain of schemas obtained by progressively relaxing occurrence intervals.
+
+    Every step widens one randomly chosen interval (``1 → ?``, ``? → *``,
+    ``+ → *``), so each schema in the chain contains the previous one; the
+    chains are used by the containment scaling benchmarks where the expected
+    verdict is known by construction.
+    """
+    rng = rng or random.Random(0)
+    chain = [base]
+    current = base
+    for _ in range(steps):
+        rules = current.rules()
+        type_names = sorted(rules)
+        rng.shuffle(type_names)
+        widened = None
+        for type_name in type_names:
+            expr = rules[type_name]
+            widened = _widen_one_interval(expr, rng)
+            if widened is not None:
+                rules[type_name] = widened
+                break
+        current = ShExSchema(rules, name=f"{base.name}+{len(chain)}", strict=False)
+        chain.append(current)
+    return chain
+
+
+def _widen_one_interval(expr: RBE, rng: random.Random) -> Optional[RBE]:
+    """Widen one repetition interval of ``expr`` (returns ``None`` when nothing to widen)."""
+    wider = {"1": "?", "?": "*", "+": "*"}
+    candidates = [
+        node
+        for node in expr.iter_nodes()
+        if isinstance(node, Repetition) and node.interval.shorthand() in wider
+    ]
+    atom_candidates = [
+        node for node in expr.iter_nodes() if isinstance(node, SymbolAtom)
+    ]
+    if candidates and (not atom_candidates or rng.random() < 0.7):
+        chosen = rng.choice(candidates)
+        replacement = Repetition(chosen.operand, Interval.of(wider[chosen.interval.shorthand()]))
+        return _replace_node(expr, chosen, replacement)
+    if atom_candidates:
+        chosen_atom = rng.choice(atom_candidates)
+        replacement = Repetition(chosen_atom, Interval.of("?"))
+        return _replace_node(expr, chosen_atom, replacement, skip_inside_repetition=True)
+    return None
+
+
+def _replace_node(
+    expr: RBE,
+    old: RBE,
+    new: RBE,
+    skip_inside_repetition: bool = False,
+) -> Optional[RBE]:
+    """Structurally replace the first occurrence of ``old`` (by identity) in ``expr``."""
+    from repro.rbe.ast import Concatenation, Disjunction, Intersection
+
+    if expr is old:
+        return new
+    if isinstance(expr, Repetition):
+        if skip_inside_repetition and expr.operand is old:
+            return None
+        inner = _replace_node(expr.operand, old, new, skip_inside_repetition)
+        return Repetition(inner, expr.interval) if inner is not None else None
+    if isinstance(expr, (Concatenation, Disjunction, Intersection)):
+        for index, operand in enumerate(expr.operands):
+            inner = _replace_node(operand, old, new, skip_inside_repetition)
+            if inner is not None:
+                operands = list(expr.operands)
+                operands[index] = inner
+                return type(expr)(tuple(operands))
+        return None
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Instance sampling
+# --------------------------------------------------------------------------- #
+def sample_instance(
+    schema: ShExSchema,
+    root_type: Optional[str] = None,
+    rng: Optional[random.Random] = None,
+    max_nodes: int = 60,
+    max_depth: int = 6,
+    max_repeat: int = 2,
+    verify: bool = True,
+) -> Optional[Graph]:
+    """Draw a simple graph from ``L(schema)`` by guided unfolding.
+
+    Starting from ``root_type`` (or an arbitrary type), a node is created and
+    its definition is instantiated by sampling a bag from the rule; children are
+    created recursively.  When the depth or node budget runs out, the sampler
+    prefers re-using an existing node of the required type (closing a cycle)
+    over creating a new one.  With ``verify=True`` the instance is validated
+    and ``None`` is returned if validation fails (which can happen when the
+    budget forces an incomplete unfolding).
+    """
+    rng = rng or random.Random(0)
+    types = sorted(schema.types)
+    if not types:
+        return None
+    root = root_type if root_type is not None else rng.choice(types)
+    graph = Graph(f"sample({schema.name})" if schema.name else "sample")
+    existing: Dict[str, List[str]] = {t: [] for t in schema.types}
+    counter = itertools.count()
+
+    def new_node(type_name: str) -> str:
+        node = f"{type_name}#{next(counter)}"
+        graph.add_node(node)
+        existing[type_name].append(node)
+        return node
+
+    used_triples = set()
+
+    def add_simple_edge(source: str, label: str, target: str) -> bool:
+        if (source, label, target) in used_triples:
+            return False
+        used_triples.add((source, label, target))
+        graph.add_edge(source, label, target)
+        return True
+
+    def expand(node: str, type_name: str, depth: int) -> None:
+        if graph.node_count > max_nodes * 4:
+            return
+        expr = schema.definition(type_name)
+        try:
+            bag = sample_bags(expr, count=1, rng=rng, max_repeat=max_repeat)[0]
+        except Exception:
+            return
+        for symbol in bag.elements():
+            if not (isinstance(symbol, tuple) and len(symbol) == 2):
+                continue
+            label, child_type = symbol
+            reuse = (
+                depth >= max_depth or graph.node_count >= max_nodes
+            ) and existing.get(child_type)
+            if reuse:
+                candidates = [
+                    candidate
+                    for candidate in existing[child_type]
+                    if (node, label, candidate) not in used_triples
+                ]
+                if candidates:
+                    add_simple_edge(node, label, rng.choice(candidates))
+                    continue
+            child = new_node(child_type)
+            add_simple_edge(node, label, child)
+            if depth < max_depth and graph.node_count < max_nodes:
+                expand(child, child_type, depth + 1)
+            else:
+                expand(child, child_type, max_depth)
+
+    root_node = new_node(root)
+    expand(root_node, root, depth=0)
+    if verify and not satisfies(graph, schema):
+        return None
+    return graph

@@ -1,0 +1,38 @@
+"""Every example script must run cleanly and print the expected headline facts."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": ["graph satisfies the schema: True", "not-contained"],
+    "schema_evolution.py": ["v3 -> v4", "not-contained"],
+    "sat_via_embedding.py": ["all embeddings agreed with the brute-force SAT decisions."],
+    "counterexample_hunting.py": ["verified: it satisfies H and violates K."],
+    "rdf_validation.py": ["graph satisfies the schema: False", "the graph validates: True"],
+    "complexity_landscape.py": ["DetShEx0-", "Lemma 5.1", "Theorem 3.5"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs_and_reports(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    for needle in EXPECTED_OUTPUT[script]:
+        assert needle in completed.stdout
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT)

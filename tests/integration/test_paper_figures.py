@@ -1,0 +1,166 @@
+"""Integration tests reproducing the paper's figures end-to-end (experiments E1–E3)."""
+
+import pytest
+
+from repro.containment.api import Verdict, contains
+from repro.containment.detshex import contains_detshex0_minus
+from repro.embedding.simulation import embeds, find_embedding
+from repro.graphs.graph import Graph
+from repro.schema.classes import SchemaClass, schema_class
+from repro.schema.convert import schema_to_shape_graph, shape_graph_to_schema
+from repro.schema.typing import maximal_typing
+from repro.schema.validation import satisfies, validate
+from repro.workloads.bugtracker import (
+    bug_tracker_graph,
+    bug_tracker_rdf,
+    bug_tracker_refactored_schema,
+    bug_tracker_schema,
+)
+from repro.workloads.figures import (
+    figure2_expected_typing,
+    figure2_graph,
+    figure2_schema,
+    figure3_shape_graph,
+    figure4_graph_g,
+    figure4_graph_h,
+)
+
+
+class TestFigure1BugTracker:
+    """Experiment E1: the running example of Figure 1 plus the §1 refactoring."""
+
+    def test_rdf_parses_to_expected_size(self):
+        rdf = bug_tracker_rdf()
+        assert len(rdf) == 17
+        assert len(rdf.subjects()) == 7
+
+    def test_instance_validates(self):
+        report = validate(bug_tracker_graph(), bug_tracker_schema())
+        assert report.satisfied
+        typing = report.typing
+        by_suffix = {str(node).rsplit("#", 1)[-1]: node for node in bug_tracker_graph().nodes}
+        assert "Bug" in typing.types_of(by_suffix["bug1"])
+        assert "User" in typing.types_of(by_suffix["user1"])
+        # user2 has an email, so it satisfies both User and Employee
+        assert {"User", "Employee"} <= set(typing.types_of(by_suffix["user2"]))
+        assert "Employee" in typing.types_of(by_suffix["emp1"])
+
+    def test_schema_is_in_the_tractable_class(self):
+        assert schema_class(bug_tracker_schema()) is SchemaClass.DETSHEX0_MINUS
+
+    def test_shape_graph_matches_figure(self):
+        shape = schema_to_shape_graph(bug_tracker_schema())
+        assert shape.nodes == {"Bug", "User", "Employee", "Literal", "Marker"}
+        assert shape_graph_to_schema(shape) == bug_tracker_schema()
+
+    def test_corrupted_instance_fails_validation(self):
+        graph = bug_tracker_graph()
+        # remove the mandatory descr edge of bug1
+        bug1 = next(node for node in graph.nodes if str(node).endswith("bug1"))
+        descr_edge = next(e for e in graph.out_edges(bug1) if e.label == "descr")
+        graph.remove_edge(descr_edge)
+        report = validate(graph, bug_tracker_schema())
+        assert not report.satisfied
+        assert bug1 in report.untyped_nodes
+
+    def test_refactored_schema_containment(self):
+        """The §1 refactoring: Bug/User split by email presence.
+
+        The refactored schema is equivalent to the original; the direction
+        `refactored ⊆ original` is provable by embedding, the converse needs
+        type-union reasoning that embeddings cannot express (the paper uses
+        this example to motivate why containment is harder than simulation).
+        """
+        original = bug_tracker_schema()
+        refactored = bug_tracker_refactored_schema()
+        assert contains(refactored, original).verdict is Verdict.CONTAINED
+        forward = contains(original, refactored, max_candidates=150, samples=20)
+        assert forward.verdict is not Verdict.NOT_CONTAINED
+        # the original instance satisfies both schemas
+        assert satisfies(bug_tracker_graph(), refactored)
+
+    def test_dropping_the_optional_reproducer_is_a_widening(self):
+        original = bug_tracker_schema()
+        narrowed = bug_tracker_schema()
+        narrowed.add_rule(
+            "Bug",
+            "descr :: Literal, reportedBy :: User, reproducedBy :: Employee, related :: Bug*",
+        )
+        assert contains_detshex0_minus(narrowed, original)
+        assert not contains_detshex0_minus(original, narrowed)
+        result = contains(original, narrowed)
+        assert result.verdict is Verdict.NOT_CONTAINED
+        assert result.counterexample is not None
+        assert satisfies(result.counterexample, original)
+        assert not satisfies(result.counterexample, narrowed)
+
+
+class TestFigure2And3:
+    """Experiment E2: graph G0, schema S0, typing T0 and the embedding into H0."""
+
+    def test_maximal_typing_matches_paper(self):
+        typing = maximal_typing(figure2_graph(), figure2_schema())
+        assert {n: set(typing.types_of(n)) for n in figure2_graph().nodes} == figure2_expected_typing()
+
+    def test_graph_satisfies_schema(self):
+        assert satisfies(figure2_graph(), figure2_schema())
+
+    def test_shape_graph_equals_converted_schema(self):
+        converted = schema_to_shape_graph(figure2_schema())
+        drawn = figure3_shape_graph()
+        assert {(e.source, e.label, e.target, str(e.occur)) for e in converted.edges} == {
+            (e.source, e.label, e.target, str(e.occur)) for e in drawn.edges
+        }
+
+    def test_embedding_of_figure3(self):
+        result = find_embedding(figure2_graph(), figure3_shape_graph())
+        assert result.embeds
+        # the embedding drawn in Figure 3 maps n0→t0, n1→t1/t2, n2→t3
+        assert result.simulators_of("n0") == {"t0"}
+        assert result.simulators_of("n1") == {"t1", "t2"}
+        assert result.simulators_of("n2") == {"t3"}
+
+    def test_satisfaction_equals_embedding_for_shex0(self):
+        """Proposition 3.2: ShEx0 satisfaction coincides with shape-graph embedding."""
+        graph, schema = figure2_graph(), figure2_schema()
+        shape = schema_to_shape_graph(schema)
+        assert satisfies(graph, schema) == embeds(graph, shape)
+        broken = Graph()
+        broken.add_edge("x", "a", "y")
+        broken.add_edge("y", "weird", "z")
+        assert satisfies(broken, schema) == embeds(broken, shape)
+
+
+class TestFigure4:
+    """Experiment E3: language inclusion does not imply embedding."""
+
+    def test_no_embedding(self):
+        assert not embeds(figure4_graph_g(), figure4_graph_h())
+
+    def test_reverse_embedding_holds(self):
+        assert embeds(figure4_graph_h(), figure4_graph_g())
+
+    def test_languages_coincide_on_small_instances(self):
+        """Enumerate all simple b-labelled graphs with up to 3 nodes and compare."""
+        import itertools
+
+        graph_g, graph_h = figure4_graph_g(), figure4_graph_h()
+        schema_g = shape_graph_to_schema(graph_g)
+        schema_h = shape_graph_to_schema(graph_h)
+        nodes = ["x", "y", "z"]
+        possible_edges = [(s, "b", t) for s in nodes for t in nodes if s != t]
+        agreements = 0
+        for mask in range(2 ** len(possible_edges)):
+            chosen = [edge for index, edge in enumerate(possible_edges) if mask >> index & 1]
+            candidate = Graph()
+            candidate.add_nodes(nodes)
+            candidate.add_edges(chosen)
+            assert satisfies(candidate, schema_g) == satisfies(candidate, schema_h)
+            agreements += 1
+        assert agreements == 2 ** len(possible_edges)
+
+    def test_containment_api_does_not_refute_equivalence(self):
+        forward = contains(figure4_graph_g(), figure4_graph_h(), max_candidates=100)
+        backward = contains(figure4_graph_h(), figure4_graph_g(), max_candidates=100)
+        assert forward.verdict is not Verdict.NOT_CONTAINED
+        assert backward.verdict is Verdict.CONTAINED

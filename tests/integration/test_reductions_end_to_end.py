@@ -1,0 +1,153 @@
+"""Integration tests for the hardness constructions (experiments E5, E8, E9, E10).
+
+These run the full pipelines: propositional formula → schema/graph construction
+→ embedding / containment decision → comparison with a brute-force reference.
+"""
+
+import random
+
+import pytest
+
+from repro.containment.api import Verdict, contains
+from repro.containment.kinds import fuse_by_kinds
+from repro.graphs.compressed import pack_simple_graph
+from repro.reductions.dnf import (
+    decide_dnf_containment_exactly,
+    dnf_reduction_schemas,
+    valuation_graph,
+)
+from repro.reductions.expfamily import exponential_counterexample, exponential_family
+from repro.reductions.logic import (
+    CNFFormula,
+    DNFFormula,
+    Literal,
+    brute_force_satisfiable,
+    brute_force_tautology,
+    random_cnf,
+    random_dnf,
+)
+from repro.reductions.sat import extract_valuation, sat_reduction_graphs, solve_sat_via_embedding
+from repro.schema.validation import satisfies, satisfies_compressed
+
+
+class TestSatReductionEndToEnd:
+    """E5 — Theorem 3.5: SAT ≤ embedding with arbitrary intervals."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances_agree_with_brute_force(self, seed):
+        rng = random.Random(seed)
+        cnf = random_cnf(3, 4, clause_width=2, rng=rng)
+        expected = brute_force_satisfiable(cnf) is not None
+        assert solve_sat_via_embedding(cnf) == expected
+
+    def test_pigeonhole_style_unsat(self):
+        # (x1 ∨ x2) ∧ (¬x1 ∨ x2) ∧ (x1 ∨ ¬x2) ∧ (¬x1 ∨ ¬x2) is unsatisfiable
+        clauses = [
+            (Literal("x1"), Literal("x2")),
+            (Literal("x1", False), Literal("x2")),
+            (Literal("x1"), Literal("x2", False)),
+            (Literal("x1", False), Literal("x2", False)),
+        ]
+        assert not solve_sat_via_embedding(CNFFormula(clauses))
+
+    def test_extracted_valuations_satisfy_the_formula(self):
+        rng = random.Random(11)
+        found = 0
+        for _ in range(6):
+            cnf = random_cnf(3, 3, clause_width=2, rng=rng)
+            valuation = extract_valuation(cnf)
+            if valuation is not None:
+                assert cnf.satisfied_by(valuation)
+                found += 1
+        assert found > 0
+
+    def test_reduction_size_is_polynomial(self):
+        cnf = random_cnf(4, 6, clause_width=3, rng=random.Random(0))
+        graph_h, graph_k, normalised, k = sat_reduction_graphs(cnf)
+        variables = len(normalised.variables())
+        assert graph_h.node_count <= 2 + variables * (2 * k + 1) + 2 * variables * k
+        assert graph_k.node_count <= 2 + 2 * variables + len(normalised.clauses)
+
+
+class TestDnfReductionEndToEnd:
+    """E8 — Theorem 4.5: DNF tautology ≤ DetShEx0 containment."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_instances_agree_with_brute_force(self, seed):
+        rng = random.Random(seed)
+        dnf = random_dnf(3, rng.randint(1, 4), term_width=2, rng=rng)
+        schema_h, schema_k = dnf_reduction_schemas(dnf)
+        contained, counterexample = decide_dnf_containment_exactly(schema_h, schema_k, dnf)
+        falsifying = brute_force_tautology(dnf)
+        assert contained == (falsifying is None)
+        if falsifying is not None:
+            # the falsifying valuation's graph must itself be a counter-example
+            candidate = valuation_graph(dnf.variables(), dict(falsifying))
+            assert satisfies(candidate, schema_h)
+            assert not satisfies(candidate, schema_k)
+            assert counterexample is not None
+
+    def test_tautology_instance(self):
+        taut = DNFFormula(
+            [
+                (Literal("x1"), Literal("x2")),
+                (Literal("x1"), Literal("x2", False)),
+                (Literal("x1", False),),
+            ]
+        )
+        assert brute_force_tautology(taut) is None
+        schema_h, schema_k = dnf_reduction_schemas(taut)
+        contained, _ = decide_dnf_containment_exactly(schema_h, schema_k, taut)
+        assert contained
+
+    def test_general_containment_api_finds_the_counterexample(self):
+        # a single-term DNF is never a tautology; the API's bounded search can refute it
+        dnf = DNFFormula([(Literal("x1"),)])
+        schema_h, schema_k = dnf_reduction_schemas(dnf)
+        result = contains(schema_h, schema_k, max_candidates=300, width=1)
+        assert result.verdict is Verdict.NOT_CONTAINED
+        assert result.counterexample is not None
+        assert not satisfies(result.counterexample, schema_k)
+
+
+class TestExponentialFamilyEndToEnd:
+    """E9/E10 — Lemma 5.1 counter-examples and their kind-compression."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_canonical_counterexample(self, n):
+        schema_h, schema_k = exponential_family(n)
+        counterexample = exponential_counterexample(n)
+        assert counterexample.node_count == 2 ** (n + 1)
+        assert satisfies(counterexample, schema_h)
+        assert not satisfies(counterexample, schema_k)
+
+    def test_embedding_detects_noncontainment_is_impossible(self):
+        """The pair is non-contained but no small certificate exists: the bounded
+        counter-example search must come back empty-handed within a small budget."""
+        schema_h, schema_k = exponential_family(3)
+        result = contains(
+            schema_h, schema_k, max_candidates=30, samples=5, max_nodes=10, width=0
+        )
+        assert result.verdict is Verdict.UNKNOWN
+
+    def test_kind_compression_of_the_counterexample(self):
+        """E10: fusing the (acyclic) counter-example by kinds keeps it a counter-example
+        while shrinking it below the explicit tree size."""
+        n = 3
+        schema_h, schema_k = exponential_family(n)
+        counterexample = exponential_counterexample(n)
+        fused, kinds = fuse_by_kinds(counterexample, schema_h, schema_k)
+        assert fused.node_count <= counterexample.node_count
+        assert satisfies_compressed(fused, schema_h)
+        assert not satisfies_compressed(fused, schema_k)
+
+    def test_pack_unpack_roundtrip_preserves_satisfaction(self):
+        n = 2
+        schema_h, schema_k = exponential_family(n)
+        counterexample = exponential_counterexample(n)
+        packed = pack_simple_graph(counterexample)
+        assert satisfies_compressed(packed, schema_h)
+        assert not satisfies_compressed(packed, schema_k)
+        unpacked = packed.unpack()
+        assert satisfies(unpacked, schema_h)
+        assert not satisfies(unpacked, schema_k)

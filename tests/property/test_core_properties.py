@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for intervals and bags."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bags import Bag
+from repro.core.intervals import BASIC_INTERVALS, Interval, ZERO, interval_sum
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+intervals = st.one_of(
+    st.sampled_from(BASIC_INTERVALS),
+    st.builds(
+        lambda lo, extra, unbounded: Interval(lo, None if unbounded else lo + extra),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=6),
+        st.booleans(),
+    ),
+)
+
+symbols = st.sampled_from(["a", "b", "c", "d"])
+bags = st.dictionaries(symbols, st.integers(min_value=0, max_value=5)).map(Bag)
+naturals = st.integers(min_value=0, max_value=30)
+
+
+class TestIntervalProperties:
+    @given(intervals, intervals, naturals, naturals)
+    @settings(max_examples=200)
+    def test_addition_respects_membership(self, left, right, x, y):
+        if x in left and y in right:
+            assert (x + y) in (left + right)
+
+    @given(intervals, intervals)
+    def test_addition_commutative(self, left, right):
+        assert left + right == right + left
+
+    @given(intervals, intervals, intervals)
+    def test_addition_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(intervals)
+    def test_zero_neutral(self, interval):
+        assert interval + ZERO == interval
+
+    @given(intervals, intervals, naturals)
+    @settings(max_examples=200)
+    def test_subset_semantics(self, small, big, value):
+        if small.issubset(big) and value in small:
+            assert value in big
+
+    @given(intervals, intervals)
+    def test_subset_antisymmetry(self, a, b):
+        if a.issubset(b) and b.issubset(a):
+            assert a == b
+
+    @given(intervals, intervals, naturals)
+    @settings(max_examples=200)
+    def test_intersection_is_greatest_lower_bound(self, a, b, value):
+        meet = a.intersection(b)
+        in_both = value in a and value in b
+        if meet is None:
+            assert not in_both
+        else:
+            assert (value in meet) == in_both
+
+    @given(st.lists(intervals, max_size=5))
+    def test_interval_sum_matches_pairwise_addition(self, items):
+        total = ZERO
+        for interval in items:
+            total = total + interval
+        assert interval_sum(items) == total
+
+    @given(intervals)
+    def test_parse_str_roundtrip(self, interval):
+        assert Interval.parse(str(interval)) == interval
+
+
+class TestBagProperties:
+    @given(bags, bags)
+    def test_union_commutative(self, left, right):
+        assert left + right == right + left
+
+    @given(bags, bags, bags)
+    def test_union_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(bags)
+    def test_empty_neutral(self, bag):
+        assert bag + Bag() == bag
+
+    @given(bags, bags)
+    def test_union_size_adds(self, left, right):
+        assert (left + right).size == left.size + right.size
+
+    @given(bags, bags)
+    def test_difference_inverts_union(self, left, right):
+        assert (left + right) - right == left
+
+    @given(bags, st.integers(min_value=0, max_value=4))
+    def test_scalar_repetition_matches_repeated_union(self, bag, times):
+        repeated = Bag()
+        for _ in range(times):
+            repeated = repeated + bag
+        assert bag * times == repeated
+
+    @given(bags, bags)
+    def test_subbag_iff_counts_dominated(self, left, right):
+        expected = all(left.count(s) <= right.count(s) for s in left.support())
+        assert left.issubbag(right) == expected
+
+    @given(bags)
+    def test_parikh_roundtrip(self, bag):
+        alphabet = sorted(bag.support())
+        vector = bag.parikh(alphabet)
+        assert Bag(dict(zip(alphabet, vector))) == bag

@@ -1,0 +1,156 @@
+"""Property-based tests for witnesses, embeddings, and their containment semantics.
+
+The invariants exercised here are the paper's central semantic claims:
+
+* the polynomial flow engine and the exponential backtracking engine agree on
+  witness existence for shape graphs (Theorem 3.4 is about the former);
+* embeddings are sound for containment: instances of the embedded shape graph
+  satisfy the embedding target (Lemma 3.3);
+* for DetShEx0- the characterizing-graph test agrees with the embedding test
+  (Lemma 4.2 / Corollary 4.3);
+* kind-fusion turns counter-examples into compressed counter-examples
+  (Section 6.1).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.containment.characterizing import characterizing_graph_for_schema
+from repro.containment.kinds import fuse_by_kinds
+from repro.embedding.simulation import embeds, maximal_simulation
+from repro.embedding.witness import find_witness_backtracking, find_witness_flow, verify_witness
+from repro.graphs.graph import Graph
+from repro.schema.convert import schema_to_shape_graph
+from repro.schema.validation import satisfies, satisfies_compressed
+from repro.workloads.generators import (
+    grow_schema_chain,
+    random_detshex0_minus_schema,
+    random_shape_schema,
+    sample_instance,
+)
+
+seeds = st.integers(min_value=0, max_value=10 ** 6)
+
+
+def _random_shape_graphs(seed: int):
+    rng = random.Random(seed)
+    left = schema_to_shape_graph(
+        random_shape_schema(rng.randint(2, 4), num_labels=3, edges_per_type=3, rng=rng)
+    )
+    right = schema_to_shape_graph(
+        random_shape_schema(rng.randint(2, 4), num_labels=3, edges_per_type=3, rng=rng)
+    )
+    return left, right
+
+
+class TestWitnessEngineAgreement:
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_flow_and_backtracking_agree_on_shape_graphs(self, seed):
+        left, right = _random_shape_graphs(seed)
+        relation = {(n, m) for n in left.nodes for m in right.nodes}
+        for n in left.nodes:
+            for m in right.nodes:
+                flow = find_witness_flow(left.out_edges(n), right.out_edges(m), relation)
+                back = find_witness_backtracking(left.out_edges(n), right.out_edges(m), relation)
+                assert (flow is None) == (back is None)
+                if flow is not None:
+                    assert verify_witness(
+                        left.out_edges(n), right.out_edges(m), flow, relation
+                    )
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_witnesses_of_maximal_simulation_verify(self, seed):
+        left, right = _random_shape_graphs(seed)
+        result = maximal_simulation(left, right, collect_witnesses=True)
+        for (n, m), witness in result.witnesses.items():
+            assert verify_witness(left.out_edges(n), right.out_edges(m), witness, result.simulation)
+
+
+class TestEmbeddingSemantics:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_embedding_reflexive(self, seed):
+        left, _ = _random_shape_graphs(seed)
+        assert embeds(left, left)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_lemma_3_3_soundness_on_sampled_instances(self, seed):
+        rng = random.Random(seed)
+        base = random_shape_schema(3, num_labels=3, edges_per_type=2, rng=rng)
+        chain = grow_schema_chain(base, 2, rng=rng)
+        for narrow, wide in zip(chain, chain[1:]):
+            narrow_graph = schema_to_shape_graph(narrow)
+            wide_graph = schema_to_shape_graph(wide)
+            if not embeds(narrow_graph, wide_graph):
+                continue
+            for _ in range(3):
+                instance = sample_instance(narrow, rng=rng, max_nodes=20)
+                if instance is not None:
+                    assert satisfies(instance, wide)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_instances_embed_into_their_schema_graph(self, seed):
+        rng = random.Random(seed)
+        schema = random_shape_schema(3, num_labels=3, edges_per_type=2, rng=rng)
+        shape = schema_to_shape_graph(schema)
+        instance = sample_instance(schema, rng=rng, max_nodes=15)
+        if instance is not None:
+            # Proposition 3.2: satisfaction of a ShEx0 schema = embedding in its shape graph
+            assert embeds(instance, shape)
+
+
+class TestDetShEx0MinusCharacterization:
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_characterizing_graph_is_in_language(self, seed):
+        rng = random.Random(seed)
+        schema = random_detshex0_minus_schema(4, num_labels=3, edges_per_type=2, rng=rng)
+        char = characterizing_graph_for_schema(schema)
+        assert char.is_simple()
+        assert satisfies(char, schema)
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_lemma_4_2_equivalence(self, seed):
+        rng = random.Random(seed)
+        left = random_detshex0_minus_schema(4, num_labels=3, edges_per_type=2, rng=rng)
+        right = random_detshex0_minus_schema(4, num_labels=3, edges_per_type=2, rng=rng)
+        left_graph = schema_to_shape_graph(left)
+        right_graph = schema_to_shape_graph(right)
+        embedded = embeds(left_graph, right_graph)
+        characterized = satisfies(characterizing_graph_for_schema(left), right)
+        assert embedded == characterized
+
+
+class TestKindFusion:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_fusion_preserves_positive_satisfaction(self, seed):
+        """Fusing nodes of equal kind keeps every type they had (the sound direction).
+
+        The fused graph can only *gain* types (cycles introduced by fusion allow
+        the greatest-fixpoint typing to grow), so satisfaction of either schema
+        is preserved; preservation of *non*-satisfaction needs the refined
+        appendix construction and is checked on concrete cases in the
+        integration tests instead.
+        """
+        rng = random.Random(seed)
+        schema_h = random_shape_schema(3, num_labels=3, edges_per_type=2, rng=rng)
+        schema_k = random_shape_schema(3, num_labels=3, edges_per_type=2, rng=rng)
+        instance = sample_instance(schema_h, rng=rng, max_nodes=15)
+        if instance is None:
+            return
+        kinds_before = len({kind for kind in fuse_by_kinds(instance, schema_h, schema_k)[1].values()})
+        fused, _ = fuse_by_kinds(instance, schema_h, schema_k)
+        assert fused.node_count == kinds_before
+        assert fused.node_count <= instance.node_count
+        if satisfies(instance, schema_h):
+            assert satisfies_compressed(fused, schema_h)
+        if satisfies(instance, schema_k):
+            assert satisfies_compressed(fused, schema_k)

@@ -1,0 +1,104 @@
+"""Property-based tests for the validation semantics.
+
+Invariants exercised:
+
+* Proposition 3.2 — for ShEx0 schemas, satisfaction of a simple graph equals
+  embedding into the schema's shape graph;
+* monotonicity — widening occurrence intervals never invalidates an instance;
+* compressed-graph validation (Proposition 6.2) agrees with validating the
+  unpacked simple graph;
+* packing a simple graph into a compressed graph preserves satisfaction.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding.simulation import embeds
+from repro.graphs.compressed import CompressedGraph, pack_simple_graph
+from repro.graphs.graph import Graph
+from repro.schema.convert import schema_to_shape_graph
+from repro.schema.validation import satisfies, satisfies_compressed
+from repro.workloads.generators import grow_schema_chain, random_shape_schema, sample_instance
+
+seeds = st.integers(min_value=0, max_value=10 ** 6)
+
+
+def _random_simple_graph(rng: random.Random, labels=("a", "b", "c"), max_nodes=5) -> Graph:
+    graph = Graph("random")
+    nodes = [f"n{i}" for i in range(rng.randint(1, max_nodes))]
+    graph.add_nodes(nodes)
+    used = set()
+    for _ in range(rng.randint(0, 2 * len(nodes))):
+        triple = (rng.choice(nodes), rng.choice(labels), rng.choice(nodes))
+        if triple in used:
+            continue
+        used.add(triple)
+        graph.add_edge(*triple)
+    return graph
+
+
+class TestProposition32:
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_satisfaction_equals_embedding_for_shex0(self, seed):
+        rng = random.Random(seed)
+        schema = random_shape_schema(3, num_labels=3, edges_per_type=2, rng=rng)
+        shape = schema_to_shape_graph(schema)
+        graph = _random_simple_graph(rng)
+        assert satisfies(graph, schema) == embeds(graph, shape)
+
+
+class TestMonotonicity:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_widening_preserves_satisfaction(self, seed):
+        rng = random.Random(seed)
+        base = random_shape_schema(3, num_labels=3, edges_per_type=2, rng=rng)
+        widened = grow_schema_chain(base, 2, rng=rng)[-1]
+        instance = sample_instance(base, rng=rng, max_nodes=15)
+        if instance is None:
+            return
+        assert satisfies(instance, base)
+        assert satisfies(instance, widened)
+
+
+def _random_compressed_graph(rng: random.Random, labels=("a", "b")) -> CompressedGraph:
+    graph = CompressedGraph("random-compressed")
+    nodes = [f"n{i}" for i in range(rng.randint(1, 3))]
+    graph.add_nodes(nodes)
+    for source in nodes:
+        for label in labels:
+            if rng.random() < 0.5:
+                graph.add_edge(source, label, rng.choice(nodes), rng.randint(1, 3))
+    return graph
+
+
+class TestCompressedAgreement:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_compressed_validation_agrees_with_unpacking(self, seed):
+        rng = random.Random(seed)
+        schema = random_shape_schema(3, num_labels=2, edges_per_type=2, rng=rng)
+        compressed = _random_compressed_graph(rng)
+        assert satisfies_compressed(compressed, schema) == satisfies(compressed.unpack(), schema)
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_packing_preserves_satisfaction(self, seed):
+        rng = random.Random(seed)
+        schema = random_shape_schema(3, num_labels=3, edges_per_type=2, rng=rng)
+        graph = _random_simple_graph(rng)
+        packed = pack_simple_graph(graph)
+        assert satisfies_compressed(packed, schema) == satisfies(graph, schema)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_unpacking_is_simple_and_size_matches_prediction(self, seed):
+        rng = random.Random(seed)
+        compressed = _random_compressed_graph(rng)
+        unpacked = compressed.unpack()
+        assert unpacked.is_simple()
+        assert unpacked.node_count == compressed.unpacked_node_count()
+        assert unpacked.edge_count == compressed.unpacked_edge_count()

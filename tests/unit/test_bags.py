@@ -1,0 +1,97 @@
+"""Unit tests for bags (multisets) of symbols."""
+
+import pytest
+
+from repro.core.bags import Bag, EMPTY_BAG
+
+
+class TestConstruction:
+    def test_from_iterable_counts_repetitions(self):
+        bag = Bag(["a", "a", "a", "c", "c"])
+        assert bag.count("a") == 3
+        assert bag.count("b") == 0
+        assert bag.count("c") == 2
+
+    def test_from_mapping(self):
+        assert Bag({"a": 3, "c": 2}) == Bag(["a", "a", "a", "c", "c"])
+
+    def test_zero_counts_dropped(self):
+        bag = Bag({"a": 0, "b": 1})
+        assert "a" not in bag
+        assert bag.support() == frozenset({"b"})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Bag({"a": -1})
+
+    def test_empty(self):
+        assert Bag().is_empty
+        assert EMPTY_BAG.is_empty
+        assert Bag().size == 0
+
+    def test_tuple_symbols(self):
+        bag = Bag([("a", "t"), ("a", "t"), ("b", "s")])
+        assert bag.count(("a", "t")) == 2
+        assert "a::t" in str(bag)
+
+
+class TestQueries:
+    def test_size_counts_multiplicity(self):
+        assert Bag(["a", "a", "b"]).size == 3
+        assert len(Bag(["a", "a", "b"])) == 2  # distinct symbols
+
+    def test_elements(self):
+        assert sorted(Bag({"a": 2, "b": 1}).elements()) == ["a", "a", "b"]
+
+    def test_parikh_vector(self):
+        assert Bag({"a": 2, "c": 1}).parikh(["a", "b", "c"]) == (2, 0, 1)
+
+    def test_restrict(self):
+        assert Bag({"a": 2, "b": 1}).restrict(["a"]) == Bag({"a": 2})
+
+    def test_issubbag(self):
+        assert Bag({"a": 1}).issubbag(Bag({"a": 2, "b": 1}))
+        assert not Bag({"a": 3}).issubbag(Bag({"a": 2}))
+        assert Bag().issubbag(Bag({"a": 1}))
+
+
+class TestAlgebra:
+    def test_union_adds_multiplicities(self):
+        assert Bag({"a": 1}) + Bag({"a": 2, "b": 1}) == Bag({"a": 3, "b": 1})
+
+    def test_union_with_empty_is_identity(self):
+        bag = Bag({"a": 2})
+        assert bag + Bag() == bag
+        assert Bag() + bag == bag
+
+    def test_difference(self):
+        assert Bag({"a": 3, "b": 1}) - Bag({"a": 1}) == Bag({"a": 2, "b": 1})
+        assert Bag({"a": 1}) - Bag({"a": 1}) == Bag()
+
+    def test_difference_underflow_raises(self):
+        with pytest.raises(ValueError):
+            Bag({"a": 1}) - Bag({"a": 2})
+
+    def test_scalar_repetition(self):
+        assert Bag({"a": 2}) * 3 == Bag({"a": 6})
+        assert 0 * Bag({"a": 2}) == Bag()
+        with pytest.raises(ValueError):
+            Bag({"a": 1}) * -1
+
+
+class TestEqualityAndHashing:
+    def test_equality_ignores_construction_order(self):
+        assert Bag(["a", "b", "a"]) == Bag(["b", "a", "a"])
+
+    def test_equality_with_mapping(self):
+        assert Bag({"a": 2}) == {"a": 2}
+        assert Bag({"a": 2}) == {"a": 2, "b": 0}
+
+    def test_hashable(self):
+        assert len({Bag({"a": 1}), Bag(["a"]), Bag({"b": 1})}) == 2
+
+    def test_str_of_empty(self):
+        assert str(Bag()) == "{||}"
+
+    def test_str_lists_repetitions(self):
+        assert str(Bag({"a": 2})) == "{|a, a|}"

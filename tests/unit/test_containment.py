@@ -1,0 +1,262 @@
+"""Unit tests for the containment machinery: characterizing graphs, DetShEx0-,
+counter-example search, kinds, and the top-level API."""
+
+import pytest
+
+from repro.containment.api import ContainmentResult, Verdict, contains, equivalent
+from repro.containment.characterizing import (
+    characterizing_embedding,
+    characterizing_graph,
+    characterizing_graph_for_schema,
+)
+from repro.containment.counterexample import enumerate_instances, find_counterexample
+from repro.containment.detshex import contains_detshex0_minus
+from repro.containment.kinds import fuse_by_kinds, node_kinds
+from repro.errors import SchemaClassError
+from repro.graphs.graph import Graph
+from repro.schema.convert import schema_to_shape_graph
+from repro.schema.parser import parse_schema
+from repro.schema.shex import ShExSchema
+from repro.schema.typing import is_valid_typing
+from repro.schema.validation import satisfies, satisfies_compressed
+from repro.workloads.figures import figure4_graph_g, figure4_graph_h
+
+
+class TestCharacterizingGraph:
+    def test_characterizing_graph_in_language(self, bug_schema):
+        shape = schema_to_shape_graph(bug_schema)
+        char = characterizing_graph(shape)
+        assert char.is_simple()
+        assert char.node_count == 2 * shape.node_count
+        assert satisfies(char, bug_schema)
+
+    def test_canonical_embedding_is_valid_typing(self, bug_schema):
+        shape = schema_to_shape_graph(bug_schema)
+        char = characterizing_graph(shape)
+        mapping = characterizing_embedding(shape)
+        typing = {node: {mapping[node]} for node in char.nodes}
+        assert is_valid_typing(char, bug_schema, typing)
+
+    def test_star_edges_duplicated(self, tiny_schema):
+        shape = schema_to_shape_graph(tiny_schema)
+        char = characterizing_graph(shape)
+        root_full = ("root", 1)
+        item_edges = [e for e in char.out_edges(root_full) if e.label == "item"]
+        assert {e.target for e in item_edges} == {("entry", 1), ("entry", 0)}
+
+    def test_optional_edges_differ_between_variants(self, tiny_schema):
+        shape = schema_to_shape_graph(tiny_schema)
+        char = characterizing_graph(shape)
+        assert any(e.label == "name" for e in char.out_edges(("entry", 1)))
+        assert not any(e.label == "name" for e in char.out_edges(("entry", 0)))
+
+    def test_rejects_schemas_outside_detshex0_minus(self):
+        schema = ShExSchema({"t": "a :: s+", "s": "eps"})
+        with pytest.raises(SchemaClassError):
+            characterizing_graph_for_schema(schema)
+
+    def test_polynomial_size(self, bug_schema):
+        shape = schema_to_shape_graph(bug_schema)
+        char = characterizing_graph(shape)
+        assert char.edge_count <= 4 * shape.edge_count
+
+
+class TestDetShEx0MinusContainment:
+    def test_reflexive(self, bug_schema):
+        assert contains_detshex0_minus(bug_schema, bug_schema)
+
+    def test_widening_is_containment(self):
+        narrow = parse_schema("t -> a :: s, rel :: t*\ns -> eps")
+        wide = parse_schema("t -> a :: s?, rel :: t*\ns -> eps")
+        assert contains_detshex0_minus(narrow, wide)
+        assert not contains_detshex0_minus(wide, narrow)
+
+    def test_certificate_returned(self, bug_schema):
+        decided, certificate = contains_detshex0_minus(
+            bug_schema, bug_schema, return_certificate=True
+        )
+        assert decided and certificate.embeds
+        assert certificate.witnesses  # embeds with witnesses collected
+
+    def test_non_containment_detected(self):
+        left = parse_schema("t -> a :: s, rel :: t*\ns -> eps")
+        right = parse_schema("t -> b :: s, rel :: t*\ns -> eps")
+        assert not contains_detshex0_minus(left, right)
+
+    def test_rejects_out_of_class_schemas(self):
+        plus_schema = ShExSchema({"t": "a :: s+", "s": "eps"})
+        with pytest.raises(SchemaClassError):
+            contains_detshex0_minus(plus_schema, plus_schema)
+
+    def test_accepts_shape_graphs_directly(self, bug_schema):
+        shape = schema_to_shape_graph(bug_schema)
+        assert contains_detshex0_minus(shape, shape)
+
+    def test_corollary_43_agrees_with_characterizing_test(self):
+        # H ⊆ K iff H ≼ K iff char(H) ∈ L(K), checked on a hand-made pair.
+        h = parse_schema("t -> a :: s?, rel :: t*\ns -> eps")
+        k = parse_schema("t -> a :: s*, rel :: t*\ns -> eps")
+        assert contains_detshex0_minus(h, k)
+        assert satisfies(characterizing_graph_for_schema(h), k)
+        assert not contains_detshex0_minus(k, h)
+        assert not satisfies(characterizing_graph_for_schema(k), h)
+
+
+class TestCounterexampleSearch:
+    def test_enumerate_instances_cover_optional_choices(self):
+        schema = parse_schema("t -> a :: o?, b :: o?\no -> eps")
+        instances = list(enumerate_instances(schema, "t", max_nodes=10))
+        degrees = sorted(instance.out_degree(next(iter(
+            n for n in instance.nodes if str(n).startswith("t#")
+        ))) for instance in instances)
+        assert degrees == [0, 1, 1, 2]
+        for instance in instances:
+            assert satisfies(instance, schema)
+
+    def test_enumerate_requires_shex0(self):
+        schema = ShExSchema({"t": "(a :: o | b :: o)", "o": "eps"})
+        with pytest.raises(ValueError):
+            list(enumerate_instances(schema, "t"))
+
+    def test_find_counterexample_by_characterizing(self):
+        wide = parse_schema("t -> a :: s?, rel :: t*\ns -> eps")
+        narrow = parse_schema("t -> a :: s, rel :: t*\ns -> eps")
+        search = find_counterexample(wide, narrow)
+        assert search
+        assert satisfies(search.counterexample, wide)
+        assert not satisfies(search.counterexample, narrow)
+        assert "characterizing" in search.strategies_used
+
+    def test_find_counterexample_none_for_contained_pair(self):
+        narrow = parse_schema("t -> a :: s, rel :: t*\ns -> eps")
+        wide = parse_schema("t -> a :: s?, rel :: t*\ns -> eps")
+        search = find_counterexample(narrow, wide, max_candidates=200)
+        assert not search
+        assert search.candidates_checked > 0
+
+    def test_enumeration_finds_counterexample_beyond_detshex(self):
+        # H allows the 'a' edge to be absent; K demands it.  A root carrying only
+        # the 'c' edge separates the two (it cannot fall back on any other K type).
+        h = parse_schema("t -> a :: o?, c :: z\no -> eps\nz -> eps")
+        k = parse_schema("t -> a :: o, c :: z\no -> eps\nz -> eps")
+        search = find_counterexample(h, k, strategies=("enumerate",))
+        assert search
+        assert satisfies(search.counterexample, h)
+        assert not satisfies(search.counterexample, k)
+
+    def test_unknown_strategy_rejected(self, bug_schema):
+        with pytest.raises(ValueError):
+            find_counterexample(bug_schema, bug_schema, strategies=("magic",))
+
+
+class TestKinds:
+    def test_node_kinds_of_figure2(self, g0, s0):
+        kinds = node_kinds(g0, s0, s0)
+        assert kinds["n1"] == (frozenset({"t1", "t2"}), frozenset({"t1", "t2"}))
+
+    def test_fusion_preserves_counterexample(self):
+        h = parse_schema("t -> a :: o?, c :: z\no -> eps\nz -> eps")
+        k = parse_schema("t -> a :: o, c :: z\no -> eps\nz -> eps")
+        graph = Graph()
+        # two isomorphic "missing a" roots (same kind, fusable) plus a full root
+        graph.add_edge("x1", "c", "z1")
+        graph.add_edge("x2", "c", "z2")
+        graph.add_edge("x3", "a", "y3")
+        graph.add_edge("x3", "c", "z3")
+        assert satisfies(graph, h) and not satisfies(graph, k)
+        fused, kinds = fuse_by_kinds(graph, h, k)
+        assert fused.is_compressed()
+        assert fused.node_count <= graph.node_count
+        assert satisfies_compressed(fused, h)
+        assert not satisfies_compressed(fused, k)
+
+    def test_fusion_merges_same_kind_nodes(self, g0, s0):
+        doubled = g0.disjoint_union(g0)
+        fused, _ = fuse_by_kinds(doubled, s0, s0)
+        assert fused.node_count == 3  # one node per kind, as in the original G0
+
+
+class TestContainmentAPI:
+    def test_exact_detshex_path(self, bug_schema):
+        result = contains(bug_schema, bug_schema)
+        assert result.verdict is Verdict.CONTAINED
+        assert result.method == "detshex0-minus-embedding"
+        assert result.is_exact and bool(result)
+
+    def test_not_contained_with_counterexample(self):
+        wide = parse_schema("t -> a :: s?, rel :: t*\ns -> eps")
+        narrow = parse_schema("t -> a :: s, rel :: t*\ns -> eps")
+        result = contains(wide, narrow)
+        assert result.verdict is Verdict.NOT_CONTAINED
+        assert result.counterexample is not None
+        assert satisfies(result.counterexample, wide)
+        assert not satisfies(result.counterexample, narrow)
+
+    def test_embedding_path_for_shex0(self, bug_refactored, bug_schema):
+        result = contains(bug_refactored, bug_schema)
+        assert result.verdict is Verdict.CONTAINED
+        assert result.method == "embedding"
+
+    def test_unknown_when_search_exhausts(self, bug_schema, bug_refactored):
+        # The converse direction of the refactoring example holds semantically but
+        # is beyond the embedding test; the bounded search cannot refute it either.
+        result = contains(bug_schema, bug_refactored, max_candidates=50, samples=5)
+        assert result.verdict is Verdict.UNKNOWN
+        assert not result.is_exact
+
+    def test_counterexample_only_method(self):
+        h = parse_schema("t -> a :: o?, c :: z\no -> eps\nz -> eps")
+        k = parse_schema("t -> a :: o, c :: z\no -> eps\nz -> eps")
+        result = contains(h, k, method="counterexample")
+        assert result.verdict is Verdict.NOT_CONTAINED
+
+    def test_embedding_method_requires_shex0(self):
+        general = ShExSchema({"t": "(a :: o | b :: o)", "o": "eps"})
+        with pytest.raises(SchemaClassError):
+            contains(general, general, method="embedding")
+
+    def test_unknown_method_rejected(self, bug_schema):
+        with pytest.raises(ValueError):
+            contains(bug_schema, bug_schema, method="quantum")
+
+    def test_accepts_shape_graphs(self, h0):
+        result = contains(h0, h0)
+        assert result.verdict is Verdict.CONTAINED
+
+    def test_figure4_pair_through_api(self):
+        graph_g, graph_h = figure4_graph_g(), figure4_graph_h()
+        forward = contains(graph_g, graph_h)
+        # containment holds semantically but embedding cannot prove it
+        assert forward.verdict in (Verdict.UNKNOWN, Verdict.CONTAINED)
+        backward = contains(graph_h, graph_g)
+        assert backward.verdict is not Verdict.NOT_CONTAINED
+
+    def test_equivalence_of_interval_widening(self):
+        a = parse_schema("t -> a :: s?, rel :: t*\ns -> eps")
+        b = parse_schema("t -> a :: s?, rel :: t*\ns -> eps")
+        result = equivalent(a, b)
+        assert result.verdict is Verdict.CONTAINED
+
+    def test_equivalence_detects_difference(self):
+        a = parse_schema("t -> a :: s?, rel :: t*\ns -> eps")
+        b = parse_schema("t -> a :: s, rel :: t*\ns -> eps")
+        result = equivalent(a, b)
+        assert result.verdict is Verdict.NOT_CONTAINED
+        assert result.counterexample is not None
+
+    def test_general_shex_falls_back_to_sampling(self):
+        h = ShExSchema({"t": "(a :: o | b :: o)", "o": "eps"})
+        k = ShExSchema({"t": "a :: o", "o": "eps"})
+        result = contains(h, k, samples=60, seed=3)
+        assert result.verdict is Verdict.NOT_CONTAINED
+        assert result.left_class is SchemaClass_or(result)
+        # the counter-example must use the b-branch that K forbids
+        assert any(edge.label == "b" for edge in result.counterexample.edges)
+
+
+def SchemaClass_or(result: ContainmentResult):
+    """Helper keeping the assertion readable: the left class of the general pair."""
+    from repro.schema.classes import SchemaClass
+
+    assert result.left_class in (SchemaClass.DETSHEX, SchemaClass.SHEX)
+    return result.left_class

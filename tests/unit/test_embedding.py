@@ -1,0 +1,199 @@
+"""Unit tests for witnesses of simulation, maximal simulations, and embeddings (Section 3)."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.embedding.simulation import embeds, find_embedding, maximal_simulation
+from repro.embedding.witness import (
+    find_witness,
+    find_witness_backtracking,
+    find_witness_flow,
+    verify_witness,
+)
+from repro.errors import ReproError
+from repro.graphs.graph import Graph
+from repro.util.assignment import feasible_assignment
+
+
+def _graphs_for_witness(source_spec, sink_spec):
+    """Build one source node and one sink node with the given labelled intervals."""
+    source_graph, sink_graph = Graph("src"), Graph("dst")
+    for index, (label, occur, target) in enumerate(source_spec):
+        source_graph.add_edge("n", label, target, occur)
+    for index, (label, occur, target) in enumerate(sink_spec):
+        sink_graph.add_edge("m", label, target, occur)
+    return source_graph, sink_graph
+
+
+class TestFeasibleAssignment:
+    def test_simple_assignment(self):
+        result = feasible_assignment({"i1": ["g"], "i2": ["g"]}, {"g": (0, None)})
+        assert result == {"i1": "g", "i2": "g"}
+
+    def test_respects_upper_bounds(self):
+        assert feasible_assignment({"i1": ["g"], "i2": ["g"]}, {"g": (0, 1)}) is None
+
+    def test_respects_lower_bounds(self):
+        assert feasible_assignment({}, {"g": (1, None)}) is None
+        assert feasible_assignment({"i": ["g"]}, {"g": (1, 1)}) == {"i": "g"}
+
+    def test_item_without_options_infeasible(self):
+        assert feasible_assignment({"i": []}, {"g": (0, None)}) is None
+
+    def test_balanced_exact_demands(self):
+        allowed = {"a": ["g1", "g2"], "b": ["g1"], "c": ["g2"]}
+        bounds = {"g1": (2, 2), "g2": (1, 1)}
+        result = feasible_assignment(allowed, bounds)
+        assert result is not None
+        assert sorted(result.values()).count("g1") == 2
+        assert sorted(result.values()).count("g2") == 1
+
+    def test_infeasible_demands(self):
+        allowed = {"a": ["g1"], "b": ["g1"]}
+        bounds = {"g1": (0, None), "g2": (1, None)}
+        assert feasible_assignment(allowed, bounds) is None
+
+
+class TestWitnessEngines:
+    def test_unit_sources_to_star_sink(self):
+        src, dst = _graphs_for_witness(
+            [("a", "1", "x"), ("a", "1", "y")], [("a", "*", "t")]
+        )
+        relation = {("x", "t"), ("y", "t")}
+        witness = find_witness_flow(src.out_edges("n"), dst.out_edges("m"), relation)
+        assert witness is not None
+        assert verify_witness(src.out_edges("n"), dst.out_edges("m"), witness, relation)
+
+    def test_two_units_overflow_one_sink(self):
+        src, dst = _graphs_for_witness(
+            [("a", "1", "x"), ("a", "1", "y")], [("a", "1", "t")]
+        )
+        relation = {("x", "t"), ("y", "t")}
+        assert find_witness_flow(src.out_edges("n"), dst.out_edges("m"), relation) is None
+        assert find_witness_backtracking(src.out_edges("n"), dst.out_edges("m"), relation) is None
+
+    def test_mandatory_sink_deficit(self):
+        src, dst = _graphs_for_witness([], [("a", "+", "t")])
+        assert find_witness_flow(src.out_edges("n"), dst.out_edges("m"), set()) is None
+
+    def test_optional_sink_may_stay_empty(self):
+        src, dst = _graphs_for_witness([], [("a", "?", "t"), ("b", "*", "t")])
+        witness = find_witness_flow(src.out_edges("n"), dst.out_edges("m"), set())
+        assert witness == {}
+
+    def test_label_mismatch(self):
+        src, dst = _graphs_for_witness([("a", "1", "x")], [("b", "*", "t")])
+        relation = {("x", "t")}
+        assert find_witness(src.out_edges("n"), dst.out_edges("m"), relation) is None
+
+    def test_relation_constrains_targets(self):
+        src, dst = _graphs_for_witness([("a", "1", "x")], [("a", "*", "t")])
+        assert find_witness_flow(src.out_edges("n"), dst.out_edges("m"), set()) is None
+
+    def test_star_source_needs_star_sink(self):
+        src, dst = _graphs_for_witness([("a", "*", "x")], [("a", "+", "t")])
+        relation = {("x", "t")}
+        assert find_witness_flow(src.out_edges("n"), dst.out_edges("m"), relation) is None
+        src, dst = _graphs_for_witness([("a", "*", "x")], [("a", "*", "t")])
+        assert find_witness_flow(src.out_edges("n"), dst.out_edges("m"), relation) is not None
+
+    def test_plus_sink_needs_mandatory_source(self):
+        src, dst = _graphs_for_witness([("a", "?", "x")], [("a", "+", "t")])
+        relation = {("x", "t")}
+        assert find_witness_flow(src.out_edges("n"), dst.out_edges("m"), relation) is None
+        src, dst = _graphs_for_witness(
+            [("a", "?", "x"), ("a", "1", "y")], [("a", "+", "t")]
+        )
+        relation = {("x", "t"), ("y", "t")}
+        assert find_witness_flow(src.out_edges("n"), dst.out_edges("m"), relation) is not None
+
+    def test_one_sink_takes_exactly_one_unit(self):
+        src, dst = _graphs_for_witness(
+            [("a", "1", "x"), ("a", "1", "y")], [("a", "1", "t"), ("a", "*", "t")]
+        )
+        relation = {("x", "t"), ("y", "t")}
+        witness = find_witness_flow(src.out_edges("n"), dst.out_edges("m"), relation)
+        assert witness is not None
+        assert verify_witness(src.out_edges("n"), dst.out_edges("m"), witness, relation)
+
+    def test_flow_engine_rejects_arbitrary_intervals(self):
+        src, dst = _graphs_for_witness([("a", Interval(2, 2), "x")], [("a", "*", "t")])
+        with pytest.raises(ReproError):
+            find_witness_flow(src.out_edges("n"), dst.out_edges("m"), {("x", "t")})
+
+    def test_backtracking_handles_arbitrary_intervals(self):
+        src, dst = _graphs_for_witness(
+            [("a", Interval(2, 2), "x"), ("a", "1", "y")],
+            [("a", Interval(2, 2), "t"), ("a", Interval(1, 3), "t")],
+        )
+        relation = {("x", "t"), ("y", "t")}
+        witness = find_witness_backtracking(src.out_edges("n"), dst.out_edges("m"), relation)
+        assert witness is not None
+        assert verify_witness(src.out_edges("n"), dst.out_edges("m"), witness, relation)
+
+    def test_auto_engine_dispatch(self):
+        src, dst = _graphs_for_witness([("a", "1", "x")], [("a", Interval(1, 2), "t")])
+        relation = {("x", "t")}
+        assert find_witness(src.out_edges("n"), dst.out_edges("m"), relation) is not None
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ReproError):
+            find_witness([], [], set(), engine="magic")
+
+    def test_verify_witness_rejects_bad_mappings(self):
+        src, dst = _graphs_for_witness([("a", "1", "x")], [("a", "*", "t"), ("b", "*", "t")])
+        relation = {("x", "t")}
+        sources, sinks = src.out_edges("n"), dst.out_edges("m")
+        wrong_label = {sources[0].edge_id: sinks[1]}
+        assert not verify_witness(sources, sinks, wrong_label, relation)
+        assert not verify_witness(sources, sinks, {}, relation)
+
+
+class TestSimulationAndEmbedding:
+    def test_figure3_embedding(self, g0, h0):
+        result = find_embedding(g0, h0)
+        assert result.embeds
+        assert ("n0", "t0") in result.simulation
+        assert ("n1", "t1") in result.simulation and ("n1", "t2") in result.simulation
+        assert ("n2", "t3") in result.simulation
+        for pair, witness in result.witnesses.items():
+            n, m = pair
+            assert verify_witness(g0.out_edges(n), h0.out_edges(m), witness, result.simulation)
+
+    def test_figure4_no_embedding(self, fig4_g, fig4_h):
+        result = maximal_simulation(fig4_g, fig4_h)
+        assert not result.embeds
+        assert "u" in result.unmatched
+
+    def test_embedding_is_reflexive(self, h0):
+        assert embeds(h0, h0)
+
+    def test_embedding_composes(self, g0, h0):
+        wider = Graph("wider")
+        wider.add_edge("t0", "a", "t1", "*")
+        wider.add_edge("t1", "b", "t2", "*")
+        wider.add_edge("t1", "c", "t3", "*")
+        wider.add_edge("t2", "b", "t2", "*")
+        wider.add_edge("t2", "c", "t3", "*")
+        assert embeds(h0, wider)
+        assert embeds(g0, h0)
+        assert embeds(g0, wider)  # composition G ≼ H ≼ wider
+
+    def test_simulators_of(self, g0, h0):
+        result = maximal_simulation(g0, h0)
+        assert result.simulators_of("n1") == {"t1", "t2"}
+
+    def test_unmatched_nodes_reported(self, h0):
+        graph = Graph()
+        graph.add_edge("x", "zzz", "y")
+        result = maximal_simulation(graph, h0)
+        assert not result.embeds
+        assert "x" in result.unmatched
+
+    def test_empty_source_graph_embeds_anywhere(self, h0):
+        assert embeds(Graph(), h0)
+
+    def test_statistics_populated(self, g0, h0):
+        result = maximal_simulation(g0, h0)
+        assert result.refinement_rounds >= 1
+        assert result.witness_checks >= len(result.simulation)

@@ -1,0 +1,136 @@
+"""Unit tests for the workload generators and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.schema.classes import is_detshex0_minus, is_shex0, schema_class
+from repro.schema.convert import schema_to_shape_graph
+from repro.schema.validation import satisfies
+from repro.workloads.bugtracker import BUG_TRACKER_TURTLE
+from repro.workloads.generators import (
+    grow_schema_chain,
+    random_detshex0_minus_schema,
+    random_shape_schema,
+    random_shex_schema,
+    sample_instance,
+)
+
+
+class TestGenerators:
+    def test_random_shape_schema_is_shex0(self, rng):
+        schema = random_shape_schema(5, rng=rng)
+        assert is_shex0(schema)
+        assert len(schema.types) == 5
+
+    def test_random_detshex0_minus_schema_in_class(self, rng):
+        for _ in range(5):
+            schema = random_detshex0_minus_schema(5, rng=rng)
+            assert is_detshex0_minus(schema)
+
+    def test_random_shex_schema_types(self, rng):
+        schema = random_shex_schema(4, rng=rng)
+        assert len(schema.types) == 4
+
+    def test_sample_instance_satisfies_schema(self, rng, bug_schema):
+        instance = sample_instance(bug_schema, root_type="Bug", rng=rng, max_nodes=30)
+        assert instance is not None
+        assert instance.is_simple()
+        assert satisfies(instance, bug_schema)
+
+    def test_sample_instance_closes_cycles(self, rng):
+        from repro.schema.parser import parse_schema
+
+        schema = parse_schema("t -> next :: t")
+        instance = sample_instance(schema, root_type="t", rng=rng, max_nodes=5, max_depth=2)
+        assert instance is not None
+        assert satisfies(instance, schema)
+
+    def test_grow_schema_chain_monotone(self, rng):
+        base = random_detshex0_minus_schema(4, rng=rng)
+        chain = grow_schema_chain(base, 4, rng=rng)
+        assert len(chain) == 5
+        for earlier, later in zip(chain, chain[1:]):
+            assert earlier.types == later.types
+
+    def test_grow_schema_chain_embeds_forward(self, rng):
+        from repro.embedding.simulation import embeds
+
+        base = random_shape_schema(4, rng=rng)
+        chain = grow_schema_chain(base, 3, rng=rng)
+        for earlier, later in zip(chain, chain[1:]):
+            assert embeds(schema_to_shape_graph(earlier), schema_to_shape_graph(later))
+
+
+SCHEMA_TEXT = """
+Bug -> descr :: Literal, reportedBy :: User, reproducedBy :: Employee?, related :: Bug*
+User -> name :: Literal, email :: Literal?
+Employee -> name :: Literal, email :: Literal
+Literal -> isLiteral :: Marker
+Marker -> eps
+"""
+
+NARROWER_SCHEMA_TEXT = """
+Bug -> descr :: Literal, reportedBy :: User, related :: Bug*
+User -> name :: Literal
+Employee -> name :: Literal, email :: Literal
+Literal -> isLiteral :: Marker
+Marker -> eps
+"""
+
+
+class TestCLI:
+    @pytest.fixture
+    def schema_file(self, tmp_path):
+        path = tmp_path / "schema.shex"
+        path.write_text(SCHEMA_TEXT)
+        return str(path)
+
+    @pytest.fixture
+    def narrow_schema_file(self, tmp_path):
+        path = tmp_path / "narrow.shex"
+        path.write_text(NARROWER_SCHEMA_TEXT)
+        return str(path)
+
+    @pytest.fixture
+    def data_file(self, tmp_path):
+        path = tmp_path / "data.ttl"
+        path.write_text(BUG_TRACKER_TURTLE)
+        return str(path)
+
+    def test_validate_accepts_valid_data(self, schema_file, data_file, capsys):
+        code = main(["validate", "--schema", schema_file, "--data", data_file])
+        assert code == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_validate_rejects_invalid_data(self, schema_file, tmp_path, capsys):
+        bad = tmp_path / "bad.ttl"
+        bad.write_text("@prefix ex: <http://x/> .\nex:a ex:strange ex:b .\n")
+        code = main(["validate", "--schema", schema_file, "--data", str(bad)])
+        assert code == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_contains_positive(self, narrow_schema_file, schema_file, capsys):
+        code = main(["contains", "--left", narrow_schema_file, "--right", schema_file])
+        assert code == 0
+        assert "contained" in capsys.readouterr().out
+
+    def test_contains_negative_with_counterexample(self, schema_file, narrow_schema_file, capsys):
+        code = main(
+            [
+                "contains",
+                "--left",
+                schema_file,
+                "--right",
+                narrow_schema_file,
+                "--show-counterexample",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "not-contained" in out and "counter-example" in out
+
+    def test_classify(self, schema_file, capsys):
+        code = main(["classify", "--schema", schema_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DetShEx0-" in out and "yes" in out

@@ -1,0 +1,261 @@
+"""Unit tests for the graph models: general, simple, shape, compressed."""
+
+import pytest
+
+from repro.core.intervals import Interval, ONE, OPT, PLUS, STAR
+from repro.errors import GraphError, NotSimpleGraphError
+from repro.graphs.compressed import CompressedGraph, pack_simple_graph
+from repro.graphs.graph import Graph
+from repro.graphs.shape import (
+    is_detshex0_minus_graph,
+    is_deterministic_shape_graph,
+    is_shape_graph,
+    detshex0_minus_violations,
+    star_closed_references,
+)
+from repro.graphs.simple import assert_simple, is_simple, simple_graph_from_triples
+
+
+class TestGraphBasics:
+    def test_add_edge_creates_nodes(self):
+        graph = Graph()
+        graph.add_edge("x", "a", "y")
+        assert graph.nodes == {"x", "y"}
+        assert graph.edge_count == 1
+
+    def test_default_interval_is_one(self):
+        graph = Graph()
+        edge = graph.add_edge("x", "a", "y")
+        assert edge.occur == ONE
+
+    def test_out_edges_and_labels(self):
+        graph = Graph()
+        graph.add_edge("x", "a", "y")
+        graph.add_edge("x", "b", "z")
+        graph.add_edge("y", "a", "z")
+        assert graph.out_labels("x") == {"a", "b"}
+        assert graph.out_degree("x") == 2
+        assert graph.successors("x", "a") == ["y"]
+        assert {e.label for e in graph.in_edges("z")} == {"b", "a"}
+
+    def test_out_edges_by_label(self):
+        graph = Graph()
+        graph.add_edge("x", "a", "y")
+        graph.add_edge("x", "a", "z")
+        grouped = graph.out_edges_by_label("x")
+        assert len(grouped["a"]) == 2
+
+    def test_parallel_edges_allowed(self):
+        graph = Graph()
+        graph.add_edge("x", "a", "y")
+        graph.add_edge("x", "a", "y")
+        assert graph.edge_count == 2
+        assert not graph.is_simple()
+
+    def test_remove_edge_and_node(self):
+        graph = Graph()
+        edge = graph.add_edge("x", "a", "y")
+        graph.add_edge("y", "b", "x")
+        graph.remove_edge(edge)
+        assert graph.edge_count == 1
+        graph.remove_node("y")
+        assert graph.nodes == {"x"}
+        assert graph.edge_count == 0
+        with pytest.raises(GraphError):
+            graph.remove_node("missing")
+
+    def test_copy_is_independent(self):
+        graph = Graph("orig")
+        graph.add_edge("x", "a", "y")
+        clone = graph.copy()
+        clone.add_edge("y", "b", "z")
+        assert graph.edge_count == 1 and clone.edge_count == 2
+
+    def test_relabel_nodes(self):
+        graph = Graph()
+        graph.add_edge("x", "a", "y")
+        renamed = graph.relabel_nodes({"x": "n0", "y": "n1"})
+        assert renamed.nodes == {"n0", "n1"}
+        with pytest.raises(GraphError):
+            graph.relabel_nodes({"x": "y"})
+
+    def test_subgraph(self):
+        graph = Graph()
+        graph.add_edge("x", "a", "y")
+        graph.add_edge("y", "a", "z")
+        sub = graph.subgraph({"x", "y"})
+        assert sub.nodes == {"x", "y"} and sub.edge_count == 1
+
+    def test_disjoint_union(self):
+        left, right = Graph("l"), Graph("r")
+        left.add_edge("x", "a", "y")
+        right.add_edge("x", "b", "y")
+        union = left.disjoint_union(right)
+        assert union.node_count == 4 and union.edge_count == 2
+
+    def test_reachable_from(self):
+        graph = Graph()
+        graph.add_edge("x", "a", "y")
+        graph.add_edge("y", "a", "z")
+        graph.add_edge("w", "a", "x")
+        assert graph.reachable_from("x") == {"x", "y", "z"}
+
+    def test_from_triples_and_back(self):
+        triples = [("x", "a", "y"), ("y", "b", "z")]
+        graph = Graph.from_triples(triples)
+        assert sorted(graph.triples()) == sorted(triples)
+
+    def test_str_contains_edges(self):
+        graph = Graph("demo")
+        graph.add_edge("x", "a", "y", "*")
+        rendered = str(graph)
+        assert "demo" in rendered and "x -a [*]-> y" in rendered
+
+
+class TestGraphClasses:
+    def test_simple_graph_detection(self):
+        graph = simple_graph_from_triples([("x", "a", "y"), ("x", "a", "y")])
+        assert graph.edge_count == 1  # duplicates collapse
+        assert is_simple(graph)
+        assert assert_simple(graph) is graph
+
+    def test_non_simple_rejected(self):
+        graph = Graph()
+        graph.add_edge("x", "a", "y", "*")
+        with pytest.raises(NotSimpleGraphError):
+            assert_simple(graph)
+
+    def test_shape_graph_detection(self):
+        graph = Graph()
+        graph.add_edge("t", "a", "s", "*")
+        graph.add_edge("t", "b", "s", "?")
+        assert is_shape_graph(graph)
+        graph.add_edge("t", "c", "s", Interval(2, 3))
+        assert not is_shape_graph(graph)
+
+    def test_deterministic_shape_graph(self):
+        graph = Graph()
+        graph.add_edge("t", "a", "s")
+        graph.add_edge("t", "b", "s")
+        assert is_deterministic_shape_graph(graph)
+        graph.add_edge("t", "a", "u")
+        assert not is_deterministic_shape_graph(graph)
+
+    def test_star_closed_references(self):
+        graph = Graph()
+        star_edge = graph.add_edge("root", "rel", "root", "*")
+        one_edge = graph.add_edge("root", "owner", "user", "1")
+        closed = star_closed_references(graph)
+        assert closed[star_edge.edge_id]
+        # the 1-edge is *-closed because its source is referenced only via '*'
+        assert closed[one_edge.edge_id]
+
+    def test_unreferenced_source_gives_unclosed_reference(self):
+        graph = Graph()
+        edge = graph.add_edge("root", "owner", "user", "1")
+        closed = star_closed_references(graph)
+        assert not closed[edge.edge_id]
+
+    def test_detshex0_minus_membership(self):
+        graph = Graph()
+        graph.add_edge("bug", "related", "bug", "*")
+        graph.add_edge("bug", "reportedBy", "user", "1")
+        graph.add_edge("user", "email", "lit", "?")
+        graph.add_node("lit")
+        assert is_detshex0_minus_graph(graph)
+        assert detshex0_minus_violations(graph) == []
+
+    def test_detshex0_minus_rejects_plus(self):
+        graph = Graph()
+        graph.add_edge("t", "a", "s", "+")
+        graph.add_node("s")
+        assert not is_detshex0_minus_graph(graph)
+        assert any("'+'" in reason for reason in detshex0_minus_violations(graph))
+
+    def test_detshex0_minus_rejects_unreferenced_optional(self):
+        graph = Graph()
+        graph.add_edge("t", "a", "s", "?")
+        graph.add_node("s")
+        assert not is_detshex0_minus_graph(graph)
+
+    def test_detshex0_minus_rejects_non_star_closed_optional(self):
+        graph = Graph()
+        graph.add_edge("root", "x", "value", "1")
+        graph.add_edge("value", "t", "leaf", "?")
+        graph.add_node("leaf")
+        assert not is_detshex0_minus_graph(graph)
+
+
+class TestCompressedGraphs:
+    def test_requires_singleton_intervals(self):
+        graph = CompressedGraph()
+        graph.add_edge("x", "a", "y", 3)
+        with pytest.raises(GraphError):
+            graph.add_edge("x", "b", "z", "*")
+
+    def test_rejects_duplicate_labelled_edges(self):
+        graph = CompressedGraph()
+        graph.add_edge("x", "a", "y", 2)
+        with pytest.raises(GraphError):
+            graph.add_edge("x", "a", "y", 1)
+
+    def test_multiplicity_lookup(self):
+        graph = CompressedGraph()
+        graph.add_edge("x", "a", "y", 4)
+        assert graph.multiplicity("x", "a", "y") == 4
+        assert graph.multiplicity("x", "b", "y") == 0
+
+    def test_unpack_counts(self):
+        graph = CompressedGraph()
+        graph.add_edge("x", "a", "y", 3)
+        graph.add_edge("y", "b", "z", 2)
+        assert graph.unpacked_node_count() == 1 + 3 + 2
+        unpacked = graph.unpack()
+        assert unpacked.node_count == graph.unpacked_node_count()
+        assert unpacked.edge_count == graph.unpacked_edge_count()
+        assert unpacked.is_simple()
+
+    def test_unpack_copies_share_out_neighborhood(self):
+        graph = CompressedGraph()
+        graph.add_edge("x", "a", "y", 2)
+        graph.add_edge("y", "b", "z", 1)
+        unpacked = graph.unpack()
+        for index in range(2):
+            assert len(unpacked.out_edges(("y", index))) == 1
+
+    def test_unpack_respects_budget(self):
+        graph = CompressedGraph()
+        graph.add_edge("x", "a", "y", 1000)
+        with pytest.raises(GraphError):
+            graph.unpack(max_nodes=10)
+
+    def test_unpack_exponential_in_binary_size(self):
+        small = CompressedGraph()
+        small.add_edge("x", "a", "y", 2)
+        large = CompressedGraph()
+        large.add_edge("x", "a", "y", 2 ** 10)
+        # the description length grows by a few bits, the unpacking by ~2^10
+        assert large.unpacked_node_count() > 100 * small.unpacked_node_count()
+
+    def test_pack_simple_graph(self):
+        graph = Graph()
+        graph.add_edge("x", "a", "y")
+        graph.add_edge("x", "a", "y")
+        graph.add_edge("x", "b", "y")
+        packed = pack_simple_graph(graph)
+        assert packed.multiplicity("x", "a", "y") == 2
+        assert packed.multiplicity("x", "b", "y") == 1
+
+    def test_pack_rejects_intervals(self):
+        graph = Graph()
+        graph.add_edge("x", "a", "y", "*")
+        with pytest.raises(GraphError):
+            pack_simple_graph(graph)
+
+    def test_is_compressed_predicate(self):
+        graph = CompressedGraph()
+        graph.add_edge("x", "a", "y", 2)
+        assert graph.is_compressed()
+        plain = Graph()
+        plain.add_edge("x", "a", "y", "*")
+        assert not plain.is_compressed()

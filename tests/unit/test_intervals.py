@@ -1,0 +1,146 @@
+"""Unit tests for occurrence intervals (Section 2)."""
+
+import pytest
+
+from repro.core.intervals import (
+    BASIC_INTERVALS,
+    Interval,
+    ONE,
+    OPT,
+    PLUS,
+    STAR,
+    ZERO,
+    interval_sum,
+)
+from repro.errors import IntervalError
+
+
+class TestConstruction:
+    def test_shorthands(self):
+        assert Interval.of("1") == Interval(1, 1)
+        assert Interval.of("?") == Interval(0, 1)
+        assert Interval.of("+") == Interval(1, None)
+        assert Interval.of("*") == Interval(0, None)
+        assert Interval.of("0") == Interval(0, 0)
+
+    def test_of_integer_gives_singleton(self):
+        assert Interval.of(4) == Interval(4, 4)
+        assert Interval.of(4).is_singleton
+
+    def test_of_tuple(self):
+        assert Interval.of((2, 5)) == Interval(2, 5)
+        assert Interval.of((2, None)) == Interval(2, None)
+
+    def test_of_interval_is_identity(self):
+        assert Interval.of(PLUS) is PLUS
+
+    def test_parse_bracket_forms(self):
+        assert Interval.parse("[2;3]") == Interval(2, 3)
+        assert Interval.parse("[2,3]") == Interval(2, 3)
+        assert Interval.parse("[5]") == Interval(5, 5)
+        assert Interval.parse("[1;inf]") == Interval(1, None)
+        assert Interval.parse("[0;*]") == Interval(0, None)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(IntervalError):
+            Interval.parse("[x;2]")
+        with pytest.raises(IntervalError):
+            Interval.parse("not an interval")
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(3, 2)
+        with pytest.raises(IntervalError):
+            Interval(-1, 2)
+
+    def test_of_rejects_unknown(self):
+        with pytest.raises(IntervalError):
+            Interval.of(object())
+
+
+class TestQueries:
+    def test_membership(self):
+        assert 0 in OPT and 1 in OPT and 2 not in OPT
+        assert 0 not in PLUS and 10 ** 9 in PLUS
+        assert 0 in STAR and 10 ** 9 in STAR
+        assert 1 in ONE and 2 not in ONE
+        assert -1 not in STAR
+
+    def test_is_basic(self):
+        assert all(interval.is_basic for interval in BASIC_INTERVALS)
+        assert not ZERO.is_basic
+        assert not Interval(2, 2).is_basic
+        assert not Interval(0, 3).is_basic
+
+    def test_shorthand_roundtrip(self):
+        for interval in BASIC_INTERVALS + (ZERO,):
+            assert Interval.of(interval.shorthand()) == interval
+        assert Interval(2, 7).shorthand() is None
+
+    def test_str(self):
+        assert str(OPT) == "?"
+        assert str(Interval(2, 3)) == "[2;3]"
+        assert str(Interval(2, None)) == "[2;inf]"
+
+
+class TestInclusionAndIntersection:
+    def test_issubset(self):
+        assert ONE.issubset(OPT)
+        assert ONE.issubset(PLUS)
+        assert ONE.issubset(STAR)
+        assert OPT.issubset(STAR)
+        assert PLUS.issubset(STAR)
+        assert not OPT.issubset(ONE)
+        assert not STAR.issubset(PLUS)
+        assert not PLUS.issubset(ONE)
+        assert Interval(2, 3).issubset(Interval(1, 4))
+        assert not Interval(2, 5).issubset(Interval(1, 4))
+
+    def test_issubset_matches_paper_definition(self):
+        # [n1;m1] ⊆ [n2;m2] iff n2 <= n1 <= m1 <= m2
+        a, b = Interval(2, 4), Interval(1, 6)
+        assert a.issubset(b) and not b.issubset(a)
+
+    def test_intersection(self):
+        assert ONE.intersection(OPT) == ONE
+        assert PLUS.intersection(OPT) == ONE
+        assert Interval(2, 4).intersection(Interval(3, 9)) == Interval(3, 4)
+        assert Interval(2, 4).intersection(Interval(5, 9)) is None
+        assert STAR.intersection(STAR) == STAR
+
+    def test_intersects(self):
+        assert PLUS.intersects(OPT)
+        assert not Interval(0, 0).intersects(PLUS)
+
+
+class TestAlgebra:
+    def test_addition(self):
+        assert ONE + ONE == Interval(2, 2)
+        assert ONE + OPT == Interval(1, 2)
+        assert OPT + STAR == STAR
+        assert PLUS + PLUS == Interval(2, None)
+        assert ZERO + PLUS == PLUS
+
+    def test_zero_is_neutral(self):
+        for interval in BASIC_INTERVALS:
+            assert interval + ZERO == interval
+            assert ZERO + interval == interval
+
+    def test_interval_sum_empty_is_zero(self):
+        assert interval_sum([]) == ZERO
+
+    def test_interval_sum_many(self):
+        assert interval_sum([ONE, ONE, OPT]) == Interval(2, 3)
+        assert interval_sum([ONE, STAR]) == Interval(1, None)
+
+    def test_scale(self):
+        assert ONE.scale(Interval(2, 3)) == Interval(2, 3)
+        assert OPT.scale(Interval(2, 2)) == Interval(0, 2)
+        assert ONE.scale(STAR) == STAR
+        assert ONE.scale(ZERO) == ZERO
+        assert ZERO.scale(PLUS) == ZERO
+
+    def test_hashable_and_frozen(self):
+        assert len({ONE, Interval(1, 1), OPT}) == 2
+        with pytest.raises(Exception):
+            ONE.lower = 5  # type: ignore[misc]

@@ -1,0 +1,81 @@
+"""The public API surface: everything advertised in ``repro.__all__`` exists and works."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    def test_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_subpackages_import(self):
+        for module in (
+            "repro.core",
+            "repro.rbe",
+            "repro.graphs",
+            "repro.rdf",
+            "repro.schema",
+            "repro.presburger",
+            "repro.embedding",
+            "repro.containment",
+            "repro.reductions",
+            "repro.workloads",
+            "repro.util",
+            "repro.cli",
+        ):
+            importlib.import_module(module)
+
+    def test_readme_quickstart_snippet(self):
+        """The README quickstart must keep working verbatim."""
+        schema = repro.parse_schema(
+            """
+            Bug -> descr :: Literal, reportedBy :: User, reproducedBy :: Employee?, related :: Bug*
+            User -> name :: Literal, email :: Literal?
+            Employee -> name :: Literal, email :: Literal
+            Literal -> isLiteral :: Marker
+            Marker -> eps
+            """
+        )
+        evolved = repro.parse_schema(
+            """
+            Bug -> descr :: Literal, reportedBy :: User, reproducedBy :: Employee*, related :: Bug*
+            User -> name :: Literal, email :: Literal?
+            Employee -> name :: Literal, email :: Literal
+            Literal -> isLiteral :: Marker
+            Marker -> eps
+            """
+        )
+        result = repro.contains(schema, evolved)
+        assert result.verdict is repro.Verdict.CONTAINED
+        assert result.method == "detshex0-minus-embedding"
+
+    def test_docstring_example_in_init(self):
+        old = repro.parse_schema("Bug -> descr :: Lit, related :: Bug*\nLit -> eps")
+        new = repro.parse_schema("Bug -> descr :: Lit?, related :: Bug*\nLit -> eps")
+        assert repro.contains(old, new).verdict is repro.Verdict.CONTAINED
+
+    def test_exceptions_form_a_hierarchy(self):
+        from repro import errors
+
+        for name in (
+            "IntervalError",
+            "RBESyntaxError",
+            "SchemaSyntaxError",
+            "SchemaClassError",
+            "GraphError",
+            "NotSimpleGraphError",
+            "RDFSyntaxError",
+            "PresburgerError",
+            "ReductionError",
+            "BudgetExceededError",
+        ):
+            exception_class = getattr(errors, name)
+            assert issubclass(exception_class, errors.ReproError)

@@ -1,0 +1,129 @@
+"""Unit tests for the RDF substrate: model, parsers, conversion to simple graphs."""
+
+import pytest
+
+from repro.errors import RDFSyntaxError
+from repro.rdf.convert import LITERAL_MARKER_LABEL, LITERAL_MARKER_NODE, rdf_to_simple_graph
+from repro.rdf.model import IRI, BlankNode, Literal, RDFGraph, Triple
+from repro.rdf.parser import RDF_TYPE, parse_ntriples, parse_turtle_lite
+
+
+class TestModel:
+    def test_terms_render(self):
+        assert str(IRI("http://x.org/a")) == "<http://x.org/a>"
+        assert str(BlankNode("b1")) == "_:b1"
+        assert str(Literal("hi")) == '"hi"'
+        assert str(Literal("hi", language="en")) == '"hi"@en'
+        assert str(Literal("1", datatype="http://www.w3.org/2001/XMLSchema#int")).endswith("int>")
+
+    def test_graph_indexing(self):
+        s, p, o = IRI("http://x/s"), IRI("http://x/p"), Literal("v")
+        graph = RDFGraph([Triple(s, p, o)])
+        graph.add_triple(s, IRI("http://x/q"), IRI("http://x/o2"))
+        assert len(graph) == 2
+        assert graph.objects(s, p) == [o]
+        assert len(graph.outgoing(s)) == 2
+        assert graph.predicates() == {p, IRI("http://x/q")}
+        assert s in graph.subjects()
+
+    def test_duplicate_triples_collapse(self):
+        t = Triple(IRI("http://x/s"), IRI("http://x/p"), Literal("v"))
+        graph = RDFGraph([t, t])
+        assert len(graph) == 1
+
+
+class TestNTriplesParser:
+    def test_basic_lines(self):
+        graph = parse_ntriples(
+            """
+            # a comment
+            <http://x/s> <http://x/p> <http://x/o> .
+            <http://x/s> <http://x/q> "hello"@en .
+            _:b <http://x/p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+            """
+        )
+        assert len(graph) == 3
+        assert BlankNode("b") in graph.subjects()
+
+    def test_rejects_malformed(self):
+        with pytest.raises(RDFSyntaxError):
+            parse_ntriples("<http://x/s> <http://x/p> .")
+        with pytest.raises(RDFSyntaxError):
+            parse_ntriples('"lit" <http://x/p> <http://x/o> .')
+
+
+class TestTurtleLiteParser:
+    def test_prefixes_semicolons_and_commas(self):
+        graph = parse_turtle_lite(
+            """
+            @prefix ex: <http://example.org/> .
+            ex:s ex:p ex:o ;
+                 ex:q "v" , "w" .
+            """
+        )
+        assert len(graph) == 3
+        assert IRI("http://example.org/s") in graph.subjects()
+
+    def test_a_keyword(self):
+        graph = parse_turtle_lite(
+            """
+            @prefix ex: <http://example.org/> .
+            ex:s a ex:Thing .
+            """
+        )
+        triple = next(iter(graph))
+        assert triple.predicate == IRI(RDF_TYPE)
+
+    def test_hash_in_iri_not_a_comment(self):
+        graph = parse_turtle_lite(
+            """
+            @prefix ex: <http://example.org/ns#> .
+            ex:s ex:p ex:o .   # trailing comment
+            """
+        )
+        assert IRI("http://example.org/ns#s") in graph.subjects()
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(RDFSyntaxError):
+            parse_turtle_lite("ex:s ex:p ex:o .")
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(RDFSyntaxError):
+            parse_turtle_lite('<http://x/s> "p" <http://x/o> .')
+
+
+class TestConversion:
+    def test_literal_marker_edges(self):
+        graph = parse_ntriples('<http://x/s> <http://x/p> "v" .')
+        simple = rdf_to_simple_graph(graph)
+        assert simple.is_simple()
+        assert LITERAL_MARKER_NODE in simple.nodes
+        literal_nodes = [
+            edge.source for edge in simple.edges if edge.label == LITERAL_MARKER_LABEL
+        ]
+        assert len(literal_nodes) == 1
+
+    def test_no_marker_when_disabled(self):
+        graph = parse_ntriples('<http://x/s> <http://x/p> "v" .')
+        simple = rdf_to_simple_graph(graph, literal_marker=False)
+        assert LITERAL_MARKER_NODE not in simple.nodes
+
+    def test_predicate_names_shortened(self):
+        graph = parse_ntriples("<http://x/s> <http://example.org/ns#knows> <http://x/o> .")
+        simple = rdf_to_simple_graph(graph)
+        assert simple.labels() == {"knows"}
+
+    def test_custom_predicate_naming(self):
+        graph = parse_ntriples("<http://x/s> <http://example.org/ns#knows> <http://x/o> .")
+        simple = rdf_to_simple_graph(graph, predicate_name=lambda iri: iri.value)
+        assert simple.labels() == {"http://example.org/ns#knows"}
+
+    def test_equal_literals_collapse(self):
+        graph = parse_ntriples(
+            '<http://x/s> <http://x/p> "v" .\n<http://x/t> <http://x/p> "v" .'
+        )
+        simple = rdf_to_simple_graph(graph)
+        literal_nodes = {
+            edge.source for edge in simple.edges if edge.label == LITERAL_MARKER_LABEL
+        }
+        assert len(literal_nodes) == 1

@@ -1,0 +1,203 @@
+"""Unit tests for the hardness reductions (Theorems 3.5, 4.5 and Lemma 5.1)."""
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.graphs.shape import is_shape_graph
+from repro.reductions.dnf import (
+    decide_dnf_containment_exactly,
+    dnf_reduction_schemas,
+    is_tautology_via_containment,
+    valuation_graph,
+)
+from repro.reductions.expfamily import exponential_counterexample, exponential_family
+from repro.reductions.logic import (
+    CNFFormula,
+    DNFFormula,
+    Literal,
+    brute_force_satisfiable,
+    brute_force_tautology,
+    random_cnf,
+    random_dnf,
+)
+from repro.reductions.sat import (
+    extract_valuation,
+    normalize_cnf_for_reduction,
+    sat_reduction_graphs,
+    solve_sat_via_embedding,
+)
+from repro.schema.classes import is_detshex0, is_detshex0_minus
+from repro.schema.validation import satisfies
+
+
+class TestLogic:
+    def test_literals(self):
+        lit = Literal("x", True)
+        assert lit.satisfied_by({"x": True}) and not lit.satisfied_by({"x": False})
+        assert lit.negate().satisfied_by({"x": False})
+        assert str(lit) == "x" and str(lit.negate()) == "~x"
+
+    def test_cnf_and_dnf_evaluation(self):
+        cnf = CNFFormula([(Literal("x"), Literal("y", False))])
+        assert cnf.satisfied_by({"x": True, "y": True})
+        assert not cnf.satisfied_by({"x": False, "y": True})
+        dnf = DNFFormula([(Literal("x"), Literal("y"))])
+        assert dnf.satisfied_by({"x": True, "y": True})
+        assert not dnf.satisfied_by({"x": True, "y": False})
+
+    def test_brute_force_procedures(self):
+        unsat = CNFFormula([(Literal("x"),), (Literal("x", False),)])
+        assert brute_force_satisfiable(unsat) is None
+        sat = CNFFormula([(Literal("x"), Literal("y"))])
+        assert sat.satisfied_by(brute_force_satisfiable(sat))
+        taut = DNFFormula([(Literal("x"),), (Literal("x", False),)])
+        assert brute_force_tautology(taut) is None
+        non_taut = DNFFormula([(Literal("x"),)])
+        assert brute_force_tautology(non_taut) == {"x": False}
+
+    def test_occurrence_counts_and_variables(self):
+        cnf = CNFFormula([(Literal("x"), Literal("x", False)), (Literal("y"),)])
+        assert cnf.occurrence_counts() == {("x", True): 1, ("x", False): 1, ("y", True): 1}
+        assert cnf.variables() == ["x", "y"]
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ReductionError):
+            CNFFormula([()])
+
+    def test_random_generators(self, rng):
+        cnf = random_cnf(4, 5, rng=rng)
+        assert len(cnf) == 5 and set(cnf.variables()) <= {"x1", "x2", "x3", "x4"}
+        dnf = random_dnf(3, 4, rng=rng)
+        assert len(dnf) == 4
+
+
+class TestSATReduction:
+    def test_normalisation_balances_occurrences(self):
+        cnf = CNFFormula([(Literal("x"), Literal("y", False)), (Literal("x"),)])
+        normalised, k = normalize_cnf_for_reduction(cnf)
+        counts = normalised.occurrence_counts()
+        for variable in normalised.variables():
+            assert counts[(variable, True)] == k
+            assert counts[(variable, False)] == k
+
+    def test_normalisation_preserves_satisfiability(self, rng):
+        for _ in range(10):
+            cnf = random_cnf(3, 3, rng=rng)
+            normalised, _ = normalize_cnf_for_reduction(cnf)
+            assert (brute_force_satisfiable(cnf) is None) == (
+                brute_force_satisfiable(normalised) is None
+            )
+
+    def test_reduction_graphs_use_arbitrary_intervals(self):
+        cnf = CNFFormula([(Literal("x"), Literal("y", False))])
+        graph_h, graph_k, _, k = sat_reduction_graphs(cnf)
+        assert not is_shape_graph(graph_h)
+        assert not is_shape_graph(graph_k)
+        assert any(edge.occur.is_singleton and edge.occur.lower == k for edge in graph_h.edges)
+
+    def test_satisfiable_formula_embeds(self):
+        cnf = CNFFormula([(Literal("x"), Literal("y")), (Literal("x", False), Literal("y"))])
+        assert solve_sat_via_embedding(cnf)
+        valuation = extract_valuation(cnf)
+        assert valuation is not None and cnf.satisfied_by(valuation)
+
+    def test_unsatisfiable_formula_does_not_embed(self):
+        unsat = CNFFormula(
+            [
+                (Literal("x"), Literal("y")),
+                (Literal("x"), Literal("y", False)),
+                (Literal("x", False), Literal("y")),
+                (Literal("x", False), Literal("y", False)),
+            ]
+        )
+        assert not solve_sat_via_embedding(unsat)
+        assert extract_valuation(unsat) is None
+
+    def test_agrees_with_brute_force_on_random_instances(self, rng):
+        for _ in range(5):
+            cnf = random_cnf(3, 4, clause_width=2, rng=rng)
+            assert solve_sat_via_embedding(cnf) == (brute_force_satisfiable(cnf) is not None)
+
+    def test_rejects_empty_formula(self):
+        with pytest.raises(ReductionError):
+            normalize_cnf_for_reduction(CNFFormula([]))
+
+
+class TestDNFReduction:
+    def test_schemas_are_detshex0_but_not_minus(self):
+        dnf = DNFFormula([(Literal("x1"), Literal("x2", False))])
+        schema_h, schema_k = dnf_reduction_schemas(dnf)
+        assert is_detshex0(schema_h) and is_detshex0(schema_k)
+        assert not is_detshex0_minus(schema_h)
+        assert not is_detshex0_minus(schema_k)
+
+    def test_valuation_graph_satisfies_h(self):
+        dnf = DNFFormula([(Literal("x1"), Literal("x2", False))])
+        schema_h, _ = dnf_reduction_schemas(dnf)
+        graph = valuation_graph(dnf.variables(), {"x1": True, "x2": False})
+        assert satisfies(graph, schema_h)
+
+    def test_improper_valuations_always_covered_by_k(self):
+        dnf = DNFFormula([(Literal("x1"),)])
+        _, schema_k = dnf_reduction_schemas(dnf)
+        both = valuation_graph(dnf.variables(), {"x1": "both"})
+        neither = valuation_graph(dnf.variables(), {"x1": None})
+        assert satisfies(both, schema_k)
+        assert satisfies(neither, schema_k)
+
+    def test_falsifying_valuation_gives_counterexample(self):
+        dnf = DNFFormula([(Literal("x1"),)])
+        schema_h, schema_k = dnf_reduction_schemas(dnf)
+        contained, counterexample = decide_dnf_containment_exactly(schema_h, schema_k, dnf)
+        assert not contained
+        assert counterexample is not None
+        assert satisfies(counterexample, schema_h)
+        assert not satisfies(counterexample, schema_k)
+
+    def test_tautology_gives_containment(self):
+        taut = DNFFormula([(Literal("x1"),), (Literal("x1", False),)])
+        assert is_tautology_via_containment(taut)
+
+    def test_agrees_with_brute_force_on_random_instances(self, rng):
+        for _ in range(8):
+            dnf = random_dnf(3, 3, rng=rng)
+            assert is_tautology_via_containment(dnf) == (brute_force_tautology(dnf) is None)
+
+
+class TestExponentialFamily:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_counterexample_separates_schemas(self, n):
+        schema_h, schema_k = exponential_family(n)
+        counterexample = exponential_counterexample(n)
+        assert satisfies(counterexample, schema_h)
+        assert not satisfies(counterexample, schema_k)
+
+    def test_counterexample_size_is_exponential(self):
+        sizes = [exponential_counterexample(n).node_count for n in (1, 2, 3, 4)]
+        assert sizes == [2 ** (n + 1) for n in (1, 2, 3, 4)]
+
+    def test_schema_size_is_polynomial(self):
+        type_counts = [len(exponential_family(n)[0].types) for n in (1, 2, 3, 4)]
+        # quadratically many types (O(n^2)), far below the 2^n counter-example size
+        assert all(count <= 6 * n * n + 10 for n, count in zip((1, 2, 3, 4), type_counts))
+
+    def test_small_dag_candidate_is_not_a_counterexample(self):
+        from repro.graphs.graph import Graph
+
+        schema_h, schema_k = exponential_family(2)
+        graph = Graph("dag")
+        graph.add_node("o")
+        graph.add_edge("lvl1", "L", "lvl2")
+        graph.add_edge("lvl1", "R", "lvl2")
+        graph.add_edge("lvl2", "L", "leaf")
+        graph.add_edge("lvl2", "R", "leaf")
+        graph.add_edge("leaf", "a1", "o")
+        graph.add_edge("leaf", "a2", "o")
+        assert satisfies(graph, schema_h)
+        assert satisfies(graph, schema_k)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            exponential_family(0)
+        with pytest.raises(ValueError):
+            exponential_counterexample(0)

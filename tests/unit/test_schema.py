@@ -1,0 +1,193 @@
+"""Unit tests for schema objects, the rule parser, class detection, and conversions."""
+
+import pytest
+
+from repro.core.intervals import Interval, STAR
+from repro.errors import SchemaClassError, SchemaSyntaxError
+from repro.rbe.ast import EPSILON
+from repro.rbe.parser import parse_rbe
+from repro.schema.classes import (
+    SchemaClass,
+    classification_report,
+    is_deterministic,
+    is_detshex0,
+    is_detshex0_minus,
+    is_shex0,
+    is_sorbe_schema,
+    schema_class,
+)
+from repro.schema.convert import schema_to_shape_graph, shape_graph_to_schema
+from repro.schema.parser import parse_schema
+from repro.schema.shex import ShExSchema
+
+
+class TestShExSchema:
+    def test_rules_from_strings_and_expressions(self):
+        schema = ShExSchema({"t": "a :: s?", "s": EPSILON})
+        assert schema.types == {"t", "s"}
+        assert schema.definition("s") is EPSILON
+        assert schema.definition("t") == parse_rbe("a :: s?")
+
+    def test_strict_checking_of_references(self):
+        with pytest.raises(SchemaSyntaxError):
+            ShExSchema({"t": "a :: missing"})
+        schema = ShExSchema({"t": "a :: missing"}, strict=False)
+        assert schema.referenced_types() == {"missing"}
+
+    def test_unknown_type_lookup(self):
+        schema = ShExSchema({"t": "eps"})
+        with pytest.raises(SchemaSyntaxError):
+            schema.definition("u")
+
+    def test_labels_and_references(self):
+        schema = ShExSchema({"t": "a :: s || b :: s?", "s": "eps"})
+        assert schema.labels() == {"a", "b"}
+        assert schema.references_to("s") == [("t", "a"), ("t", "b")]
+
+    def test_rename_types(self):
+        schema = ShExSchema({"t": "a :: s", "s": "eps"})
+        renamed = schema.rename_types({"s": "leaf"})
+        assert renamed.types == {"t", "leaf"}
+        assert renamed.referenced_types() == {"leaf"}
+
+    def test_merge_with_prefixing(self):
+        left = ShExSchema({"t": "a :: t"})
+        right = ShExSchema({"t": "b :: t"})
+        merged = left.merged_with(right)
+        assert merged.types == {"t", "other_t"}
+        assert merged.definition("other_t") == parse_rbe("b :: other_t")
+
+    def test_equality_and_str(self):
+        a = ShExSchema({"t": "a :: s?", "s": "eps"})
+        b = ShExSchema({"s": "eps", "t": "a :: s?"})
+        assert a == b
+        assert "t -> " in str(a)
+        assert "s -> eps" in str(a)
+
+    def test_size(self):
+        schema = ShExSchema({"t": "a :: s || b :: s?", "s": "eps"})
+        assert schema.size() == schema.definition("t").size() + 1
+
+
+class TestSchemaParser:
+    def test_figure1_schema_parses(self, bug_schema):
+        assert bug_schema.types == {"Bug", "User", "Employee", "Literal", "Marker"}
+        assert bug_schema.labels() >= {"descr", "reportedBy", "related", "email", "name"}
+
+    def test_comments_blank_lines_and_unicode_arrow(self):
+        schema = parse_schema(
+            """
+            # the root
+            t → a :: s   # trailing comment
+
+            s -> eps
+            """
+        )
+        assert schema.types == {"t", "s"}
+
+    def test_continuation_lines(self):
+        schema = parse_schema(
+            """
+            t -> a :: s,
+                 b :: s?
+            s -> eps
+            """
+        )
+        assert schema.definition("t") == parse_rbe("a :: s, b :: s?")
+
+    def test_duplicate_rule_rejected(self):
+        with pytest.raises(SchemaSyntaxError):
+            parse_schema("t -> eps\nt -> a :: t")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(SchemaSyntaxError):
+            parse_schema("t : eps")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaSyntaxError):
+            parse_schema("   \n  # nothing\n")
+
+    def test_empty_body_means_epsilon(self):
+        schema = parse_schema("t -> ")
+        assert schema.definition("t") is EPSILON
+
+
+class TestSchemaClasses:
+    def test_figure1_is_detshex0_minus(self, bug_schema):
+        assert schema_class(bug_schema) is SchemaClass.DETSHEX0_MINUS
+        report = classification_report(bug_schema)
+        assert report["DetShEx0-"] and report["ShEx0"] and report["DetShEx"]
+
+    def test_refactored_schema_is_plain_shex0(self, bug_refactored):
+        # the introduction's refactoring uses `related` with two types -> not deterministic
+        assert is_shex0(bug_refactored)
+        assert not is_deterministic(bug_refactored)
+        assert schema_class(bug_refactored) is SchemaClass.SHEX0
+
+    def test_disjunction_leaves_shex0(self):
+        schema = ShExSchema({"t": "(a :: s | b :: s)", "s": "eps"})
+        assert not is_shex0(schema)
+        assert schema_class(schema) is SchemaClass.DETSHEX
+
+    def test_non_deterministic_full_shex(self):
+        schema = ShExSchema({"t": "(a :: s | a :: u)", "s": "eps", "u": "a :: s"})
+        assert schema_class(schema) is SchemaClass.SHEX
+
+    def test_detshex0_but_not_minus_when_plus_used(self):
+        schema = ShExSchema({"t": "a :: s+", "s": "eps"})
+        assert is_detshex0(schema)
+        assert not is_detshex0_minus(schema)
+
+    def test_detshex0_but_not_minus_when_optional_unreachable_by_star(self):
+        schema = ShExSchema({"root": "x :: v", "v": "t :: o?", "o": "eps"})
+        assert is_detshex0(schema)
+        assert not is_detshex0_minus(schema)
+
+    def test_repeated_label_same_type_breaks_detshex0(self):
+        schema = ShExSchema({"t": "a :: s || a :: s*", "s": "eps"})
+        assert is_shex0(schema)
+        assert not is_detshex0(schema)
+        assert is_deterministic(schema)  # one type per label, so still DetShEx
+
+    def test_sorbe_detection(self):
+        assert is_sorbe_schema(ShExSchema({"t": "a :: s || b :: s?", "s": "eps"}))
+        assert not is_sorbe_schema(ShExSchema({"t": "a :: s || a :: s", "s": "eps"}))
+
+
+class TestShapeGraphConversion:
+    def test_schema_to_shape_graph(self, s0):
+        graph = schema_to_shape_graph(s0)
+        assert graph.nodes == {"t0", "t1", "t2", "t3"}
+        t2_edges = {(e.label, e.target, str(e.occur)) for e in graph.out_edges("t2")}
+        assert t2_edges == {("b", "t2", "?"), ("c", "t3", "1")}
+
+    def test_round_trip(self, s0):
+        graph = schema_to_shape_graph(s0)
+        back = shape_graph_to_schema(graph)
+        assert back == s0
+
+    def test_parallel_atoms_preserved(self):
+        schema = ShExSchema({"t": "a :: s || a :: s*", "s": "eps"})
+        graph = schema_to_shape_graph(schema)
+        assert len(graph.out_edges("t")) == 2
+        assert shape_graph_to_schema(graph) == schema
+
+    def test_non_rbe0_schema_rejected(self):
+        schema = ShExSchema({"t": "(a :: s | b :: s)", "s": "eps"})
+        with pytest.raises(SchemaClassError):
+            schema_to_shape_graph(schema)
+
+    def test_non_shape_graph_rejected(self):
+        from repro.graphs.graph import Graph
+
+        graph = Graph()
+        graph.add_edge("t", "a", "s", Interval(2, 3))
+        with pytest.raises(SchemaClassError):
+            shape_graph_to_schema(graph)
+
+    def test_figure1_shape_graph_matches_paper(self, bug_schema):
+        graph = schema_to_shape_graph(bug_schema)
+        bug_edges = {(e.label, e.target, str(e.occur)) for e in graph.out_edges("Bug")}
+        assert ("related", "Bug", "*") in bug_edges
+        assert ("reproducedBy", "Employee", "?") in bug_edges
+        assert ("reportedBy", "User", "1") in bug_edges
