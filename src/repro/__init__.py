@@ -45,8 +45,16 @@ from repro.containment.api import Verdict, ContainmentResult, contains, equivale
 from repro.containment.characterizing import characterizing_graph, characterizing_graph_for_schema
 from repro.containment.counterexample import find_counterexample
 from repro.containment.detshex import contains_detshex0_minus
+from repro.engine import (
+    CompiledSchema,
+    ContainmentEngine,
+    EngineReport,
+    JobResult,
+    ValidationEngine,
+    compile_schema,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Bag",
@@ -96,5 +104,11 @@ __all__ = [
     "characterizing_graph_for_schema",
     "find_counterexample",
     "contains_detshex0_minus",
+    "CompiledSchema",
+    "ContainmentEngine",
+    "EngineReport",
+    "JobResult",
+    "ValidationEngine",
+    "compile_schema",
     "__version__",
 ]

@@ -11,9 +11,14 @@ Usage examples (after ``pip install -e .``)::
     # Classify a schema in the paper's hierarchy
     shex-containment classify --schema schema.shex
 
+    # Validate a whole manifest of (data, schema) jobs in parallel
+    shex-containment batch --manifest jobs.txt --backend process --jobs 4
+
 Schemas use the rule syntax of :mod:`repro.schema.parser`; data files use the
 light Turtle dialect of :mod:`repro.rdf.parser` (or N-Triples with
-``--ntriples``).
+``--ntriples``; files named ``*.nt`` are detected automatically).  Missing or
+malformed input files produce a one-line error and exit status 2 instead of a
+traceback.
 """
 
 from __future__ import annotations
@@ -23,6 +28,10 @@ import sys
 from typing import Optional, Sequence
 
 from repro.containment.api import Verdict, contains, equivalent
+from repro.engine.executors import BACKENDS
+from repro.engine.manifest import load_jobs, load_manifest
+from repro.engine.validation import ValidationEngine
+from repro.errors import ReproError
 from repro.rdf.convert import rdf_to_simple_graph
 from repro.rdf.parser import parse_ntriples, parse_turtle_lite
 from repro.schema.classes import classification_report
@@ -41,7 +50,8 @@ def _load_schema(path: str):
 
 def _load_graph(path: str, ntriples: bool):
     text = _read(path)
-    rdf = parse_ntriples(text, name=path) if ntriples else parse_turtle_lite(text, name=path)
+    as_ntriples = ntriples or path.endswith(".nt")
+    rdf = parse_ntriples(text, name=path) if as_ntriples else parse_turtle_lite(text, name=path)
     return rdf_to_simple_graph(rdf, name=path)
 
 
@@ -89,6 +99,34 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    entries = load_manifest(args.manifest)
+    if not entries:
+        print(f"manifest {args.manifest} declares no jobs")
+        return 0
+    jobs = load_jobs(entries)
+    with ValidationEngine(
+        backend=args.backend, max_workers=args.jobs, cache_size=args.cache_size
+    ) as engine:
+        report = engine.run_batch(jobs)
+    width = max(len(result.label) for result in report.results)
+    for result in report.results:
+        marker = "cache" if result.cached else f"{result.seconds * 1000:.1f}ms"
+        print(f"{result.label:<{width}}  {result.verdict.upper():<8} [{marker}]")
+        if args.show_untyped and result.verdict != "valid":
+            for node in result.payload["untyped_nodes"]:
+                print(f"{'':<{width}}    untyped: {node}")
+    print(report.summary())
+    return 0 if report.all_ok else 1
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive worker count, got {value}")
+    return number
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="shex-containment",
@@ -117,12 +155,43 @@ def build_parser() -> argparse.ArgumentParser:
     classify_parser = subparsers.add_parser("classify", help="classify a schema in the paper's hierarchy")
     classify_parser.add_argument("--schema", required=True, help="schema rule file")
     classify_parser.set_defaults(handler=_cmd_classify)
+
+    batch_parser = subparsers.add_parser(
+        "batch", help="validate a manifest of (data, schema) jobs through the engine"
+    )
+    batch_parser.add_argument(
+        "--manifest", required=True,
+        help="manifest file: 'data schema' per line, or JSON with a 'jobs' list",
+    )
+    batch_parser.add_argument(
+        "--backend", choices=BACKENDS, default="serial", help="executor backend"
+    )
+    batch_parser.add_argument(
+        "--jobs", type=_positive_int, default=None,
+        help="worker count for thread/process backends",
+    )
+    batch_parser.add_argument(
+        "--cache-size", type=int, default=1024, help="LRU result-cache capacity (0 disables)"
+    )
+    batch_parser.add_argument(
+        "--show-untyped", action="store_true", help="list untyped nodes of invalid graphs"
+    )
+    batch_parser.set_defaults(handler=_cmd_batch)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except OSError as exc:
+        target = getattr(exc, "filename", None)
+        detail = f"{target}: {exc.strerror}" if target and exc.strerror else str(exc)
+        print(f"shex-containment: error: {detail}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"shex-containment: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

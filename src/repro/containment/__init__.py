@@ -4,6 +4,7 @@ from repro.containment.api import (
     Verdict,
     ContainmentResult,
     contains,
+    contains_compiled,
     equivalent,
 )
 from repro.containment.detshex import contains_detshex0_minus
@@ -19,6 +20,7 @@ __all__ = [
     "Verdict",
     "ContainmentResult",
     "contains",
+    "contains_compiled",
     "equivalent",
     "contains_detshex0_minus",
     "characterizing_graph",

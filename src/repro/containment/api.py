@@ -31,8 +31,8 @@ from repro.containment.detshex import contains_detshex0_minus
 from repro.embedding.simulation import EmbeddingResult, maximal_simulation
 from repro.errors import SchemaClassError
 from repro.graphs.graph import Graph
-from repro.schema.classes import SchemaClass, is_detshex0_minus, is_shex0, schema_class
-from repro.schema.convert import schema_to_shape_graph, shape_graph_to_schema
+from repro.schema.classes import SchemaClass
+from repro.schema.convert import shape_graph_to_schema
 from repro.schema.shex import ShExSchema
 
 SchemaOrGraph = Union[ShExSchema, Graph]
@@ -104,11 +104,46 @@ def contains(
       searches yield ``UNKNOWN``).
 
     Arguments past ``method`` tune the counter-example search budgets.
+
+    This is a thin wrapper: the schemas are compiled (classification and shape
+    graphs are interned per content fingerprint) and handed to
+    :func:`contains_compiled`, which batch callers use directly.
     """
-    left = _coerce_schema(subschema)
-    right = _coerce_schema(superschema)
-    left_class = schema_class(left)
-    right_class = schema_class(right)
+    from repro.engine.compiled import compile_schema
+
+    return contains_compiled(
+        compile_schema(_coerce_schema(subschema)),
+        compile_schema(_coerce_schema(superschema)),
+        method=method,
+        max_nodes=max_nodes,
+        width=width,
+        max_candidates=max_candidates,
+        samples=samples,
+        seed=seed,
+    )
+
+
+def contains_compiled(
+    subschema,
+    superschema,
+    method: str = "auto",
+    max_nodes: int = 40,
+    width: int = 1,
+    max_candidates: int = 500,
+    samples: int = 30,
+    seed: int = 0,
+) -> ContainmentResult:
+    """The hot path of :func:`contains`, over precompiled schemas.
+
+    Both arguments must be :class:`repro.engine.compiled.CompiledSchema`
+    instances; their cached classification and shape graphs are reused, so
+    checking one schema against many others classifies it once, not once per
+    pair.
+    """
+    left = subschema.schema
+    right = superschema.schema
+    left_class = subschema.schema_class
+    right_class = superschema.schema_class
 
     if method not in ("auto", "embedding", "counterexample"):
         raise ValueError(f"unknown containment method {method!r}")
@@ -116,7 +151,7 @@ def contains(
     both_detshex0_minus = (
         left_class is SchemaClass.DETSHEX0_MINUS and right_class is SchemaClass.DETSHEX0_MINUS
     )
-    both_shex0 = is_shex0(left) and is_shex0(right)
+    both_shex0 = subschema.is_shex0 and superschema.is_shex0
 
     # Exact polynomial fragment (Corollary 4.4).
     if method in ("auto", "embedding") and both_detshex0_minus:
@@ -139,9 +174,7 @@ def contains(
 
     # Sound positive test by embedding of shape graphs (Lemma 3.3).
     if method in ("auto", "embedding") and both_shex0:
-        result = maximal_simulation(
-            schema_to_shape_graph(left), schema_to_shape_graph(right)
-        )
+        result = maximal_simulation(subschema.shape_graph, superschema.shape_graph)
         if result.embeds:
             return ContainmentResult(
                 Verdict.CONTAINED, "embedding", left_class, right_class, embedding=result

@@ -1,0 +1,67 @@
+"""repro.engine — a batched, parallel, cache-aware validation & containment engine.
+
+The one-shot entry points of the library (:func:`repro.schema.validation.validate`,
+:func:`repro.containment.api.contains`) recompile their schemas and rebuild
+every derived artifact per call.  This subsystem turns them into a reusable
+service layer:
+
+* :class:`CompiledSchema` — per-type alphabets, RBE0 bounds, Presburger
+  templates, classification, and shape graphs, computed once and interned by
+  content fingerprint;
+* :class:`ValidationEngine` / :class:`ContainmentEngine` — ``submit`` /
+  ``run_batch`` APIs that fan independent jobs out to a pluggable executor
+  (``serial``, ``thread``, ``process``) and serve repeated jobs from an LRU
+  cache keyed by content hashes;
+* :func:`maximal_typing_chunked` — intra-job parallelism over the node
+  frontier of a single large graph;
+* :mod:`repro.engine.manifest` — declarative batch manifests for the
+  ``shex-containment batch`` CLI subcommand;
+* :class:`JobResult` / :class:`EngineReport` — structured outcomes with
+  timings and cache statistics, byte-identical across backends.
+"""
+
+from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.compiled import (
+    CompiledSchema,
+    CompiledType,
+    compile_schema,
+    graph_fingerprint,
+    schema_fingerprint,
+)
+from repro.engine.containment import ContainmentEngine
+from repro.engine.executors import (
+    BACKENDS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+)
+from repro.engine.jobs import ContainmentJob, EngineReport, JobResult, ValidationJob
+from repro.engine.manifest import ManifestEntry, load_jobs, load_manifest, parse_manifest
+from repro.engine.validation import ValidationEngine, maximal_typing_chunked
+
+__all__ = [
+    "BACKENDS",
+    "CacheStats",
+    "CompiledSchema",
+    "CompiledType",
+    "ContainmentEngine",
+    "ContainmentJob",
+    "EngineReport",
+    "JobResult",
+    "LRUCache",
+    "ManifestEntry",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ValidationEngine",
+    "ValidationJob",
+    "compile_schema",
+    "get_executor",
+    "graph_fingerprint",
+    "load_jobs",
+    "load_manifest",
+    "maximal_typing_chunked",
+    "parse_manifest",
+    "schema_fingerprint",
+]

@@ -1,0 +1,129 @@
+"""The shared batch driver behind the validation and containment engines.
+
+Both engines follow the same lifecycle — key every job by content
+fingerprints, answer repeats from the LRU cache, dedup identical keys within
+the batch, fan the remaining misses out to the executor backend, and assemble
+an :class:`repro.engine.jobs.EngineReport` in submission order.
+:class:`BatchEngine` owns that lifecycle once; subclasses provide the
+job-specific parts: coercion, key derivation, and miss execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.engine.cache import LRUCache
+from repro.engine.executors import get_executor
+from repro.engine.jobs import EngineReport, JobResult, Stopwatch
+
+
+class BatchEngine:
+    """Submit/run_batch plumbing shared by the validation/containment engines.
+
+    Subclasses set :attr:`kind` and implement:
+
+    * ``_coerce_job(job)`` — accept the convenience tuple forms;
+    * ``_key_job(job, memo)`` — the cache key (content fingerprints); ``memo``
+      is a per-batch scratch dict for amortising repeated hashing;
+    * ``_execute_misses(misses)`` — run ``[(job, key), ...]`` through the
+      executor, returning ``[(verdict, payload, seconds), ...]`` in order.
+    """
+
+    kind = "job"
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        cache_size: int = 1024,
+    ):
+        self.backend = backend
+        self._executor = get_executor(backend, max_workers)
+        self.cache = LRUCache(cache_size)
+        self._pending: List = []
+
+    # -- subclass hooks ------------------------------------------------------
+    def _coerce_job(self, job):
+        raise NotImplementedError
+
+    def _key_job(self, job, memo: Dict) -> Tuple:
+        raise NotImplementedError
+
+    def _execute_misses(self, misses) -> List[Tuple[str, Dict, float]]:
+        raise NotImplementedError
+
+    # -- the shared lifecycle ------------------------------------------------
+    def run_batch(self, jobs: Optional[Iterable] = None) -> EngineReport:
+        """Execute the given jobs (or everything queued via ``submit``).
+
+        Results come back in submission order.  Jobs whose fingerprint key was
+        seen before are answered from the cache; duplicate keys within one
+        batch are computed once and shared; the rest fan out to the executor.
+        """
+        if jobs is None:
+            batch = self._pending
+            self._pending = []
+        else:
+            batch = [self._coerce_job(job) for job in jobs]
+
+        with Stopwatch() as clock:
+            memo: Dict = {}
+            keyed = [(job, self._key_job(job, memo)) for job in batch]
+
+            results: List[Optional[JobResult]] = [None] * len(keyed)
+            misses: List[Tuple] = []
+            miss_indices: Dict[Tuple, List[int]] = {}
+            for index, (job, key) in enumerate(keyed):
+                if key in miss_indices:
+                    miss_indices[key].append(index)
+                    continue
+                found, value = self.cache.get(key)
+                if found:
+                    verdict, payload = value
+                    results[index] = JobResult(
+                        index=index,
+                        kind=self.kind,
+                        label=job.label,
+                        key=key,
+                        verdict=verdict,
+                        payload=payload,
+                        seconds=0.0,
+                        cached=True,
+                    )
+                else:
+                    misses.append((job, key))
+                    miss_indices[key] = [index]
+
+            if misses:
+                outcomes = self._execute_misses(misses)
+                for (job, key), (verdict, payload, seconds) in zip(misses, outcomes):
+                    self.cache.put(key, (verdict, payload))
+                    for position, index in enumerate(miss_indices[key]):
+                        results[index] = JobResult(
+                            index=index,
+                            kind=self.kind,
+                            label=keyed[index][0].label,
+                            key=key,
+                            verdict=verdict,
+                            payload=payload,
+                            seconds=seconds if position == 0 else 0.0,
+                            cached=position > 0,
+                        )
+
+        return EngineReport(
+            results=tuple(result for result in results if result is not None),
+            backend=self.backend,
+            seconds=clock.seconds,
+            cache=self.cache.stats(),
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        self._executor.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False

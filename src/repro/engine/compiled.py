@@ -1,0 +1,189 @@
+"""Compiled schema artifacts: precomputed per-type data for repeated checks.
+
+Every entry point of the library (validation, compressed validation,
+containment) repeatedly needs the same derived data about a schema: the sorted
+alphabet of each rule, its RBE0 profile and per-symbol occurrence bounds, the
+Presburger template ``ψ_{δ(t)}(z̄, 1)`` of Section 6.1, the schema's position in
+the class hierarchy, and its shape graph.  The one-shot APIs recompute all of
+this on every call; :class:`CompiledSchema` computes each piece once and interns
+it so that batch workloads pay the compilation cost a single time per schema.
+
+Fingerprints (content hashes) of schemas and graphs are also defined here; the
+engine caches use them as keys, so two structurally identical schemas loaded
+from different files share compilation and cached results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple, Union
+
+from repro.graphs.graph import Graph
+from repro.presburger.build import rbe_to_formula
+from repro.presburger.formula import Formula, const, fresh_variable
+from repro.rbe.ast import RBE
+from repro.rbe.rbe0 import RBE0Profile, as_rbe0
+from repro.schema.shex import ShExSchema, TypeName
+
+
+def schema_fingerprint(schema: ShExSchema) -> str:
+    """A content hash of a schema: identical rules yield identical fingerprints.
+
+    The canonical text of ``str(schema)`` lists rules sorted by type name, so
+    the fingerprint ignores the schema's display name and rule insertion order.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"shex-schema\x00")
+    digest.update(str(schema).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """A content hash of a graph (nodes, labelled edges, occurrence intervals)."""
+    digest = hashlib.sha256()
+    digest.update(b"graph\x00")
+    for node in sorted(graph.nodes, key=repr):
+        digest.update(repr(node).encode("utf-8"))
+        digest.update(b"\x00")
+    digest.update(b"\x01")
+    lines = sorted(
+        f"{edge.source!r}\x00{edge.label}\x00{edge.target!r}\x00{edge.occur}"
+        for edge in graph.edges
+    )
+    for line in lines:
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\x02")
+    return digest.hexdigest()
+
+
+class CompiledType:
+    """Precomputed data for one type of a schema.
+
+    The eager part (sorted alphabet, symbol set, RBE0 profile, per-symbol
+    bounds) is what every plain-graph check needs; the Presburger template is
+    built lazily, the first time a compressed-graph check asks for it.
+    """
+
+    __slots__ = (
+        "type_name",
+        "expr",
+        "sorted_alphabet",
+        "symbol_set",
+        "profile",
+        "group_bounds",
+        "_template",
+    )
+
+    def __init__(self, type_name: TypeName, expr: RBE):
+        self.type_name = type_name
+        self.expr = expr
+        self.sorted_alphabet: Tuple[object, ...] = tuple(sorted(expr.alphabet(), key=repr))
+        self.symbol_set = frozenset(self.sorted_alphabet)
+        self.profile: Optional[RBE0Profile] = as_rbe0(expr)
+        self.group_bounds: Optional[Dict[object, Tuple[int, Optional[int]]]] = None
+        if self.profile is not None:
+            self.group_bounds = {
+                symbol: (interval.lower, interval.upper)
+                for symbol, interval in self.profile.per_symbol_interval().items()
+            }
+        self._template: Optional[Tuple[Dict[object, str], Formula]] = None
+
+    def presburger_template(self) -> Tuple[Dict[object, str], Formula]:
+        """``(z_vars, ψ_{δ(t)}(z̄, 1))`` with stable per-type count variables.
+
+        The formula is immutable and its internal helper variables are bound,
+        so the same template can appear in arbitrarily many per-node formulas.
+        The pair is assigned in one write, keeping concurrent first calls safe.
+        """
+        template = self._template
+        if template is None:
+            z_vars = {symbol: fresh_variable("z") for symbol in self.sorted_alphabet}
+            template = (z_vars, rbe_to_formula(self.expr, z_vars, const(1)))
+            self._template = template
+        return template
+
+
+class CompiledSchema:
+    """A schema plus every derived artifact the engines need, computed once.
+
+    Construction is cheap (per-type artifacts, classification, and the shape
+    graph are all materialised lazily); instances are reusable across any
+    number of validation and containment jobs and across threads — the worst a
+    race can do is compute an identical immutable artifact twice.
+    """
+
+    def __init__(self, schema: ShExSchema):
+        self.schema = schema
+        self.fingerprint = schema_fingerprint(schema)
+        self._types: Dict[TypeName, CompiledType] = {}
+        self._schema_class = None
+        self._shape_graph: Optional[Graph] = None
+        self._is_shex0: Optional[bool] = None
+
+    @classmethod
+    def of(cls, schema: Union[ShExSchema, "CompiledSchema"]) -> "CompiledSchema":
+        """Coerce: compile a schema, pass a compiled schema through unchanged."""
+        if isinstance(schema, CompiledSchema):
+            return schema
+        return cls(schema)
+
+    @property
+    def types(self):
+        return self.schema.types
+
+    def type_artifact(self, type_name: TypeName) -> CompiledType:
+        """The (interned) per-type artifact for ``type_name``."""
+        artifact = self._types.get(type_name)
+        if artifact is None:
+            artifact = CompiledType(type_name, self.schema.definition(type_name))
+            self._types[type_name] = artifact
+        return artifact
+
+    @property
+    def schema_class(self):
+        """The schema's position in the paper's hierarchy (Figure 7), cached."""
+        if self._schema_class is None:
+            from repro.schema.classes import schema_class
+
+            self._schema_class = schema_class(self.schema)
+        return self._schema_class
+
+    @property
+    def is_shex0(self) -> bool:
+        if self._is_shex0 is None:
+            from repro.schema.classes import is_shex0
+
+            self._is_shex0 = is_shex0(self.schema)
+        return self._is_shex0
+
+    @property
+    def shape_graph(self) -> Graph:
+        """The shape-graph form of the schema (requires ShEx0), cached."""
+        if self._shape_graph is None:
+            from repro.schema.convert import schema_to_shape_graph
+
+            self._shape_graph = schema_to_shape_graph(self.schema)
+        return self._shape_graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CompiledSchema {self.schema.name!r} fp={self.fingerprint[:12]}>"
+
+
+# Per-process intern table: compiling is idempotent, so worker processes (and
+# repeated single-call wrappers) can share compiled artifacts by fingerprint.
+_INTERNED: Dict[str, CompiledSchema] = {}
+_INTERN_LIMIT = 256
+
+
+def compile_schema(schema: Union[ShExSchema, CompiledSchema]) -> CompiledSchema:
+    """Compile (or intern) a schema; the cached instance is keyed by content."""
+    if isinstance(schema, CompiledSchema):
+        return schema
+    fingerprint = schema_fingerprint(schema)
+    compiled = _INTERNED.get(fingerprint)
+    if compiled is None:
+        compiled = CompiledSchema(schema)
+        if len(_INTERNED) >= _INTERN_LIMIT:
+            _INTERNED.clear()
+        _INTERNED[compiled.fingerprint] = compiled
+    return compiled

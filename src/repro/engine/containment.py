@@ -1,0 +1,122 @@
+"""The batched, parallel, cache-aware containment engine.
+
+:class:`ContainmentEngine` runs many ``L(S1) ⊆ L(S2)`` checks as one batch:
+schemas are compiled once per distinct content (classification and shape
+graphs are the expensive shared parts), results are cached by the fingerprint
+pair plus the search options, and cache misses fan out to the configured
+executor backend.  The counter-example searches are seeded, so payloads are
+deterministic and byte-identical across backends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+from repro.containment.api import ContainmentResult, contains_compiled
+from repro.engine.base import BatchEngine
+from repro.engine.compiled import CompiledSchema, compile_schema, schema_fingerprint
+from repro.engine.jobs import ContainmentJob, Stopwatch
+from repro.schema.shex import ShExSchema
+
+JobLike = Union[ContainmentJob, Tuple[ShExSchema, ShExSchema]]
+
+
+def _containment_payload(job: ContainmentJob) -> Tuple[str, Dict]:
+    """Run one containment job to a deterministic (verdict, payload) pair."""
+    options = dict(job.options)
+    result: ContainmentResult = contains_compiled(
+        compile_schema(job.left), compile_schema(job.right), **options
+    )
+    counterexample = None
+    if result.counterexample is not None:
+        counterexample = tuple(
+            sorted(
+                f"{source!r} -{label}-> {target!r}"
+                for source, label, target in result.counterexample.triples()
+            )
+        )
+    payload = {
+        "method": result.method,
+        "left_class": str(result.left_class),
+        "right_class": str(result.right_class),
+        "counterexample": counterexample,
+    }
+    return result.verdict.value, payload
+
+
+def _process_worker(job: ContainmentJob) -> Tuple[str, Dict]:
+    """Module-level worker for the process backend (must be picklable)."""
+    return _containment_payload(job)
+
+
+class ContainmentEngine(BatchEngine):
+    """Batch containment with pluggable executors and a fingerprint-keyed cache.
+
+    Usage::
+
+        engine = ContainmentEngine(backend="process")
+        engine.submit(old_schema, new_schema)
+        engine.submit(new_schema, old_schema, max_nodes=20)
+        report = engine.run_batch()
+    """
+
+    kind = "containment"
+
+    def compile(self, schema: Union[ShExSchema, CompiledSchema]) -> CompiledSchema:
+        """Compile a schema through the shared per-process intern table."""
+        return compile_schema(schema)
+
+    def submit(
+        self,
+        left: Union[ShExSchema, CompiledSchema],
+        right: Union[ShExSchema, CompiledSchema],
+        label: str = "",
+        **options,
+    ) -> int:
+        """Queue ``L(left) ⊆ L(right)``; extra keywords tune the search budgets."""
+        left_compiled = self.compile(left)
+        right_compiled = self.compile(right)
+        self._pending.append(
+            ContainmentJob.make(
+                left_compiled.schema, right_compiled.schema, label=label, **options
+            )
+        )
+        return len(self._pending) - 1
+
+    # ------------------------------------------------------------------ #
+    # BatchEngine hooks
+    # ------------------------------------------------------------------ #
+    def _coerce_job(self, job: JobLike) -> ContainmentJob:
+        if isinstance(job, ContainmentJob):
+            return job
+        left, right = job
+        return ContainmentJob(left, right)
+
+    def _key_job(self, job: ContainmentJob, memo: Dict) -> Tuple:
+        # Schema fingerprints are memoized by object identity per batch, so a
+        # round-robin of one schema against many others hashes it once.
+        fingerprints = []
+        for schema in (job.left, job.right):
+            schema_key = ("schema", id(schema))
+            fingerprint = memo.get(schema_key)
+            if fingerprint is None:
+                fingerprint = schema_fingerprint(schema)
+                memo[schema_key] = fingerprint
+            fingerprints.append(fingerprint)
+        return ("containment", fingerprints[0], fingerprints[1], job.options)
+
+    def _execute_misses(self, misses) -> List[Tuple[str, Dict, float]]:
+        if self._executor.name == "process":
+            tasks = [job for job, _key in misses]
+            with Stopwatch() as clock:
+                raw = self._executor.map_ordered(_process_worker, tasks)
+            per_job = clock.seconds / max(len(misses), 1)
+            return [(verdict, payload, per_job) for verdict, payload in raw]
+
+        def run_one(task) -> Tuple[str, Dict, float]:
+            job, _key = task
+            with Stopwatch() as clock:
+                verdict, payload = _containment_payload(job)
+            return verdict, payload, clock.seconds
+
+        return self._executor.map_ordered(run_one, misses)

@@ -1,0 +1,125 @@
+"""Job and result models for the batch engines.
+
+A *job* is one unit of work — validate one graph against one schema, or check
+one schema-pair containment.  A :class:`JobResult` is the structured outcome:
+the verdict, a deterministic payload (identical across executor backends for
+the same job), the cache key that identified the job, and timing/caching
+bookkeeping.  An :class:`EngineReport` bundles a whole batch together with the
+engine's cache statistics so callers — and the CLI — can see exactly how much
+work was served from cache versus recomputed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping, Tuple
+
+from repro.engine.cache import CacheStats
+from repro.graphs.graph import Graph
+from repro.schema.shex import ShExSchema
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class ValidationJob:
+    """One validation unit: a graph checked against a schema."""
+
+    graph: Graph
+    schema: ShExSchema
+    compressed: bool = False
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class ContainmentJob:
+    """One containment unit: ``L(left) ⊆ L(right)``, with search options."""
+
+    left: ShExSchema
+    right: ShExSchema
+    options: Tuple[Tuple[str, Any], ...] = ()
+    label: str = ""
+
+    @staticmethod
+    def make(left: ShExSchema, right: ShExSchema, label: str = "", **options) -> "ContainmentJob":
+        return ContainmentJob(left, right, tuple(sorted(options.items())), label)
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """The structured outcome of one job.
+
+    ``verdict`` and ``payload`` are pure functions of the job inputs — they are
+    what backend-parity means.  ``seconds`` and ``cached`` describe *this* run:
+    a cache hit reports near-zero seconds and ``cached=True``.
+    """
+
+    index: int
+    kind: str
+    label: str
+    key: Tuple
+    verdict: str
+    payload: Mapping[str, Any]
+    seconds: float
+    cached: bool
+
+    def __bool__(self) -> bool:
+        return self.verdict in ("valid", "contained")
+
+    def canonical(self) -> str:
+        """A deterministic one-line rendering (used for backend-parity checks)."""
+        items = ";".join(f"{k}={self.payload[k]!r}" for k in sorted(self.payload))
+        return f"{self.kind}:{self.verdict}:{items}"
+
+
+@dataclass
+class EngineReport:
+    """A batch outcome: per-job results plus engine-level statistics."""
+
+    results: Tuple[JobResult, ...]
+    backend: str
+    seconds: float
+    cache: CacheStats
+    jobs_total: int = 0
+    jobs_from_cache: int = 0
+
+    def __post_init__(self):
+        if not self.jobs_total:
+            self.jobs_total = len(self.results)
+        self.jobs_from_cache = sum(1 for result in self.results if result.cached)
+
+    def verdicts(self) -> Tuple[str, ...]:
+        """The verdict of every job, in submission order."""
+        return tuple(result.verdict for result in self.results)
+
+    def canonical(self) -> str:
+        """Deterministic rendering of the whole batch (backend-parity checks)."""
+        return "\n".join(result.canonical() for result in self.results)
+
+    @property
+    def all_ok(self) -> bool:
+        return all(bool(result) for result in self.results)
+
+    def summary(self) -> str:
+        ok = sum(1 for result in self.results if result)
+        return (
+            f"{self.jobs_total} job(s) in {self.seconds:.3f}s on backend "
+            f"{self.backend!r}: {ok} positive, {self.jobs_total - ok} other; "
+            f"{self.jobs_from_cache} from cache ({self.cache})"
+        )
+
+
+class Stopwatch:
+    """Tiny helper: ``with Stopwatch() as clock: ...; clock.seconds``."""
+
+    __slots__ = ("start", "seconds")
+
+    def __enter__(self) -> "Stopwatch":
+        self.start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.seconds = time.perf_counter() - self.start
+        return False

@@ -1,0 +1,250 @@
+"""The batched, parallel, cache-aware validation engine.
+
+:class:`ValidationEngine` turns the one-shot :func:`repro.schema.validation.validate`
+into a service-shaped API:
+
+* ``submit`` queues (graph, schema) jobs — plain or compressed semantics;
+* ``run_batch`` executes every queued job through a pluggable backend
+  (``serial`` / ``thread`` / ``process``), serving repeats from an LRU cache
+  keyed by content fingerprints and compiling every distinct schema exactly
+  once;
+* the result is an :class:`repro.engine.jobs.EngineReport` whose per-job
+  payloads are byte-identical across backends.
+
+For single very large graphs, :func:`maximal_typing_chunked` additionally
+parallelises *inside* one job: each refinement round partitions the node
+frontier into chunks whose (node, type) checks are independent reads of the
+current relation, evaluates the chunks through the executor, then applies all
+removals at once (a Jacobi-style sweep — it reaches the same greatest fixpoint
+as the sequential worklist because removals are monotone).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.engine.base import BatchEngine
+from repro.engine.compiled import (
+    CompiledSchema,
+    compile_schema,
+    graph_fingerprint,
+    schema_fingerprint,
+)
+from repro.engine.executors import SerialExecutor, chunked
+from repro.engine.jobs import Stopwatch, ValidationJob
+from repro.graphs.graph import Graph
+from repro.schema.shex import ShExSchema
+from repro.schema.typing import Typing, predecessor_map, satisfies_type
+from repro.schema.validation import (
+    maximal_typing_compressed,
+    satisfies_type_compressed,
+    validate,
+)
+
+JobLike = Union[ValidationJob, Tuple[Graph, ShExSchema]]
+
+
+def _validation_payload(job: ValidationJob, compiled: CompiledSchema) -> Tuple[str, Dict]:
+    """Run one job to a deterministic (verdict, payload) pair."""
+    if job.compressed:
+        typing = maximal_typing_compressed(job.graph, job.schema, compiled=compiled)
+        untyped = tuple(
+            sorted(
+                (node for node in job.graph.nodes if not typing.types_of(node)),
+                key=repr,
+            )
+        )
+    else:
+        report = validate(job.graph, job.schema, compiled=compiled)
+        typing = report.typing
+        untyped = report.untyped_nodes
+    verdict = "valid" if not untyped else "invalid"
+    payload = {
+        "untyped_nodes": tuple(repr(node) for node in untyped),
+        "typing": tuple(
+            (repr(node), tuple(sorted(typing.types_of(node))))
+            for node in sorted(job.graph.nodes, key=repr)
+        ),
+        "compressed": job.compressed,
+    }
+    return verdict, payload
+
+
+def _process_worker(job: ValidationJob) -> Tuple[str, Dict]:
+    """Module-level worker for the process backend (must be picklable).
+
+    Receives the plain job; the schema is recompiled in the worker through the
+    per-process intern table, so each distinct schema is compiled once per
+    worker process rather than once per job.
+    """
+    return _validation_payload(job, compile_schema(job.schema))
+
+
+class ValidationEngine(BatchEngine):
+    """Batch validation with pluggable executors and a fingerprint-keyed cache.
+
+    Usage::
+
+        engine = ValidationEngine(backend="thread", max_workers=4)
+        engine.submit(graph_a, schema)
+        engine.submit(graph_b, schema, compressed=True)
+        report = engine.run_batch()
+
+    The engine may be reused across batches; the cache persists between them.
+    """
+
+    kind = "validation"
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        cache_size: int = 1024,
+    ):
+        super().__init__(backend, max_workers, cache_size)
+        self._compiled: Dict[str, CompiledSchema] = {}
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    def compile(self, schema: Union[ShExSchema, CompiledSchema]) -> CompiledSchema:
+        """Compile a schema, interning by content fingerprint within the engine."""
+        if isinstance(schema, CompiledSchema):
+            self._compiled.setdefault(schema.fingerprint, schema)
+            return schema
+        fingerprint = schema_fingerprint(schema)
+        compiled = self._compiled.get(fingerprint)
+        if compiled is None:
+            compiled = CompiledSchema(schema)
+            self._compiled[fingerprint] = compiled
+        return compiled
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        graph: Graph,
+        schema: Union[ShExSchema, CompiledSchema],
+        compressed: bool = False,
+        label: str = "",
+    ) -> int:
+        """Queue one job; returns its index within the next batch."""
+        compiled = self.compile(schema)
+        self._pending.append(
+            ValidationJob(graph=graph, schema=compiled.schema, compressed=compressed, label=label)
+        )
+        return len(self._pending) - 1
+
+    # ------------------------------------------------------------------ #
+    # BatchEngine hooks
+    # ------------------------------------------------------------------ #
+    def _coerce_job(self, job: JobLike) -> ValidationJob:
+        if isinstance(job, ValidationJob):
+            return job
+        graph, schema = job
+        return ValidationJob(graph=graph, schema=schema)
+
+    def _key_job(self, job: ValidationJob, memo: Dict) -> Tuple:
+        # Fingerprints are memoized by object identity for the duration of one
+        # batch: a manifest validating one graph against fifty schemas (or one
+        # schema against fifty graphs) hashes each object once, not per job.
+        # The memo is per-batch on purpose — graphs are mutable, so identity
+        # says nothing about content across run_batch calls.
+        schema_key = ("schema", id(job.schema))
+        schema_fp = memo.get(schema_key)
+        if schema_fp is None:
+            schema_fp = self.compile(job.schema).fingerprint
+            memo[schema_key] = schema_fp
+        graph_key = ("graph", id(job.graph))
+        graph_fp = memo.get(graph_key)
+        if graph_fp is None:
+            graph_fp = graph_fingerprint(job.graph)
+            memo[graph_key] = graph_fp
+        return ("validation", schema_fp, graph_fp, job.compressed)
+
+    def _execute_misses(self, misses) -> List[Tuple[str, Dict, float]]:
+        if self._executor.name == "process":
+            tasks = [job for job, _key in misses]
+            with Stopwatch() as clock:
+                raw = self._executor.map_ordered(_process_worker, tasks)
+            # Wall clock per job is not observable per worker; report the
+            # pool-averaged cost so batch totals still add up.
+            per_job = clock.seconds / max(len(misses), 1)
+            return [(verdict, payload, per_job) for verdict, payload in raw]
+
+        def run_one(task) -> Tuple[str, Dict, float]:
+            job, _key = task
+            with Stopwatch() as clock:
+                verdict, payload = _validation_payload(job, self.compile(job.schema))
+            return verdict, payload, clock.seconds
+
+        return self._executor.map_ordered(run_one, misses)
+
+
+# --------------------------------------------------------------------------- #
+# Intra-job parallelism: chunked frontier refinement
+# --------------------------------------------------------------------------- #
+def maximal_typing_chunked(
+    graph: Graph,
+    schema: ShExSchema,
+    compiled: Optional[CompiledSchema] = None,
+    executor=None,
+    chunk_size: int = 64,
+    compressed: bool = False,
+) -> Typing:
+    """Maximal typing by synchronous rounds over a chunked node frontier.
+
+    Each round checks every (node, type) pair of the current frontier against a
+    *frozen* snapshot of the relation — chunks only read shared state, so they
+    can run on the serial or thread executor — then applies all discovered
+    removals at once and builds the next frontier from the predecessors of the
+    shrunk nodes.  This Jacobi-style sweep removes (possibly) fewer pairs per
+    round than the sequential worklist but converges to the same greatest
+    fixpoint.
+
+    The process backend is rejected: chunk work closes over the shared typing
+    relation, which cannot cross a process boundary (use job-level parallelism
+    through :class:`ValidationEngine` instead).
+    """
+    if executor is not None and getattr(executor, "name", "") == "process":
+        raise ValueError(
+            "maximal_typing_chunked requires a shared-memory executor "
+            "(serial or thread); use ValidationEngine for process-level parallelism"
+        )
+    compiled = compile_schema(schema) if compiled is None else compiled
+    artifacts = {
+        type_name: compiled.type_artifact(type_name) for type_name in schema.types
+    }
+    if compressed:
+        def check(node, type_name, current) -> bool:
+            return satisfies_type_compressed(
+                graph, node, type_name, schema, current, artifact=artifacts[type_name]
+            )
+    else:
+        def check(node, type_name, current) -> bool:
+            return satisfies_type(
+                graph, node, type_name, schema, current, artifact=artifacts[type_name]
+            )
+
+    executor = executor or SerialExecutor()
+    current = {node: set(schema.types) for node in graph.nodes}
+    predecessors = predecessor_map(graph)
+    frontier = sorted(graph.nodes, key=repr)
+    while frontier:
+        def check_chunk(nodes) -> List[Tuple[object, str]]:
+            removals = []
+            for node in nodes:
+                for type_name in sorted(current[node]):
+                    if not check(node, type_name, current):
+                        removals.append((node, type_name))
+            return removals
+
+        chunk_results = executor.map_ordered(check_chunk, chunked(frontier, chunk_size))
+        next_frontier = set()
+        for node, type_name in (pair for chunk in chunk_results for pair in chunk):
+            if type_name in current[node]:
+                current[node].discard(type_name)
+                next_frontier |= predecessors[node]
+        frontier = sorted(next_frontier, key=repr)
+    return Typing(current)

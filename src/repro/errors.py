@@ -43,6 +43,10 @@ class RDFSyntaxError(ReproError):
     """Raised when RDF triples cannot be parsed."""
 
 
+class ManifestError(ReproError):
+    """Raised when a batch manifest (see :mod:`repro.engine.manifest`) is malformed."""
+
+
 class PresburgerError(ReproError):
     """Raised for malformed Presburger formulas or unsupported constructs."""
 

@@ -41,6 +41,13 @@ class RBE:
 
     __slots__ = ()
 
+    def __reduce__(self):
+        # Frozen dataclasses with manual __slots__ cannot use pickle's default
+        # state protocol (__setstate__ would assign to frozen fields); rebuild
+        # through the constructor instead so expressions can cross process
+        # boundaries (the engine's multiprocessing backend relies on this).
+        return (type(self), tuple(getattr(self, name) for name in self.__slots__))
+
     # -- structural queries ------------------------------------------------
     def children(self) -> Tuple["RBE", ...]:
         """Immediate sub-expressions."""

@@ -17,6 +17,7 @@ every node (see :mod:`repro.schema.validation`).
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.bags import Bag
@@ -90,6 +91,7 @@ def satisfies_type(
     type_name: TypeName,
     schema: ShExSchema,
     typing: Mapping[NodeId, Iterable[TypeName]],
+    artifact=None,
 ) -> bool:
     """Does ``node`` satisfy the definition of ``type_name`` w.r.t. ``typing``?
 
@@ -99,24 +101,34 @@ def satisfies_type(
     edge to a type of its target such that the resulting bag matches the rule —
     solved as a polynomial flow problem for RBE0 rules and by bounded
     enumeration plus exact RBE membership otherwise.
+
+    ``artifact`` optionally carries the precompiled per-type data of
+    :class:`repro.engine.compiled.CompiledType` (expression, symbol set, RBE0
+    bounds), skipping their recomputation on every check.
     """
-    expr = schema.definition(type_name)
-    edges = graph.out_edges(node)
-    alphabet = expr.alphabet()
+    if artifact is not None:
+        expr = artifact.expr
+        alphabet = artifact.symbol_set
+        group_bounds = artifact.group_bounds
+    else:
+        expr = schema.definition(type_name)
+        alphabet = expr.alphabet()
+        profile = as_rbe0(expr)
+        group_bounds = None
+        if profile is not None:
+            group_bounds = {
+                symbol: (interval.lower, interval.upper)
+                for symbol, interval in profile.per_symbol_interval().items()
+            }
     candidates: List[Tuple[int, str, List[TypeName]]] = []
-    for edge in edges:
+    for edge in graph.out_edges(node):
         target_types = typing.get(edge.target, ())
         options = [t for t in target_types if (edge.label, t) in alphabet]
         if not options:
             return False
         candidates.append((edge.edge_id, edge.label, options))
 
-    profile = as_rbe0(expr)
-    if profile is not None:
-        group_bounds = {
-            symbol: (interval.lower, interval.upper)
-            for symbol, interval in profile.per_symbol_interval().items()
-        }
+    if group_bounds is not None:
         allowed = {
             edge_id: [(label, t) for t in options]
             for edge_id, label, options in candidates
@@ -172,25 +184,52 @@ def _satisfies_general(
 # --------------------------------------------------------------------------- #
 # Maximal typing (greatest fixed point)
 # --------------------------------------------------------------------------- #
-def maximal_typing(graph: Graph, schema: ShExSchema) -> Typing:
+def predecessor_map(graph: Graph) -> Dict[NodeId, Set[NodeId]]:
+    """For each node, the sources of its incoming edges (its dependents)."""
+    predecessors: Dict[NodeId, Set[NodeId]] = {node: set() for node in graph.nodes}
+    for edge in graph.edges:
+        predecessors[edge.target].add(edge.source)
+    return predecessors
+
+
+def maximal_typing(graph: Graph, schema: ShExSchema, compiled=None) -> Typing:
     """The unique maximal valid typing of ``graph`` with respect to ``schema``.
 
-    Computed by the standard refinement: start from the full relation
-    ``N × Γ`` and repeatedly drop pairs ``(n, t)`` whose node no longer
-    satisfies the definition of ``t`` under the current relation, until a fixed
-    point is reached.
+    Computed by the standard refinement — start from the full relation
+    ``N × Γ`` and drop pairs ``(n, t)`` whose node no longer satisfies the
+    definition of ``t`` under the current relation — driven by a worklist: a
+    node is only re-examined when the type set of one of its successors shrank,
+    since those are the only events that can invalidate its checks.
+
+    ``compiled`` optionally supplies a
+    :class:`repro.engine.compiled.CompiledSchema` whose per-type artifacts are
+    reused instead of recomputing alphabets and RBE0 bounds per check.
     """
+    artifacts = {
+        type_name: compiled.type_artifact(type_name) for type_name in schema.types
+    } if compiled is not None else {}
     current: Dict[NodeId, Set[TypeName]] = {
         node: set(schema.types) for node in graph.nodes
     }
-    changed = True
-    while changed:
-        changed = False
-        for node in graph.nodes:
-            for type_name in sorted(current[node]):
-                if not satisfies_type(graph, node, type_name, schema, current):
-                    current[node].discard(type_name)
-                    changed = True
+    predecessors = predecessor_map(graph)
+    pending: deque = deque(sorted(graph.nodes, key=repr))
+    queued: Set[NodeId] = set(pending)
+    while pending:
+        node = pending.popleft()
+        queued.discard(node)
+        shrunk = False
+        for type_name in sorted(current[node]):
+            if not satisfies_type(
+                graph, node, type_name, schema, current,
+                artifact=artifacts.get(type_name),
+            ):
+                current[node].discard(type_name)
+                shrunk = True
+        if shrunk:
+            for dependent in predecessors[node]:
+                if dependent not in queued:
+                    pending.append(dependent)
+                    queued.add(dependent)
     return Typing(current)
 
 

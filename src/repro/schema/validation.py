@@ -9,19 +9,23 @@ every node of ``G``.  Two flavours are provided:
   are exponents in the node signature and satisfaction is decided through the
   existential Presburger encoding of Section 6.1 (Proposition 6.2: this
   procedure is in NP).
+
+All entry points accept an optional precompiled schema (see
+:mod:`repro.engine.compiled`); the single-call forms are thin wrappers that
+compile on the fly, so batch callers — the engine — can pay compilation once
+and reuse it across jobs.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.graphs.graph import Graph
-from repro.presburger.build import rbe_to_formula
 from repro.presburger.formula import (
     Exists,
     conjunction,
-    const,
     eq,
     fresh_variable,
     var,
@@ -29,7 +33,7 @@ from repro.presburger.formula import (
 )
 from repro.presburger.solver import is_satisfiable
 from repro.schema.shex import ShExSchema, TypeName
-from repro.schema.typing import Typing, maximal_typing, satisfies_type
+from repro.schema.typing import Typing, maximal_typing, predecessor_map, satisfies_type
 
 NodeId = Hashable
 
@@ -46,18 +50,27 @@ class ValidationReport:
         return self.satisfied
 
 
-def validate(graph: Graph, schema: ShExSchema) -> ValidationReport:
-    """Compute the maximal typing and report whether every node is typed."""
-    typing = maximal_typing(graph, schema)
+def validate(graph: Graph, schema: ShExSchema, compiled=None) -> ValidationReport:
+    """Compute the maximal typing and report whether every node is typed.
+
+    ``compiled`` optionally supplies a pre-built
+    :class:`repro.engine.compiled.CompiledSchema` for ``schema``; without it
+    one is compiled (and interned) on the fly.
+    """
+    if compiled is None:
+        from repro.engine.compiled import compile_schema
+
+        compiled = compile_schema(schema)
+    typing = maximal_typing(graph, schema, compiled=compiled)
     untyped = tuple(
         sorted((node for node in graph.nodes if not typing.types_of(node)), key=repr)
     )
     return ValidationReport(satisfied=not untyped, typing=typing, untyped_nodes=untyped)
 
 
-def satisfies(graph: Graph, schema: ShExSchema) -> bool:
+def satisfies(graph: Graph, schema: ShExSchema, compiled=None) -> bool:
     """True when ``graph`` satisfies ``schema`` (every node gets at least one type)."""
-    return validate(graph, schema).satisfied
+    return validate(graph, schema, compiled=compiled).satisfied
 
 
 # --------------------------------------------------------------------------- #
@@ -69,6 +82,7 @@ def satisfies_type_compressed(
     type_name: TypeName,
     schema: ShExSchema,
     typing: Mapping[NodeId, Iterable[TypeName]],
+    artifact=None,
 ) -> bool:
     """Type satisfaction for compressed graphs via existential Presburger arithmetic.
 
@@ -76,10 +90,19 @@ def satisfies_type_compressed(
     ``y_{e,τ}`` (how many of the ``k`` parallel edges take type ``τ``), subject
     to ``Σ_τ y_{e,τ} = k``; the per-symbol totals ``z_{a::τ}`` must satisfy
     ``ψ_{δ(t)}(z̄, 1)``.  This is exactly the encoding behind Proposition 6.2.
+
+    ``artifact`` optionally carries the precompiled per-type data
+    (:class:`repro.engine.compiled.CompiledType`): the sorted alphabet and the
+    ``ψ`` template are then reused instead of being rebuilt per (node, type)
+    check — the template's count variables are rebound here through fresh
+    per-call sum constraints, so sharing it across calls is sound.
     """
-    expr = schema.definition(type_name)
-    alphabet = sorted(expr.alphabet(), key=repr)
-    symbol_set = set(alphabet)
+    if artifact is None:
+        from repro.engine.compiled import compile_schema
+
+        artifact = compile_schema(schema).type_artifact(type_name)
+    alphabet = artifact.sorted_alphabet
+    symbol_set = artifact.symbol_set
     edges = graph.out_edges(node)
 
     y_vars: Dict[Tuple[int, TypeName], str] = {}
@@ -101,38 +124,60 @@ def satisfies_type_compressed(
             contributions.setdefault((edge.label, type_name_option), []).append(name)
         constraints.append(eq(total, multiplicity))
 
-    z_vars: Dict[object, str] = {}
+    z_vars, psi = artifact.presburger_template()
     for symbol in alphabet:
-        name = fresh_variable("z")
-        z_vars[symbol] = name
         total = LinearTerm.of(0)
         for contributor in contributions.get(symbol, ()):  # type: ignore[arg-type]
             total = total + var(contributor)
-        constraints.append(eq(var(name), total))
+        constraints.append(eq(var(z_vars[symbol]), total))
 
-    constraints.append(rbe_to_formula(expr, z_vars, const(1)))
+    constraints.append(psi)
     bound = tuple(y_vars.values()) + tuple(z_vars.values())
     formula = Exists(bound, conjunction(constraints)) if bound else conjunction(constraints)
     return is_satisfiable(formula)
 
 
-def maximal_typing_compressed(graph: Graph, schema: ShExSchema) -> Typing:
-    """The maximal typing of a compressed graph (Section 6.1 semantics)."""
+def maximal_typing_compressed(graph: Graph, schema: ShExSchema, compiled=None) -> Typing:
+    """The maximal typing of a compressed graph (Section 6.1 semantics).
+
+    Uses the same worklist refinement as :func:`repro.schema.typing.maximal_typing`:
+    instead of rescanning every node whenever anything changed, a node is
+    re-examined only when the type set of one of its successors shrank — the
+    only event that can falsify its (monotone) satisfaction checks.
+    """
+    if compiled is None:
+        from repro.engine.compiled import compile_schema
+
+        compiled = compile_schema(schema)
+    artifacts = {
+        type_name: compiled.type_artifact(type_name) for type_name in schema.types
+    }
     current: Dict[NodeId, Set[TypeName]] = {
         node: set(schema.types) for node in graph.nodes
     }
-    changed = True
-    while changed:
-        changed = False
-        for node in graph.nodes:
-            for type_name in sorted(current[node]):
-                if not satisfies_type_compressed(graph, node, type_name, schema, current):
-                    current[node].discard(type_name)
-                    changed = True
+    predecessors = predecessor_map(graph)
+    pending: deque = deque(sorted(graph.nodes, key=repr))
+    queued: Set[NodeId] = set(pending)
+    while pending:
+        node = pending.popleft()
+        queued.discard(node)
+        shrunk = False
+        for type_name in sorted(current[node]):
+            if not satisfies_type_compressed(
+                graph, node, type_name, schema, current,
+                artifact=artifacts[type_name],
+            ):
+                current[node].discard(type_name)
+                shrunk = True
+        if shrunk:
+            for dependent in predecessors[node]:
+                if dependent not in queued:
+                    pending.append(dependent)
+                    queued.add(dependent)
     return Typing(current)
 
 
-def satisfies_compressed(graph: Graph, schema: ShExSchema) -> bool:
+def satisfies_compressed(graph: Graph, schema: ShExSchema, compiled=None) -> bool:
     """True when the compressed graph satisfies the schema (Proposition 6.2)."""
-    typing = maximal_typing_compressed(graph, schema)
+    typing = maximal_typing_compressed(graph, schema, compiled=compiled)
     return typing.is_total(graph)

@@ -1,0 +1,317 @@
+"""Unit tests for the engine subsystem: compiled schemas, caches, and batches."""
+
+import pytest
+
+from repro.engine.cache import LRUCache
+from repro.engine.compiled import (
+    CompiledSchema,
+    compile_schema,
+    graph_fingerprint,
+    schema_fingerprint,
+)
+from repro.engine.containment import ContainmentEngine
+from repro.engine.jobs import ValidationJob
+from repro.engine.validation import ValidationEngine, maximal_typing_chunked
+from repro.graphs.compressed import CompressedGraph
+from repro.graphs.graph import Graph
+from repro.schema.classes import SchemaClass
+from repro.schema.parser import parse_schema
+from repro.schema.typing import maximal_typing
+from repro.schema.validation import satisfies_compressed, validate
+from repro.workloads.bugtracker import (
+    bug_tracker_graph,
+    bug_tracker_refactored_schema,
+    bug_tracker_schema,
+)
+
+
+@pytest.fixture
+def schema():
+    return parse_schema("Bug -> descr :: Lit, related :: Bug*\nLit -> eps")
+
+
+@pytest.fixture
+def good_graph():
+    return Graph.from_triples(
+        [("b1", "descr", "l1"), ("b1", "related", "b2"), ("b2", "descr", "l2")]
+    )
+
+
+@pytest.fixture
+def bad_graph():
+    return Graph.from_triples([("b1", "related", "b2")])
+
+
+class TestFingerprints:
+    def test_schema_fingerprint_ignores_name_and_order(self):
+        one = parse_schema("A -> x :: B\nB -> eps", name="one")
+        two = parse_schema("B -> eps\nA -> x :: B", name="two")
+        assert schema_fingerprint(one) == schema_fingerprint(two)
+
+    def test_schema_fingerprint_distinguishes_rules(self):
+        one = parse_schema("A -> x :: B\nB -> eps")
+        two = parse_schema("A -> x :: B?\nB -> eps")
+        assert schema_fingerprint(one) != schema_fingerprint(two)
+
+    def test_graph_fingerprint_tracks_structure(self):
+        one = Graph.from_triples([("a", "x", "b")])
+        two = Graph.from_triples([("a", "x", "b")])
+        assert graph_fingerprint(one) == graph_fingerprint(two)
+        two.add_edge("a", "x", "c")
+        assert graph_fingerprint(one) != graph_fingerprint(two)
+
+    def test_graph_fingerprint_sees_isolated_nodes(self):
+        one = Graph.from_triples([("a", "x", "b")])
+        two = Graph.from_triples([("a", "x", "b")])
+        two.add_node("lonely")
+        assert graph_fingerprint(one) != graph_fingerprint(two)
+
+    def test_graph_fingerprint_sees_intervals(self):
+        one = Graph()
+        one.add_edge("a", "x", "b", "[2;2]")
+        two = Graph()
+        two.add_edge("a", "x", "b", "[3;3]")
+        assert graph_fingerprint(one) != graph_fingerprint(two)
+
+
+class TestCompiledSchema:
+    def test_type_artifacts_are_interned(self, schema):
+        compiled = CompiledSchema(schema)
+        assert compiled.type_artifact("Bug") is compiled.type_artifact("Bug")
+
+    def test_artifact_alphabet_sorted_once(self, schema):
+        artifact = CompiledSchema(schema).type_artifact("Bug")
+        assert artifact.sorted_alphabet == tuple(
+            sorted(schema.definition("Bug").alphabet(), key=repr)
+        )
+        assert artifact.symbol_set == schema.definition("Bug").alphabet()
+
+    def test_presburger_template_is_cached(self, schema):
+        artifact = CompiledSchema(schema).type_artifact("Bug")
+        assert artifact.presburger_template() is artifact.presburger_template()
+
+    def test_schema_class_cached(self, schema):
+        compiled = CompiledSchema(schema)
+        assert compiled.schema_class is SchemaClass.DETSHEX0_MINUS
+        assert compiled.is_shex0
+
+    def test_compile_schema_interns_by_content(self, schema):
+        again = parse_schema("Bug -> descr :: Lit, related :: Bug*\nLit -> eps")
+        assert compile_schema(schema) is compile_schema(again)
+
+    def test_of_passes_compiled_through(self, schema):
+        compiled = CompiledSchema(schema)
+        assert CompiledSchema.of(compiled) is compiled
+
+
+class TestLRUCache:
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(max_size=4)
+        assert cache.get("k") == (False, None)
+        cache.put("k", 1)
+        assert cache.get("k") == (True, 1)
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_eviction_is_lru(self):
+        cache = LRUCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a"; "b" is now least recent
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats().evictions == 1
+
+    def test_zero_size_disables_caching(self):
+        cache = LRUCache(max_size=0)
+        cache.put("a", 1)
+        assert cache.get("a") == (False, None)
+        assert len(cache) == 0
+
+
+class TestValidationEngine:
+    def test_batch_matches_single_calls(self, schema, good_graph, bad_graph):
+        with ValidationEngine() as engine:
+            engine.submit(good_graph, schema)
+            engine.submit(bad_graph, schema)
+            report = engine.run_batch()
+        assert report.verdicts() == ("valid", "invalid")
+        assert validate(good_graph, schema).satisfied
+        assert not validate(bad_graph, schema).satisfied
+
+    def test_duplicate_jobs_in_one_batch_computed_once(self, schema, good_graph):
+        with ValidationEngine() as engine:
+            engine.submit(good_graph, schema)
+            engine.submit(good_graph, schema)
+            report = engine.run_batch()
+        assert report.verdicts() == ("valid", "valid")
+        assert report.jobs_from_cache == 1
+        assert report.cache.misses == 1
+
+    def test_second_batch_served_from_cache(self, schema, good_graph, bad_graph):
+        with ValidationEngine() as engine:
+            report1 = engine.run_batch([(good_graph, schema), (bad_graph, schema)])
+            assert report1.jobs_from_cache == 0
+            report2 = engine.run_batch([(good_graph, schema), (bad_graph, schema)])
+        assert report2.jobs_from_cache == 2
+        assert report2.verdicts() == report1.verdicts()
+        assert report2.cache.hits == 2
+
+    def test_structurally_equal_inputs_share_cache(self, schema):
+        graph_a = Graph.from_triples([("b1", "descr", "l1")])
+        graph_b = Graph.from_triples([("b1", "descr", "l1")])
+        schema_b = parse_schema("Bug -> descr :: Lit, related :: Bug*\nLit -> eps")
+        with ValidationEngine() as engine:
+            engine.run_batch([(graph_a, schema)])
+            report = engine.run_batch([(graph_b, schema_b)])
+        assert report.jobs_from_cache == 1
+
+    def test_cache_disabled(self, schema, good_graph):
+        with ValidationEngine(cache_size=0) as engine:
+            engine.run_batch([(good_graph, schema)])
+            report = engine.run_batch([(good_graph, schema)])
+        assert report.jobs_from_cache == 0
+
+    def test_payload_reports_untyped_nodes(self, schema, bad_graph):
+        with ValidationEngine() as engine:
+            report = engine.run_batch([(bad_graph, schema)])
+        payload = report.results[0].payload
+        # b2 has no outgoing edges, so it still satisfies Lit -> eps; only the
+        # root lacking its descr edge goes untyped.
+        assert payload["untyped_nodes"] == ("'b1'",)
+
+    def test_compressed_jobs(self, schema):
+        compressed = CompressedGraph()
+        compressed.add_edge("b1", "descr", "l1")
+        compressed.add_edge("b1", "related", "b2", "[3;3]")
+        compressed.add_edge("b2", "descr", "l2")
+        with ValidationEngine() as engine:
+            engine.submit(compressed, schema, compressed=True)
+            report = engine.run_batch()
+        assert report.verdicts() == ("valid",)
+        assert satisfies_compressed(compressed, schema)
+
+    def test_compressed_and_plain_jobs_cached_separately(self, schema, good_graph):
+        with ValidationEngine() as engine:
+            engine.submit(good_graph, schema)
+            engine.submit(good_graph, schema, compressed=True)
+            report = engine.run_batch()
+        assert report.jobs_from_cache == 0
+        assert report.cache.misses == 2
+
+    def test_engine_report_summary_mentions_backend(self, schema, good_graph):
+        with ValidationEngine(backend="serial") as engine:
+            report = engine.run_batch([(good_graph, schema)])
+        assert "serial" in report.summary()
+
+    def test_submit_accepts_precompiled_schema(self, schema, good_graph):
+        with ValidationEngine() as engine:
+            compiled = engine.compile(schema)
+            engine.submit(good_graph, compiled)
+            report = engine.run_batch()
+        assert report.verdicts() == ("valid",)
+
+
+class TestCompressedEdgeCases:
+    def test_empty_graph_is_valid(self, schema):
+        empty = CompressedGraph()
+        assert satisfies_compressed(empty, schema)
+        with ValidationEngine() as engine:
+            report = engine.run_batch([ValidationJob(empty, schema, compressed=True)])
+        assert report.verdicts() == ("valid",)
+
+    def test_multiplicity_zero_edge_is_ignored(self):
+        schema = parse_schema("A -> b :: B*\nB -> eps")
+        graph = CompressedGraph()
+        graph.add_edge("n1", "b", "n2", "[2;2]")
+        # A zero-multiplicity edge with a label outside every alphabet must
+        # not disqualify its source node.
+        graph.add_edge("n2", "junk", "n3", "[0;0]")
+        assert satisfies_compressed(graph, schema)
+
+    def test_positive_multiplicity_unknown_label_invalidates(self):
+        schema = parse_schema("A -> b :: B*\nB -> eps")
+        graph = CompressedGraph()
+        graph.add_edge("n1", "b", "n2", "[2;2]")
+        graph.add_edge("n2", "junk", "n3", "[1;1]")
+        assert not satisfies_compressed(graph, schema)
+
+
+class TestChunkedTyping:
+    def test_chunked_matches_worklist(self):
+        graph = bug_tracker_graph()
+        for schema in (bug_tracker_schema(), bug_tracker_refactored_schema()):
+            reference = maximal_typing(graph, schema)
+            for chunk_size in (1, 2, 64):
+                assert maximal_typing_chunked(graph, schema, chunk_size=chunk_size) == reference
+
+    def test_chunked_with_thread_executor(self):
+        from repro.engine.executors import ThreadExecutor
+
+        graph = bug_tracker_graph()
+        schema = bug_tracker_schema()
+        with ThreadExecutor(max_workers=3) as executor:
+            chunked = maximal_typing_chunked(
+                graph, schema, executor=executor, chunk_size=2
+            )
+        assert chunked == maximal_typing(graph, schema)
+
+    def test_chunked_rejects_process_executor(self):
+        from repro.engine.executors import ProcessExecutor
+
+        graph = bug_tracker_graph()
+        schema = bug_tracker_schema()
+        with pytest.raises(ValueError, match="shared-memory executor"):
+            maximal_typing_chunked(graph, schema, executor=ProcessExecutor(2))
+
+    def test_chunked_compressed(self):
+        schema = parse_schema("Bug -> descr :: Lit, related :: Bug*\nLit -> eps")
+        graph = CompressedGraph()
+        graph.add_edge("b1", "descr", "l1")
+        graph.add_edge("b1", "related", "b2", "[4;4]")
+        graph.add_edge("b2", "descr", "l2")
+        typing = maximal_typing_chunked(graph, schema, compressed=True, chunk_size=1)
+        assert typing.is_total(graph)
+
+
+class TestContainmentEngine:
+    def test_batch_verdicts(self):
+        old = parse_schema("Bug -> descr :: Lit, related :: Bug*\nLit -> eps")
+        new = parse_schema("Bug -> descr :: Lit?, related :: Bug*\nLit -> eps")
+        with ContainmentEngine() as engine:
+            engine.submit(old, new)
+            engine.submit(new, old)
+            engine.submit(old, old)
+            report = engine.run_batch()
+        assert report.verdicts() == ("contained", "not-contained", "contained")
+        negative = report.results[1]
+        assert negative.payload["counterexample"] is not None
+
+    def test_repeat_batch_hits_cache(self):
+        old = parse_schema("Bug -> descr :: Lit, related :: Bug*\nLit -> eps")
+        new = parse_schema("Bug -> descr :: Lit?, related :: Bug*\nLit -> eps")
+        with ContainmentEngine() as engine:
+            engine.run_batch([(old, new)])
+            report = engine.run_batch([(old, new)])
+        assert report.jobs_from_cache == 1
+
+    def test_options_partition_the_cache(self):
+        old = parse_schema("Bug -> descr :: Lit, related :: Bug*\nLit -> eps")
+        new = parse_schema("Bug -> descr :: Lit?, related :: Bug*\nLit -> eps")
+        with ContainmentEngine() as engine:
+            engine.submit(old, new)
+            engine.submit(old, new, max_nodes=10)
+            report = engine.run_batch()
+        assert report.jobs_from_cache == 0
+        assert report.verdicts() == ("contained", "contained")
+
+    def test_mixed_class_batch(self):
+        detshex = parse_schema("A -> x :: B\nB -> eps")
+        general = parse_schema("A -> (x :: B | x :: B || x :: B)\nB -> eps")
+        with ContainmentEngine() as engine:
+            engine.submit(detshex, detshex)
+            engine.submit(detshex, general)
+            report = engine.run_batch()
+        assert report.results[0].verdict == "contained"
+        assert report.results[1].verdict in ("contained", "unknown")
