@@ -1,0 +1,159 @@
+"""Warm daemon vs cold process: what a long-lived server actually buys.
+
+Not a table of the paper — this measures the serving layer grown around the
+paper's algorithms.  The same request stream (40 validations over 10 distinct
+documents against one schema) is answered three ways:
+
+* **cold process** — every request spawns a fresh ``shex-containment
+  validate`` CLI process: interpreter start-up, schema parsing, schema
+  compilation, and an empty cache, every single time.  This is the baseline a
+  cron job or shell script pays today (run with ``--cold-subprocess``; the
+  default run models it in-process as a fresh engine per request, skipping
+  only the interpreter start-up, which makes the comparison *more*
+  conservative);
+* **warm daemon** — one :class:`repro.serve.daemon.ValidationDaemon` on a
+  Unix socket answers the whole stream: the schema is compiled once, repeated
+  documents are LRU cache hits, and the parse memo skips re-parsing;
+* the daemon's answers must agree with the cold answers job for job.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_serve.py``) or via
+pytest (``pytest benchmarks/bench_serve.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.rdf.convert import rdf_to_simple_graph
+from repro.rdf.parser import parse_turtle_lite
+from repro.schema.parser import parse_schema
+from repro.schema.validation import validate
+from repro.serve.client import DaemonClient
+from repro.serve.daemon import start_in_thread
+
+REQUESTS = 40
+DISTINCT_DOCUMENTS = 10
+
+SCHEMA_TEXT = (
+    "Bug -> descr :: Lit, reported :: User, related :: Bug*\n"
+    "Lit -> eps\n"
+    "User -> name :: Lit"
+)
+
+
+def document(index: int) -> str:
+    """One deterministic Turtle document; ``index`` controls its shape."""
+    lines = [
+        "@prefix ex: <http://example.org/> .",
+        f"ex:bug{index} ex:descr ex:t{index} ; ex:reported ex:u{index} .",
+        f"ex:u{index} ex:name ex:n{index} .",
+    ]
+    for neighbour in range(index % 5):
+        lines.append(f"ex:bug{index} ex:related ex:peer{neighbour} .")
+        lines.append(
+            f"ex:peer{neighbour} ex:descr ex:pt{neighbour} ; ex:reported ex:u{index} ."
+        )
+    return "\n".join(lines) + "\n"
+
+
+def request_stream():
+    """(label, document text) pairs: 40 requests over 10 distinct documents."""
+    return [
+        (f"doc-{index % DISTINCT_DOCUMENTS}", document(index % DISTINCT_DOCUMENTS))
+        for index in range(REQUESTS)
+    ]
+
+
+def cold_in_process(stream):
+    """Fresh parse + compile + validate per request (no interpreter start-up)."""
+    verdicts = []
+    start = time.perf_counter()
+    for _label, text in stream:
+        schema = parse_schema(SCHEMA_TEXT)  # re-parsed: nothing survives
+        graph = rdf_to_simple_graph(parse_turtle_lite(text))
+        verdicts.append("valid" if validate(graph, schema).satisfied else "invalid")
+    return verdicts, time.perf_counter() - start
+
+
+def cold_subprocess(stream):
+    """The honest baseline: one CLI process per request."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    with tempfile.TemporaryDirectory(prefix="shex-bench-") as scratch:
+        schema_path = os.path.join(scratch, "schema.shex")
+        with open(schema_path, "w", encoding="utf-8") as handle:
+            handle.write(SCHEMA_TEXT + "\n")
+        verdicts = []
+        start = time.perf_counter()
+        for index, (_label, text) in enumerate(stream):
+            data_path = os.path.join(scratch, f"doc{index}.ttl")
+            with open(data_path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "validate",
+                 "--schema", schema_path, "--data", data_path],
+                capture_output=True, text=True, env=env, check=False,
+            )
+            verdicts.append("valid" if completed.returncode == 0 else "invalid")
+        return verdicts, time.perf_counter() - start
+
+
+def warm_daemon(stream):
+    """One daemon answers the whole stream over a Unix socket."""
+    socket_path = os.path.join(tempfile.mkdtemp(prefix="shex-bench-"), "bench.sock")
+    with start_in_thread(socket_path=socket_path, backend="thread", max_workers=4):
+        with DaemonClient.connect(socket_path) as client:
+            client.load_schema("bench", text=SCHEMA_TEXT)
+            verdicts = []
+            start = time.perf_counter()
+            for label, text in stream:
+                answer = client.validate("bench", data_text=text, label=label)
+                verdicts.append(answer["verdict"])
+            elapsed = time.perf_counter() - start
+            stats = client.status()["validation_cache"]
+            client.shutdown()
+    return verdicts, elapsed, stats
+
+
+def test_warm_daemon_beats_cold_requests():
+    stream = request_stream()
+    cold_verdicts, cold_seconds = cold_in_process(stream)
+    warm_verdicts, warm_seconds, stats = warm_daemon(stream)
+
+    assert warm_verdicts == cold_verdicts  # same answers, served warm
+    assert stats["hits"] >= REQUESTS - DISTINCT_DOCUMENTS  # repeats were cache hits
+
+    print(f"\n  requests:      {REQUESTS} over {DISTINCT_DOCUMENTS} distinct documents")
+    print(f"  cold (in-proc) {cold_seconds * 1000:8.1f} ms  (parse+compile every request)")
+    print(
+        f"  warm daemon    {warm_seconds * 1000:8.1f} ms  "
+        f"(hits={stats['hits']} misses={stats['misses']})"
+    )
+    # The warm daemon must clearly beat paying compilation per request, even
+    # with the socket round-trip included and no interpreter start-up charged.
+    assert warm_seconds < cold_seconds, (
+        f"warm daemon ({warm_seconds:.3f}s) did not beat cold requests "
+        f"({cold_seconds:.3f}s)"
+    )
+
+
+def main() -> None:
+    test_warm_daemon_beats_cold_requests()
+    if "--cold-subprocess" in sys.argv:
+        stream = request_stream()
+        verdicts, seconds = cold_subprocess(stream)
+        per_request = seconds / len(stream) * 1000
+        print(
+            f"  cold (subproc) {seconds * 1000:8.1f} ms  "
+            f"({per_request:.0f} ms/request incl. interpreter start-up)"
+        )
+        assert all(verdict == "valid" for verdict in verdicts)
+
+
+if __name__ == "__main__":
+    main()

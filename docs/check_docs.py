@@ -1,0 +1,79 @@
+"""Documentation checks: run doctests in docs/*.md and verify relative links.
+
+Two checks, both cheap enough for tier-1:
+
+* **doctests** — every ``>>>`` example in the documentation executes and
+  produces exactly the output shown (``python -m doctest`` semantics, one
+  shared namespace per file);
+* **links** — every relative markdown link ``[text](target)`` resolves to a
+  file in the repository (anchors are stripped; external ``http(s)://`` and
+  ``mailto:`` links are skipped).
+
+Run as a script (``PYTHONPATH=src python docs/check_docs.py``; exit status 1
+on any failure) — CI's docs job does — or through
+``tests/unit/test_docs.py``, which keeps the examples honest on every local
+test run.
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+import re
+import sys
+from typing import List, Tuple
+
+DOCS_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = DOCS_DIR.parent
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def doc_files() -> List[pathlib.Path]:
+    """Every markdown file under ``docs/`` plus the top-level README."""
+    return sorted(DOCS_DIR.glob("*.md")) + [REPO_ROOT / "README.md"]
+
+
+def run_doctests(path: pathlib.Path) -> Tuple[int, int]:
+    """Run one file's doctests; returns (failures, attempts)."""
+    results = doctest.testfile(
+        str(path),
+        module_relative=False,
+        optionflags=doctest.ELLIPSIS,
+        verbose=False,
+    )
+    return results.failed, results.attempted
+
+
+def broken_links(path: pathlib.Path) -> List[str]:
+    """Relative links in ``path`` that do not resolve to an existing file."""
+    missing = []
+    for target in _LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (path.parent / relative).exists():
+            missing.append(target)
+    return missing
+
+
+def main() -> int:
+    status = 0
+    for path in doc_files():
+        failed, attempted = run_doctests(path)
+        label = path.relative_to(REPO_ROOT)
+        if failed:
+            print(f"FAIL {label}: {failed} of {attempted} doctest example(s) failed")
+            status = 1
+        else:
+            print(f"ok   {label}: {attempted} doctest example(s)")
+        for target in broken_links(path):
+            print(f"FAIL {label}: broken relative link -> {target}")
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

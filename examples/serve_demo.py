@@ -1,0 +1,78 @@
+"""Serving demo: an in-process daemon, a streaming batch, and warm caches.
+
+This walks the full `repro.serve` stack without leaving one Python process:
+
+1. start a :class:`repro.serve.daemon.ValidationDaemon` on a background
+   thread, listening on a Unix socket;
+2. register a schema once (compiled once, kept for the daemon's lifetime);
+3. stream 20 validation jobs through one ``batch`` request — results arrive
+   in completion order, not at a batch barrier;
+4. repeat one document to show the fingerprint-keyed result cache at work;
+5. read the cache statistics from the ``status`` op and shut down cleanly.
+
+Run with ``PYTHONPATH=src python examples/serve_demo.py``.  The same traffic
+works from other processes (or machines, over TCP) via ``shex-serve`` and
+``shex-containment validate/batch --connect`` — see docs/protocol.md.
+"""
+
+import os
+import tempfile
+
+from repro.serve import DaemonClient, start_in_thread
+
+SCHEMA = "Bug -> descr :: Lit, reported :: User, related :: Bug*\nLit -> eps\nUser -> name :: Lit"
+
+
+def bug_report(index: int, related: int) -> str:
+    """A small Turtle document: one bug, its reporter, `related` neighbours."""
+    lines = [
+        "@prefix ex: <http://example.org/> .",
+        f"ex:bug{index} ex:descr ex:text{index} ; ex:reported ex:user{index} .",
+        f"ex:user{index} ex:name ex:alice .",
+    ]
+    for neighbour in range(related):
+        lines.append(f"ex:bug{index} ex:related ex:peer{neighbour} .")
+        lines.append(
+            f"ex:peer{neighbour} ex:descr ex:ptext{neighbour} ; ex:reported ex:user{index} ."
+        )
+    return "\n".join(lines) + "\n"
+
+
+def main() -> None:
+    socket_path = os.path.join(tempfile.mkdtemp(prefix="shex-serve-"), "demo.sock")
+    with start_in_thread(socket_path=socket_path, backend="thread", max_workers=4) as handle:
+        print(f"daemon listening on {handle.address}")
+        with DaemonClient.connect(socket_path) as client:
+            loaded = client.load_schema("bug", text=SCHEMA)
+            print(f"loaded schema {loaded['name']!r} ({loaded['schema_class']}, compiled once)")
+
+            # 20 jobs: 15 distinct documents, 5 repeats -> cache hits.
+            jobs = [
+                {"schema": "bug", "data": {"text": bug_report(i % 15, related=(i % 15) % 4)},
+                 "label": f"bug-{i % 15}"}
+                for i in range(20)
+            ]
+            arrivals = []
+            summary = client.batch_validate(jobs, stream=True, on_result=arrivals.append)
+            print(f"streamed {len(arrivals)} validation results (completion order):")
+            for event in arrivals[:5]:
+                marker = "cache" if event["cached"] else f"{event['seconds'] * 1000:.1f}ms"
+                print(f"  #{event['index']:<2} {event['label']:<8} {event['verdict']:<7} [{marker}]")
+            print(f"  ... {len(arrivals) - 5} more")
+            print(f"{summary['cached']} of {summary['jobs']} jobs served from cache")
+
+            # A later one-off request for an already-seen document is a pure
+            # cache hit: no recomputation, visible in the daemon's statistics.
+            repeat = client.validate("bug", data_text=bug_report(0, related=0))
+            print(f"repeat request answered from cache: {repeat['cached']}")
+            stats = client.status()["validation_cache"]
+            print(
+                f"daemon cache after the batch: hits={stats['hits']} "
+                f"misses={stats['misses']} size={stats['size']}"
+            )
+            client.shutdown()
+    print("daemon stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

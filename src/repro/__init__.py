@@ -53,8 +53,9 @@ from repro.engine import (
     ValidationEngine,
     compile_schema,
 )
+from repro.serve import AsyncContainmentEngine, AsyncValidationEngine, DaemonClient
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Bag",
@@ -110,5 +111,8 @@ __all__ = [
     "JobResult",
     "ValidationEngine",
     "compile_schema",
+    "AsyncContainmentEngine",
+    "AsyncValidationEngine",
+    "DaemonClient",
     "__version__",
 ]

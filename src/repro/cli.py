@@ -14,11 +14,20 @@ Usage examples (after ``pip install -e .``)::
     # Validate a whole manifest of (data, schema) jobs in parallel
     shex-containment batch --manifest jobs.txt --backend process --jobs 4
 
+    # Route the same commands through a running shex-serve daemon, so schema
+    # compilation and the result cache persist across invocations
+    shex-containment validate --connect /tmp/shex.sock --schema s.shex --data d.ttl
+    shex-containment batch --connect /tmp/shex.sock --manifest jobs.txt
+
 Schemas use the rule syntax of :mod:`repro.schema.parser`; data files use the
 light Turtle dialect of :mod:`repro.rdf.parser` (or N-Triples with
 ``--ntriples``; files named ``*.nt`` are detected automatically).  Missing or
 malformed input files produce a one-line error and exit status 2 instead of a
 traceback.
+
+Output contract of ``batch`` (documented in ``docs/protocol.md``): stdout
+carries exactly one machine-parseable line per job, in submission order;
+the human summary (job count, cache hits, wall time) goes to stderr.
 """
 
 from __future__ import annotations
@@ -56,6 +65,8 @@ def _load_graph(path: str, ntriples: bool):
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
+    if args.connect:
+        return _cmd_validate_connected(args)
     schema = _load_schema(args.schema)
     graph = _load_graph(args.data, args.ntriples)
     report = validate(graph, schema)
@@ -66,6 +77,35 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         return 0
     print(f"INVALID: {len(report.untyped_nodes)} node(s) have no type:")
     for node in report.untyped_nodes:
+        print(f"  {node}")
+    return 1
+
+
+def _cmd_validate_connected(args: argparse.Namespace) -> int:
+    """``validate --connect``: ship file contents to a running daemon.
+
+    Texts are inlined so the daemon never needs to share a filesystem with
+    the caller; repeated documents are answered from the daemon's caches.
+    """
+    from repro.serve.client import DaemonClient
+
+    data_format = "ntriples" if (args.ntriples or args.data.endswith(".nt")) else "turtle"
+    with DaemonClient.connect(args.connect, timeout=args.timeout) as client:
+        answer = client.validate(
+            {"text": _read(args.schema), "name": args.schema},
+            data_text=_read(args.data),
+            data_format=data_format,
+            include_typing=args.show_typing,
+        )
+    cached = " (cached)" if answer["cached"] else ""
+    if answer["verdict"] == "valid":
+        print(f"VALID: every node of {args.data} is typed by {args.schema}{cached}")
+        if args.show_typing:
+            for node, types in answer.get("typing", []):
+                print(f"  {node}: {{{', '.join(types)}}}")
+        return 0
+    print(f"INVALID: {len(answer['untyped_nodes'])} node(s) have no type:{cached}")
+    for node in answer["untyped_nodes"]:
         print(f"  {node}")
     return 1
 
@@ -102,8 +142,10 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 def _cmd_batch(args: argparse.Namespace) -> int:
     entries = load_manifest(args.manifest)
     if not entries:
-        print(f"manifest {args.manifest} declares no jobs")
+        print(f"manifest {args.manifest} declares no jobs", file=sys.stderr)
         return 0
+    if args.connect:
+        return _cmd_batch_connected(args, entries)
     jobs = load_jobs(entries)
     with ValidationEngine(
         backend=args.backend, max_workers=args.jobs, cache_size=args.cache_size
@@ -116,8 +158,46 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if args.show_untyped and result.verdict != "valid":
             for node in result.payload["untyped_nodes"]:
                 print(f"{'':<{width}}    untyped: {node}")
-    print(report.summary())
+    # Per-job lines above are the machine-parseable stdout contract; the
+    # human summary goes to stderr (see docs/protocol.md).
+    print(report.summary(), file=sys.stderr)
     return 0 if report.all_ok else 1
+
+
+def _cmd_batch_connected(args: argparse.Namespace, entries) -> int:
+    """``batch --connect``: run the manifest through a running daemon."""
+    from repro.serve.client import DaemonClient, batch_jobs_from_manifest
+
+    # Engine tuning happens daemon-side: these flags only apply to local runs.
+    if args.backend != "serial" or args.jobs is not None or args.cache_size != 1024:
+        print(
+            "shex-containment: warning: --backend/--jobs/--cache-size are ignored "
+            "with --connect (the daemon's configuration applies)",
+            file=sys.stderr,
+        )
+    jobs = batch_jobs_from_manifest(entries)
+    with DaemonClient.connect(args.connect, timeout=args.timeout) as client:
+        summary = client.batch_validate(jobs)
+    results = summary["results"]
+    width = max(len(result["label"]) for result in results)
+    all_ok = True
+    for result in results:
+        marker = "cache" if result["cached"] else f"{result['seconds'] * 1000:.1f}ms"
+        print(f"{result['label']:<{width}}  {result['verdict'].upper():<8} [{marker}]")
+        if result["verdict"] != "valid":
+            all_ok = False
+            if args.show_untyped:
+                for node in result["untyped_nodes"]:
+                    print(f"{'':<{width}}    untyped: {node}")
+    cache = summary["cache"]
+    print(
+        f"{summary['jobs']} job(s) in {summary['seconds']:.3f}s via daemon "
+        f"{args.connect!r}: {summary['cached']} from cache "
+        f"(hits={cache['hits']} misses={cache['misses']} "
+        f"size={cache['size']}/{cache['max_size']})",
+        file=sys.stderr,
+    )
+    return 0 if all_ok else 1
 
 
 def _positive_int(value: str) -> int:
@@ -139,6 +219,14 @@ def build_parser() -> argparse.ArgumentParser:
     validate_parser.add_argument("--data", required=True, help="RDF data file")
     validate_parser.add_argument("--ntriples", action="store_true", help="parse data as N-Triples")
     validate_parser.add_argument("--show-typing", action="store_true", help="print the maximal typing")
+    validate_parser.add_argument(
+        "--connect", metavar="ADDR", default=None,
+        help="route through a shex-serve daemon (socket path or HOST:PORT)",
+    )
+    validate_parser.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="socket timeout in seconds for --connect",
+    )
     validate_parser.set_defaults(handler=_cmd_validate)
 
     contains_parser = subparsers.add_parser("contains", help="check schema containment")
@@ -175,6 +263,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_parser.add_argument(
         "--show-untyped", action="store_true", help="list untyped nodes of invalid graphs"
+    )
+    batch_parser.add_argument(
+        "--connect", metavar="ADDR", default=None,
+        help="route through a shex-serve daemon (socket path or HOST:PORT)",
+    )
+    batch_parser.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="socket timeout in seconds for --connect",
     )
     batch_parser.set_defaults(handler=_cmd_batch)
     return parser

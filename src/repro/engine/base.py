@@ -25,8 +25,13 @@ class BatchEngine:
     * ``_coerce_job(job)`` — accept the convenience tuple forms;
     * ``_key_job(job, memo)`` — the cache key (content fingerprints); ``memo``
       is a per-batch scratch dict for amortising repeated hashing;
-    * ``_execute_misses(misses)`` — run ``[(job, key), ...]`` through the
-      executor, returning ``[(verdict, payload, seconds), ...]`` in order.
+    * ``_execute_single(job)`` — run one job in the calling thread to a
+      ``(verdict, payload)`` pair;
+    * ``_job_worker`` — a module-level (hence picklable) function with the same
+      contract, used by the process backend and the async front-end.
+
+    ``_execute_misses`` — fanning a batch of cache misses out to the executor —
+    is implemented here once in terms of those two hooks.
     """
 
     kind = "job"
@@ -49,8 +54,36 @@ class BatchEngine:
     def _key_job(self, job, memo: Dict) -> Tuple:
         raise NotImplementedError
 
-    def _execute_misses(self, misses) -> List[Tuple[str, Dict, float]]:
+    def _execute_single(self, job) -> Tuple[str, Dict]:
+        """Run one job in the calling thread; returns ``(verdict, payload)``."""
         raise NotImplementedError
+
+    #: Module-level worker with the ``job -> (verdict, payload)`` contract,
+    #: picklable for the process backend.  Subclasses assign it with
+    #: ``_job_worker = staticmethod(their_module_worker)``.
+    _job_worker = None
+
+    def _execute_misses(self, misses) -> List[Tuple[str, Dict, float]]:
+        """Fan the cache misses ``[(job, key), ...]`` out to the executor.
+
+        Returns ``[(verdict, payload, seconds), ...]`` in input order.  The
+        process backend cannot observe per-job wall clock inside the workers,
+        so it reports the pool-averaged cost and batch totals still add up.
+        """
+        if self._executor.name == "process":
+            tasks = [job for job, _key in misses]
+            with Stopwatch() as clock:
+                raw = self._executor.map_ordered(type(self)._job_worker, tasks)
+            per_job = clock.seconds / max(len(misses), 1)
+            return [(verdict, payload, per_job) for verdict, payload in raw]
+
+        def run_one(task) -> Tuple[str, Dict, float]:
+            job, _key = task
+            with Stopwatch() as clock:
+                verdict, payload = self._execute_single(job)
+            return verdict, payload, clock.seconds
+
+        return self._executor.map_ordered(run_one, misses)
 
     # -- the shared lifecycle ------------------------------------------------
     def run_batch(self, jobs: Optional[Iterable] = None) -> EngineReport:
@@ -119,6 +152,7 @@ class BatchEngine:
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
+        """Shut down the executor backend (idempotent; also via ``with``)."""
         self._executor.close()
 
     def __enter__(self):

@@ -27,6 +27,7 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -66,6 +67,7 @@ class LRUCache:
             return True, value
 
     def put(self, key: Hashable, value: Any) -> None:
+        """Store ``value`` under ``key``, evicting the least-recent overflow."""
         if self.max_size <= 0:
             return
         with self._lock:
@@ -77,6 +79,7 @@ class LRUCache:
                 self._evictions += 1
 
     def clear(self) -> None:
+        """Drop every entry (counters are kept; they describe the lifetime)."""
         with self._lock:
             self._entries.clear()
 
@@ -89,6 +92,7 @@ class LRUCache:
             return key in self._entries
 
     def stats(self) -> CacheStats:
+        """A consistent snapshot of the usage counters."""
         with self._lock:
             return CacheStats(
                 hits=self._hits,

@@ -129,6 +129,7 @@ class CompiledSchema:
 
     @property
     def types(self):
+        """The schema's type names (delegates to the wrapped schema)."""
         return self.schema.types
 
     def type_artifact(self, type_name: TypeName) -> CompiledType:
@@ -150,6 +151,7 @@ class CompiledSchema:
 
     @property
     def is_shex0(self) -> bool:
+        """Whether the schema is in ShEx0 (cached after the first check)."""
         if self._is_shex0 is None:
             from repro.schema.classes import is_shex0
 

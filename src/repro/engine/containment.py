@@ -10,12 +10,12 @@ deterministic and byte-identical across backends.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple, Union
+from typing import Dict, Tuple, Union
 
 from repro.containment.api import ContainmentResult, contains_compiled
 from repro.engine.base import BatchEngine
 from repro.engine.compiled import CompiledSchema, compile_schema, schema_fingerprint
-from repro.engine.jobs import ContainmentJob, Stopwatch
+from repro.engine.jobs import ContainmentJob
 from repro.schema.shex import ShExSchema
 
 JobLike = Union[ContainmentJob, Tuple[ShExSchema, ShExSchema]]
@@ -105,18 +105,7 @@ class ContainmentEngine(BatchEngine):
             fingerprints.append(fingerprint)
         return ("containment", fingerprints[0], fingerprints[1], job.options)
 
-    def _execute_misses(self, misses) -> List[Tuple[str, Dict, float]]:
-        if self._executor.name == "process":
-            tasks = [job for job, _key in misses]
-            with Stopwatch() as clock:
-                raw = self._executor.map_ordered(_process_worker, tasks)
-            per_job = clock.seconds / max(len(misses), 1)
-            return [(verdict, payload, per_job) for verdict, payload in raw]
+    def _execute_single(self, job: ContainmentJob) -> Tuple[str, Dict]:
+        return _containment_payload(job)
 
-        def run_one(task) -> Tuple[str, Dict, float]:
-            job, _key = task
-            with Stopwatch() as clock:
-                verdict, payload = _containment_payload(job)
-            return verdict, payload, clock.seconds
-
-        return self._executor.map_ordered(run_one, misses)
+    _job_worker = staticmethod(_process_worker)

@@ -41,10 +41,11 @@ class SerialExecutor:
     def map_ordered(
         self, fn: Callable[[Item], Result], items: Sequence[Item]
     ) -> List[Result]:
+        """Apply ``fn`` to every item, in order, in the calling thread."""
         return [fn(item) for item in items]
 
     def close(self) -> None:
-        pass
+        """Nothing to release; present for backend interchangeability."""
 
 
 class _PoolExecutor:
@@ -65,12 +66,14 @@ class _PoolExecutor:
     def map_ordered(
         self, fn: Callable[[Item], Result], items: Sequence[Item]
     ) -> List[Result]:
+        """Apply ``fn`` to every item through the pool; results in input order."""
         if len(items) <= 1:
             return [fn(item) for item in items]
         pool = self._ensure_pool()
         return list(pool.map(fn, items))
 
     def close(self) -> None:
+        """Shut the pool down; a later ``map_ordered`` re-creates it lazily."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None

@@ -43,6 +43,7 @@ class ContainmentJob:
 
     @staticmethod
     def make(left: ShExSchema, right: ShExSchema, label: str = "", **options) -> "ContainmentJob":
+        """Build a job with keyword search options (normalised for hashing)."""
         return ContainmentJob(left, right, tuple(sorted(options.items())), label)
 
 
@@ -99,9 +100,11 @@ class EngineReport:
 
     @property
     def all_ok(self) -> bool:
+        """True when every job got a positive verdict (valid / contained)."""
         return all(bool(result) for result in self.results)
 
     def summary(self) -> str:
+        """A one-line human rendering: counts, wall time, cache statistics."""
         ok = sum(1 for result in self.results if result)
         return (
             f"{self.jobs_total} job(s) in {self.seconds:.3f}s on backend "

@@ -41,6 +41,7 @@ class ManifestEntry:
 
     @property
     def data_is_ntriples(self) -> bool:
+        """Whether the data file parses as N-Triples (pinned or ``.nt``-detected)."""
         if self.ntriples is not None:
             return self.ntriples
         return self.data.endswith(".nt")

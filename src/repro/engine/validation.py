@@ -31,7 +31,7 @@ from repro.engine.compiled import (
     schema_fingerprint,
 )
 from repro.engine.executors import SerialExecutor, chunked
-from repro.engine.jobs import Stopwatch, ValidationJob
+from repro.engine.jobs import ValidationJob
 from repro.graphs.graph import Graph
 from repro.schema.shex import ShExSchema
 from repro.schema.typing import Typing, predecessor_map, satisfies_type
@@ -163,23 +163,10 @@ class ValidationEngine(BatchEngine):
             memo[graph_key] = graph_fp
         return ("validation", schema_fp, graph_fp, job.compressed)
 
-    def _execute_misses(self, misses) -> List[Tuple[str, Dict, float]]:
-        if self._executor.name == "process":
-            tasks = [job for job, _key in misses]
-            with Stopwatch() as clock:
-                raw = self._executor.map_ordered(_process_worker, tasks)
-            # Wall clock per job is not observable per worker; report the
-            # pool-averaged cost so batch totals still add up.
-            per_job = clock.seconds / max(len(misses), 1)
-            return [(verdict, payload, per_job) for verdict, payload in raw]
+    def _execute_single(self, job: ValidationJob) -> Tuple[str, Dict]:
+        return _validation_payload(job, self.compile(job.schema))
 
-        def run_one(task) -> Tuple[str, Dict, float]:
-            job, _key = task
-            with Stopwatch() as clock:
-                verdict, payload = _validation_payload(job, self.compile(job.schema))
-            return verdict, payload, clock.seconds
-
-        return self._executor.map_ordered(run_one, misses)
+    _job_worker = staticmethod(_process_worker)
 
 
 # --------------------------------------------------------------------------- #

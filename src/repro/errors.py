@@ -47,6 +47,30 @@ class ManifestError(ReproError):
     """Raised when a batch manifest (see :mod:`repro.engine.manifest`) is malformed."""
 
 
+class ProtocolError(ReproError):
+    """Raised when a daemon request/response violates the NDJSON protocol.
+
+    Carries the machine-readable error code of :mod:`repro.serve.protocol`
+    in :attr:`code` (e.g. ``"bad-json"``, ``"bad-request"``).
+    """
+
+    def __init__(self, message: str, code: str = "bad-request"):
+        super().__init__(message)
+        self.code = code
+
+
+class DaemonError(ReproError):
+    """Raised by :class:`repro.serve.client.DaemonClient` when the daemon
+    answers a request with a structured error response.
+
+    :attr:`code` is the protocol error code reported by the daemon.
+    """
+
+    def __init__(self, message: str, code: str = "internal-error"):
+        super().__init__(message)
+        self.code = code
+
+
 class PresburgerError(ReproError):
     """Raised for malformed Presburger formulas or unsupported constructs."""
 

@@ -1,0 +1,43 @@
+"""repro.serve — async/streaming front-end and long-lived validation daemon.
+
+The batch engines of :mod:`repro.engine` answer *one process's* workload; this
+subsystem keeps the expensive artifacts alive *across* workloads:
+
+* :class:`AsyncValidationEngine` / :class:`AsyncContainmentEngine`
+  (:mod:`repro.serve.async_engine`) — asyncio wrappers over the executor
+  backends whose ``stream_batch`` yields results in completion order, with no
+  batch barrier, plus in-flight deduplication of identical jobs;
+* :class:`ValidationDaemon` (:mod:`repro.serve.daemon`) — a newline-delimited
+  JSON server over a Unix or TCP socket: load/compile schemas once, validate
+  graphs, check containment, and query/flush the shared fingerprint-keyed
+  caches across thousands of requests;
+* :class:`DaemonClient` (:mod:`repro.serve.client`) — a small blocking client
+  used by the CLI's ``--connect`` mode, scripts, and tests;
+* :mod:`repro.serve.protocol` — the wire protocol: ops, error codes, and
+  encoding helpers (specified in ``docs/protocol.md``);
+* :mod:`repro.serve.cli` — the ``shex-serve`` start/status/stop/flush command.
+
+See ``docs/architecture.md`` for where this layer sits in the system and
+``examples/serve_demo.py`` for an end-to-end tour.
+"""
+
+from repro.serve.async_engine import (
+    AsyncBatchEngine,
+    AsyncContainmentEngine,
+    AsyncValidationEngine,
+)
+from repro.serve.client import DaemonClient, batch_jobs_from_manifest
+from repro.serve.daemon import DaemonHandle, ValidationDaemon, start_in_thread
+from repro.serve.protocol import PROTOCOL_VERSION
+
+__all__ = [
+    "AsyncBatchEngine",
+    "AsyncContainmentEngine",
+    "AsyncValidationEngine",
+    "DaemonClient",
+    "DaemonHandle",
+    "PROTOCOL_VERSION",
+    "ValidationDaemon",
+    "batch_jobs_from_manifest",
+    "start_in_thread",
+]

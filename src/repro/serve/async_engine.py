@@ -1,0 +1,263 @@
+"""Asyncio front-end over the batch engines: results stream as they finish.
+
+The synchronous engines (:class:`repro.engine.ValidationEngine`,
+:class:`repro.engine.ContainmentEngine`) are batch-shaped: ``run_batch``
+blocks until the *slowest* job is done and then returns everything at once.
+This module removes that barrier.  :class:`AsyncValidationEngine` and
+:class:`AsyncContainmentEngine` wrap a sync engine and drive its executor
+backend through ``loop.run_in_executor``:
+
+* ``await engine.submit(...)`` — run one job and get its
+  :class:`repro.engine.jobs.JobResult`;
+* ``async for result in engine.stream_batch(jobs)`` — results are yielded in
+  *completion* order, so a fast job is delivered while slow neighbours are
+  still running (each result carries its submission ``index``);
+* ``await engine.run_batch(jobs)`` — convenience barrier returning an
+  ordered :class:`repro.engine.jobs.EngineReport`, like the sync API.
+
+The wrapper shares the wrapped engine's LRU result cache and compiled-schema
+intern table, and adds *in-flight deduplication*: two concurrent submissions
+of the same fingerprint key compute once and share the outcome.  This is what
+the long-lived daemon (:mod:`repro.serve.daemon`) runs on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import AsyncIterator, Dict, Iterable, List, Optional, Tuple
+
+from repro.engine.containment import ContainmentEngine
+from repro.engine.jobs import (
+    ContainmentJob,
+    EngineReport,
+    JobResult,
+    Stopwatch,
+    ValidationJob,
+)
+from repro.engine.validation import ValidationEngine
+
+
+class AsyncBatchEngine:
+    """Shared asyncio plumbing over a synchronous :class:`BatchEngine`.
+
+    Dispatch strategy per backend of the wrapped engine:
+
+    * ``thread`` / ``process`` — jobs go straight into the engine's own
+      worker pool via ``loop.run_in_executor``, so the async layer adds
+      concurrency *between* awaiting callers without a second pool;
+    * ``serial`` — jobs run one at a time on a private single-thread pool,
+      preserving serial semantics while keeping the event loop responsive.
+
+    Subclasses provide ``_make_engine`` plus job coercion/submission sugar.
+    """
+
+    def __init__(self, engine=None, **engine_options):
+        self.engine = engine if engine is not None else self._make_engine(**engine_options)
+        self._owns_engine = engine is None
+        self._serial_pool: Optional[ThreadPoolExecutor] = None
+        # key -> the asyncio.Task computing that key.  Consumers await it
+        # through asyncio.shield, so cancelling one consumer (a dropped
+        # connection, an abandoned stream) never poisons the shared
+        # computation for the others.
+        self._inflight: Dict[Tuple, asyncio.Task] = {}
+
+    # -- subclass hooks ------------------------------------------------------
+    @staticmethod
+    def _make_engine(**engine_options):
+        raise NotImplementedError
+
+    # -- dispatch ------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """The wrapped engine's backend name (``serial``/``thread``/``process``)."""
+        return self.engine.backend
+
+    def _dispatch_pool(self) -> ThreadPoolExecutor:
+        """The concurrent.futures pool jobs are pushed into."""
+        if self.backend == "serial":
+            if self._serial_pool is None:
+                self._serial_pool = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-serve-serial"
+                )
+            return self._serial_pool
+        return self.engine._executor._ensure_pool()
+
+    async def _compute(self, job) -> Tuple[str, Dict]:
+        """Run one cache miss on the backend; returns ``(verdict, payload)``."""
+        loop = asyncio.get_running_loop()
+        if self.backend == "process":
+            # Process pools need a picklable module-level function.
+            worker = type(self.engine)._job_worker
+            return await loop.run_in_executor(self._dispatch_pool(), worker, job)
+        return await loop.run_in_executor(
+            self._dispatch_pool(), self.engine._execute_single, job
+        )
+
+    async def _compute_and_store(self, job, key: Tuple) -> Tuple[str, Dict]:
+        """The shared per-key computation: run the miss, fill the cache."""
+        try:
+            verdict, payload = await self._compute(job)
+            self.engine.cache.put(key, (verdict, payload))
+            return verdict, payload
+        finally:
+            self._inflight.pop(key, None)
+
+    async def _run_job(self, job, index: int = 0) -> JobResult:
+        """Key, cache-check, dedup, and (if needed) compute one job."""
+        key = self.engine._key_job(job, {})
+        found, value = self.engine.cache.get(key)
+        if found:
+            verdict, payload = value
+            return JobResult(
+                index=index,
+                kind=self.engine.kind,
+                label=job.label,
+                key=key,
+                verdict=verdict,
+                payload=payload,
+                seconds=0.0,
+                cached=True,
+            )
+
+        task = self._inflight.get(key)
+        shared = task is not None
+        if task is None:
+            task = asyncio.ensure_future(self._compute_and_store(job, key))
+            # Retrieve the exception even if every consumer was cancelled,
+            # so an orphaned failure does not warn at garbage collection.
+            task.add_done_callback(lambda t: t.cancelled() or t.exception())
+            self._inflight[key] = task
+        # shield: cancelling THIS consumer must not cancel the shared task —
+        # other submissions of the same key may be awaiting it.
+        with Stopwatch() as clock:
+            verdict, payload = await asyncio.shield(task)
+        return JobResult(
+            index=index,
+            kind=self.engine.kind,
+            label=job.label,
+            key=key,
+            verdict=verdict,
+            payload=payload,
+            seconds=0.0 if shared else clock.seconds,
+            cached=shared,
+        )
+
+    # -- public API ----------------------------------------------------------
+    async def stream_batch(self, jobs: Iterable) -> AsyncIterator[JobResult]:
+        """Yield one :class:`JobResult` per job, in *completion* order.
+
+        Every result carries the submission ``index`` of its job, so callers
+        can reassemble submission order if they need it.  The first result is
+        available as soon as the fastest job (or any cache hit) finishes —
+        there is no batch barrier.
+        """
+        batch = [self.engine._coerce_job(job) for job in jobs]
+        tasks = [
+            asyncio.ensure_future(self._run_job(job, index))
+            for index, job in enumerate(batch)
+        ]
+        try:
+            for completed in asyncio.as_completed(tasks):
+                yield await completed
+        finally:
+            for task in tasks:
+                task.cancel()
+
+    async def run_batch(self, jobs: Iterable) -> EngineReport:
+        """Await every job and return an ordered :class:`EngineReport`.
+
+        Equivalent to the sync ``run_batch`` (same verdicts, same payloads),
+        with the report's backend tagged ``async+<backend>``.
+        """
+        results: List[JobResult] = []
+        with Stopwatch() as clock:
+            async for result in self.stream_batch(jobs):
+                results.append(result)
+        results.sort(key=lambda result: result.index)
+        return EngineReport(
+            results=tuple(results),
+            backend=f"async+{self.backend}",
+            seconds=clock.seconds,
+            cache=self.engine.cache.stats(),
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+    async def aclose(self) -> None:
+        """Release the private serial pool and (if owned) the wrapped engine.
+
+        Waits for any still-in-flight shared computations first, so nothing
+        is left running against a closed executor.
+        """
+        pending = list(self._inflight.values())
+        self._inflight.clear()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        if self._serial_pool is not None:
+            self._serial_pool.shutdown()
+            self._serial_pool = None
+        if self._owns_engine:
+            self.engine.close()
+
+    async def __aenter__(self):
+        return self
+
+    async def __aexit__(self, *exc_info) -> bool:
+        await self.aclose()
+        return False
+
+
+class AsyncValidationEngine(AsyncBatchEngine):
+    """Asyncio wrapper around :class:`repro.engine.ValidationEngine`.
+
+    Usage::
+
+        async with AsyncValidationEngine(backend="thread", max_workers=4) as engine:
+            result = await engine.submit(graph, schema)
+            async for result in engine.stream_batch([(g, schema) for g in graphs]):
+                print(result.index, result.verdict, result.cached)
+
+    An existing sync engine may be passed as the first argument to share its
+    cache and compiled-schema table (the daemon does this); otherwise one is
+    created from the keyword options and closed with the wrapper.
+    """
+
+    @staticmethod
+    def _make_engine(**engine_options) -> ValidationEngine:
+        return ValidationEngine(**engine_options)
+
+    async def submit(
+        self,
+        graph,
+        schema,
+        compressed: bool = False,
+        label: str = "",
+    ) -> JobResult:
+        """Validate one graph against one schema; awaits the result."""
+        compiled = self.engine.compile(schema)
+        job = ValidationJob(
+            graph=graph, schema=compiled.schema, compressed=compressed, label=label
+        )
+        return await self._run_job(job)
+
+
+class AsyncContainmentEngine(AsyncBatchEngine):
+    """Asyncio wrapper around :class:`repro.engine.ContainmentEngine`.
+
+    ``submit`` awaits one ``L(left) ⊆ L(right)`` check; ``stream_batch``
+    accepts :class:`repro.engine.jobs.ContainmentJob` instances or
+    ``(left, right)`` schema pairs.
+    """
+
+    @staticmethod
+    def _make_engine(**engine_options) -> ContainmentEngine:
+        return ContainmentEngine(**engine_options)
+
+    async def submit(self, left, right, label: str = "", **options) -> JobResult:
+        """Check ``L(left) ⊆ L(right)``; extra keywords tune the search."""
+        left_compiled = self.engine.compile(left)
+        right_compiled = self.engine.compile(right)
+        job = ContainmentJob.make(
+            left_compiled.schema, right_compiled.schema, label=label, **options
+        )
+        return await self._run_job(job)

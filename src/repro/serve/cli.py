@@ -1,0 +1,166 @@
+"""The ``shex-serve`` command: run and control the validation daemon.
+
+Usage examples (after ``pip install -e .``)::
+
+    # Run a daemon in the foreground on a Unix socket
+    shex-serve start --socket /tmp/shex.sock --backend thread --jobs 4
+
+    # ... or on TCP
+    shex-serve start --tcp 127.0.0.1:9753
+
+    # Inspect and control it from another terminal
+    shex-serve status --connect /tmp/shex.sock
+    shex-serve flush  --connect /tmp/shex.sock
+    shex-serve stop   --connect /tmp/shex.sock
+
+``start`` blocks until ``stop`` (or Ctrl-C); run it under ``&``, tmux, or a
+service manager for background operation.  Requests are served through the
+persistent engines of :mod:`repro.serve.daemon`, so schema compilation and
+the result caches survive across all clients — see ``docs/protocol.md`` for
+the wire protocol and ``shex-containment validate/batch --connect`` for the
+matching client mode of the main CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.engine.executors import BACKENDS
+from repro.errors import ReproError
+from repro.serve.client import DaemonClient
+from repro.serve.daemon import ValidationDaemon
+from repro.serve.protocol import split_address
+
+
+def _daemon_from_args(args: argparse.Namespace) -> ValidationDaemon:
+    if bool(args.socket) == bool(args.tcp):
+        raise ReproError("pass exactly one of --socket PATH or --tcp HOST:PORT")
+    if args.socket:
+        endpoint = {"socket_path": args.socket}
+    else:
+        socket_path, tcp = split_address(args.tcp)
+        if tcp is None:
+            raise ReproError(f"--tcp expects HOST:PORT, got {args.tcp!r}")
+        endpoint = {"host": tcp[0], "port": tcp[1]}
+    return ValidationDaemon(
+        backend=args.backend,
+        max_workers=args.jobs,
+        cache_size=args.cache_size,
+        **endpoint,
+    )
+
+
+def _cmd_start(args: argparse.Namespace) -> int:
+    daemon = _daemon_from_args(args)
+
+    def announce() -> None:
+        print(f"shex-serve: listening on {daemon.address}", file=sys.stderr)
+
+    try:
+        asyncio.run(daemon.serve(on_ready=announce))
+    except KeyboardInterrupt:
+        print("shex-serve: interrupted, shutting down", file=sys.stderr)
+    return 0
+
+
+def _client(args: argparse.Namespace) -> DaemonClient:
+    return DaemonClient.connect(args.connect, timeout=args.timeout)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        status = client.status()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"daemon {status['address']} (pid {status['pid']}, v{status['version']})")
+    print(f"  backend: {status['backend']}, uptime: {status['uptime_seconds']}s")
+    print(f"  connections: {status['connections']}, requests: {status['requests']}")
+    print(f"  schemas loaded: {len(status['schemas'])}")
+    for kind in ("validation_cache", "containment_cache"):
+        cache = status[kind]
+        print(
+            f"  {kind.replace('_', ' ')}: hits={cache['hits']} misses={cache['misses']} "
+            f"size={cache['size']}/{cache['max_size']} hit-rate={cache['hit_rate']:.1%}"
+        )
+    return 0
+
+
+def _cmd_stop(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        client.shutdown()
+    print("shex-serve: daemon acknowledged shutdown", file=sys.stderr)
+    return 0
+
+
+def _cmd_flush(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        flushed = client.flush_cache()["flushed"]
+    print(
+        f"flushed {flushed['validation']} validation, {flushed['containment']} "
+        f"containment, {flushed['parsed']} parsed entries"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``shex-serve`` argument parser (start / status / stop / flush)."""
+    parser = argparse.ArgumentParser(
+        prog="shex-serve",
+        description="Long-lived validation daemon for shape expression schemas.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    start_parser = subparsers.add_parser("start", help="run a daemon (foreground)")
+    start_parser.add_argument("--socket", help="Unix socket path to listen on")
+    start_parser.add_argument("--tcp", help="HOST:PORT to listen on")
+    start_parser.add_argument(
+        "--backend", choices=BACKENDS, default="thread", help="executor backend"
+    )
+    start_parser.add_argument(
+        "--jobs", type=int, default=None, help="worker count for thread/process backends"
+    )
+    start_parser.add_argument(
+        "--cache-size", type=int, default=4096, help="LRU result-cache capacity per engine"
+    )
+    start_parser.set_defaults(handler=_cmd_start)
+
+    for name, helper, handler in (
+        ("status", "show daemon status and cache statistics", _cmd_status),
+        ("stop", "ask a running daemon to shut down", _cmd_stop),
+        ("flush", "flush the daemon's result and parse caches", _cmd_flush),
+    ):
+        sub = subparsers.add_parser(name, help=helper)
+        sub.add_argument(
+            "--connect", required=True, help="daemon address (socket path or HOST:PORT)"
+        )
+        sub.add_argument(
+            "--timeout", type=float, default=30.0, help="socket timeout in seconds"
+        )
+        if name == "status":
+            sub.add_argument("--json", action="store_true", help="print raw JSON status")
+        sub.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point; returns the process exit status (2 on errors)."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except OSError as exc:
+        target = getattr(exc, "filename", None)
+        detail = f"{target}: {exc.strerror}" if target and exc.strerror else str(exc)
+        print(f"shex-serve: error: {detail}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"shex-serve: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

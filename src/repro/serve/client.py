@@ -1,0 +1,248 @@
+"""A small blocking client for the validation daemon.
+
+:class:`DaemonClient` speaks the newline-delimited JSON protocol of
+:mod:`repro.serve.protocol` over a Unix or TCP socket.  It is deliberately
+synchronous — the CLI's ``--connect`` mode, the ``shex-serve`` control
+commands, scripts, and tests all want plain calls, and the concurrency lives
+on the daemon side::
+
+    from repro.serve.client import DaemonClient
+
+    with DaemonClient.connect("unix:/tmp/shex.sock") as client:
+        client.load_schema("bug", text="Bug -> descr :: Lit, related :: Bug*\\nLit -> eps")
+        answer = client.validate("bug", data_text="@prefix ex: <http://e/> .\\nex:b ex:descr ex:l .")
+        print(answer["verdict"], answer["cached"])
+
+Errors reported by the daemon surface as :class:`repro.errors.DaemonError`
+with the protocol error code in ``.code``; transport problems raise the usual
+``OSError`` family.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.errors import DaemonError, ProtocolError
+from repro.serve import protocol
+
+
+class DaemonClient:
+    """One connection to a running :class:`repro.serve.daemon.ValidationDaemon`.
+
+    Build it with :meth:`connect` (address string) or :meth:`connect_unix` /
+    :meth:`connect_tcp`.  The client is a context manager; requests on one
+    client are sequential (open several clients for concurrent traffic).
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._socket = sock
+        self._reader = sock.makefile("rb")
+        self._request_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def connect(cls, address: str, timeout: float = 30.0) -> "DaemonClient":
+        """Connect to ``unix:PATH``, ``tcp:HOST:PORT``, ``HOST:PORT``, or a path."""
+        socket_path, tcp = protocol.split_address(address)
+        if socket_path is not None:
+            return cls.connect_unix(socket_path, timeout)
+        return cls.connect_tcp(*tcp, timeout=timeout)
+
+    @classmethod
+    def connect_unix(cls, path: str, timeout: float = 30.0) -> "DaemonClient":
+        """Connect to a daemon listening on a Unix socket path."""
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(path)
+        return cls(sock)
+
+    @classmethod
+    def connect_tcp(cls, host: str, port: int, timeout: float = 30.0) -> "DaemonClient":
+        """Connect to a daemon listening on TCP ``host:port``."""
+        sock = socket.create_connection((host, port), timeout=timeout)
+        return cls(sock)
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _read_response(self) -> Dict[str, Any]:
+        line = self._reader.readline()
+        if not line:
+            raise DaemonError("connection closed by the daemon", "internal-error")
+        try:
+            message = json.loads(line.decode("utf-8"))
+        except Exception as exc:  # pragma: no cover — a daemon bug, not a user error
+            raise ProtocolError(f"daemon sent invalid JSON: {exc}") from exc
+        if not isinstance(message, dict):
+            raise ProtocolError("daemon response is not a JSON object")
+        return message
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Send one request and return its ``result`` dict.
+
+        Raises :class:`repro.errors.DaemonError` when the daemon answers with
+        a structured error.
+        """
+        self._request_id += 1
+        message = dict(params, op=op, id=self._request_id)
+        self._socket.sendall(protocol.encode(message))
+        response = self._read_response()
+        return self._unwrap(response)
+
+    @staticmethod
+    def _unwrap(response: Dict[str, Any]) -> Dict[str, Any]:
+        if response.get("ok"):
+            return response.get("result", {})
+        error = response.get("error") or {}
+        raise DaemonError(
+            error.get("message", "daemon reported an error"),
+            error.get("code", "internal-error"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience operations (one method per protocol op)
+    # ------------------------------------------------------------------ #
+    def ping(self) -> Dict[str, Any]:
+        """Liveness check; returns the daemon's version and protocol revision."""
+        return self.request("ping")
+
+    def load_schema(
+        self, name: str, text: Optional[str] = None, path: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Register a schema under ``name`` from inline text or a daemon-side path."""
+        if (text is None) == (path is None):
+            raise ValueError("pass exactly one of text or path")
+        params = {"text": text} if text is not None else {"path": path}
+        return self.request("load_schema", name=name, **params)
+
+    def validate(
+        self,
+        schema: Any,
+        data_text: Optional[str] = None,
+        data_path: Optional[str] = None,
+        data_format: Optional[str] = None,
+        compressed: bool = False,
+        label: str = "",
+        include_typing: bool = False,
+    ) -> Dict[str, Any]:
+        """Validate one document: ``schema`` is a registered name or ``{"text"/"path"}``."""
+        data = self._data_reference(data_text, data_path, data_format)
+        params: Dict[str, Any] = {
+            "schema": schema,
+            "data": data,
+            "compressed": compressed,
+            "label": label,
+        }
+        if include_typing:
+            params["include_typing"] = True
+        return self.request("validate", **params)
+
+    def contains(self, left: Any, right: Any, **options: Any) -> Dict[str, Any]:
+        """Check ``L(left) ⊆ L(right)``; options: ``max_nodes``, ``samples``."""
+        return self.request("contains", left=left, right=right, **options)
+
+    def batch_validate(
+        self,
+        jobs: Iterable[Dict[str, Any]],
+        stream: bool = False,
+        on_result: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Run many validate jobs in one request; returns the batch summary.
+
+        Each job is ``{"schema": ..., "data": ..., "compressed"?, "label"?}``.
+        With ``stream=True`` the daemon sends per-job ``result`` events in
+        completion order — ``on_result`` is invoked for each — followed by a
+        ``done`` summary.  Without streaming, the summary carries a
+        ``results`` list in submission order.
+        """
+        self._request_id += 1
+        message = {
+            "op": "batch",
+            "id": self._request_id,
+            "jobs": list(jobs),
+            "stream": stream,
+        }
+        self._socket.sendall(protocol.encode(message))
+        if not stream:
+            return self._unwrap(self._read_response())
+        while True:
+            response = self._read_response()
+            result = self._unwrap(response)
+            if response.get("event") == "done":
+                return result
+            if on_result is not None:
+                on_result(result)
+
+    def status(self) -> Dict[str, Any]:
+        """Daemon status: uptime, request counters, schemas, cache statistics."""
+        return self.request("status")
+
+    def flush_cache(self) -> Dict[str, Any]:
+        """Empty the daemon's result and parse caches; returns flushed counts."""
+        return self.request("flush_cache")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to stop (it answers before exiting)."""
+        return self.request("shutdown")
+
+    # ------------------------------------------------------------------ #
+    # Helpers / lifecycle
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _data_reference(
+        text: Optional[str], path: Optional[str], data_format: Optional[str]
+    ) -> Dict[str, Any]:
+        if (text is None) == (path is None):
+            raise ValueError("pass exactly one of data_text or data_path")
+        data: Dict[str, Any] = {"text": text} if text is not None else {"path": path}
+        if data_format is not None:
+            data["format"] = data_format
+        return data
+
+    def close(self) -> None:
+        """Close the connection (also via the context-manager protocol)."""
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+
+def batch_jobs_from_manifest(entries) -> List[Dict[str, Any]]:
+    """Turn :class:`repro.engine.manifest.ManifestEntry` rows into batch jobs.
+
+    File contents are inlined client-side, so the daemon never needs to share
+    a filesystem with the caller (TCP deployments).
+    """
+    jobs: List[Dict[str, Any]] = []
+    texts: Dict[str, str] = {}
+
+    def read(path: str) -> str:
+        if path not in texts:
+            with open(path, "r", encoding="utf-8") as handle:
+                texts[path] = handle.read()
+        return texts[path]
+
+    for entry in entries:
+        jobs.append(
+            {
+                "schema": {"text": read(entry.schema), "name": entry.schema},
+                "data": {
+                    "text": read(entry.data),
+                    "name": entry.data,
+                    "format": "ntriples" if entry.data_is_ntriples else "turtle",
+                },
+                "label": entry.label,
+            }
+        )
+    return jobs

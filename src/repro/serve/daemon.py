@@ -1,0 +1,593 @@
+"""The long-lived validation daemon: compiled schemas that outlive requests.
+
+A one-shot CLI invocation pays interpreter start-up, schema parsing, schema
+compilation, and a cold result cache on *every* call — which defeats the point
+of fingerprint-keyed compilation.  :class:`ValidationDaemon` keeps all of that
+alive in one process: it listens on a Unix or TCP socket, speaks the
+newline-delimited JSON protocol of :mod:`repro.serve.protocol`, and serves
+every request through a shared :class:`repro.serve.async_engine.AsyncValidationEngine`
+/ :class:`AsyncContainmentEngine` pair, so
+
+* each distinct schema is compiled once for the daemon's lifetime;
+* repeated (schema, graph) and (left, right) jobs are answered from the
+  fingerprint-keyed LRU caches across *all* connections;
+* parsed schema/data texts are memoised by content hash, so resubmitting the
+  same document skips the parser too.
+
+Run it in the foreground with ``shex-serve start``, drive it with
+``shex-serve status|stop``, ``shex-containment validate/batch --connect``, the
+:class:`repro.serve.client.DaemonClient`, or raw ``nc`` (see
+``docs/protocol.md``).  Tests and examples embed it via
+:func:`start_in_thread`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import os
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+import repro
+from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.compiled import CompiledSchema
+from repro.engine.jobs import JobResult, ValidationJob
+from repro.errors import ProtocolError, ReproError
+from repro.rdf.convert import rdf_to_simple_graph
+from repro.rdf.parser import parse_ntriples, parse_turtle_lite
+from repro.schema.parser import parse_schema
+from repro.serve import protocol
+from repro.serve.async_engine import AsyncContainmentEngine, AsyncValidationEngine
+
+#: Generous per-line limit (64 KiB default would truncate large graphs).
+_LINE_LIMIT = 8 * 1024 * 1024
+
+
+def _stats_dict(stats: CacheStats) -> Dict[str, Any]:
+    """Render :class:`repro.engine.cache.CacheStats` as a JSON-safe dict."""
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "size": stats.size,
+        "max_size": stats.max_size,
+        "hit_rate": round(stats.hit_rate, 4),
+    }
+
+
+class ValidationDaemon:
+    """Serve validation/containment over a socket with persistent caches.
+
+    Parameters mirror the engines: ``backend`` / ``max_workers`` pick the
+    executor the jobs fan out to, ``cache_size`` bounds each result cache.
+    Exactly one of ``socket_path`` (Unix) or ``host``+``port`` (TCP) selects
+    the listening endpoint; ``port=0`` asks the OS for a free port, readable
+    from :attr:`address` once started.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        cache_size: int = 4096,
+    ):
+        if (socket_path is None) == (host is None):
+            raise ValueError("pass exactly one of socket_path or host/port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.validation = AsyncValidationEngine(
+            backend=backend, max_workers=max_workers, cache_size=cache_size
+        )
+        self.containment = AsyncContainmentEngine(
+            backend=backend, max_workers=max_workers, cache_size=cache_size
+        )
+        self._schemas: Dict[str, CompiledSchema] = {}
+        self._parsed = LRUCache(max_size=256)  # content-hash -> parsed document
+        self._requests: Dict[str, int] = {}
+        self._connections = 0
+        self._conn_tasks: set = set()
+        self._writers: set = set()
+        self._started_at: Optional[float] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopping: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> str:
+        """Human-readable listening address (``unix:...`` or ``tcp:host:port``)."""
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"tcp:{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind the socket and start accepting connections (non-blocking)."""
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        if self.socket_path is not None:
+            if os.path.exists(self.socket_path):
+                # Distinguish a stale socket (dead daemon) from a live one:
+                # hijacking a live daemon's socket would orphan its caches and
+                # later delete the new socket on the old daemon's shutdown.
+                if self._socket_is_live(self.socket_path):
+                    raise ReproError(
+                        f"a daemon is already serving on {self.socket_path}; "
+                        "stop it first (shex-serve stop) or pick another path"
+                    )
+                os.unlink(self.socket_path)
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.socket_path, limit=_LINE_LIMIT
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port, limit=_LINE_LIMIT
+            )
+            if not self.port:
+                self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.time()
+
+    @staticmethod
+    def _socket_is_live(path: str) -> bool:
+        """True when something accepts connections on the Unix socket ``path``."""
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        probe.settimeout(1.0)
+        try:
+            probe.connect(path)
+        except OSError:
+            return False
+        finally:
+            probe.close()
+        return True
+
+    async def serve(self, on_ready=None) -> None:
+        """Start, run until :meth:`request_stop` (or the ``shutdown`` op), clean up."""
+        await self.start()
+        if on_ready is not None:
+            on_ready()
+        try:
+            await self._stopping.wait()
+        finally:
+            await self._shutdown()
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to exit; safe to call from the event loop only.
+
+        From another thread use ``loop.call_soon_threadsafe(daemon.request_stop)``
+        (what :class:`DaemonHandle` does).
+        """
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Close lingering client connections and wait for their handlers, so
+        # nothing is left to be force-cancelled at loop teardown.
+        for writer in list(self._writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        await self.validation.aclose()
+        await self.containment.aclose()
+        if self.socket_path is not None and os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        protocol.encode(
+                            protocol.error_response(
+                                None, protocol.E_BAD_REQUEST, "request line too long"
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # client closed its end
+                if not line.strip():
+                    continue
+                stop_after = await self._handle_line(line.strip(), writer)
+                await writer.drain()
+                if stop_after:
+                    self.request_stop()
+                    break
+        except ConnectionError:
+            pass  # client vanished mid-request; nothing to answer
+        finally:
+            self._connections -= 1
+            self._writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _handle_line(self, line: bytes, writer: asyncio.StreamWriter) -> bool:
+        """Answer one request line; returns True when the daemon should stop."""
+        request_id: Any = None
+        try:
+            message = protocol.decode_request(line)
+            request_id = message.get("id")
+            op = message["op"]
+            self._requests[op] = self._requests.get(op, 0) + 1
+            if op == "batch":
+                await self._op_batch(message, writer)
+                return False
+            handler = getattr(self, f"_op_{op}")
+            result = await handler(message)
+            writer.write(protocol.encode(protocol.ok_response(request_id, result)))
+            return op == "shutdown"
+        except ProtocolError as exc:
+            writer.write(
+                protocol.encode(protocol.error_response(request_id, exc.code, str(exc)))
+            )
+        except ReproError as exc:
+            writer.write(
+                protocol.encode(
+                    protocol.error_response(request_id, protocol.E_PARSE, str(exc))
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 — the connection must survive
+            writer.write(
+                protocol.encode(
+                    protocol.error_response(
+                        request_id,
+                        protocol.E_INTERNAL,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+            )
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Document resolution (shared by validate/contains/batch)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    async def _offload(fn, *args):
+        """Run blocking work (parsing, compilation, file reads) off the loop.
+
+        Keeps ``ping``/``status`` responsive on other connections while one
+        request compiles a large schema or reads a big document.
+        """
+        return await asyncio.get_running_loop().run_in_executor(None, fn, *args)
+
+    def _read_path(self, path: str) -> str:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return handle.read()
+        except OSError as exc:
+            raise ProtocolError(
+                f"cannot read {path!r}: {exc.strerror or exc}", protocol.E_BAD_REQUEST
+            ) from exc
+
+    def _resolve_schema(self, reference: Any, field: str = "schema") -> CompiledSchema:
+        """A schema reference: a registered name, ``{"text": ...}``, or ``{"path": ...}``."""
+        if isinstance(reference, str):
+            compiled = self._schemas.get(reference)
+            if compiled is None:
+                raise ProtocolError(
+                    f"schema {reference!r} has not been loaded "
+                    f"(known: {sorted(self._schemas) or 'none'})",
+                    protocol.E_UNKNOWN_SCHEMA,
+                )
+            return compiled
+        if isinstance(reference, dict):
+            if "text" in reference:
+                text, name = reference["text"], reference.get("name", f"<{field}>")
+            elif "path" in reference:
+                text, name = self._read_path(reference["path"]), reference["path"]
+            else:
+                raise ProtocolError(
+                    f"{field!r} object needs a 'text' or 'path' key",
+                    protocol.E_BAD_REQUEST,
+                )
+            digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            found, cached = self._parsed.get(("schema", digest))
+            if found:
+                return cached
+            compiled = self.validation.engine.compile(parse_schema(text, name=name))
+            self._parsed.put(("schema", digest), compiled)
+            return compiled
+        raise ProtocolError(
+            f"{field!r} must be a registered name or an object with text/path",
+            protocol.E_BAD_REQUEST,
+        )
+
+    def _resolve_data(self, reference: Any):
+        """A data reference: ``{"text": ..., "format": ...}`` or ``{"path": ...}``."""
+        if not isinstance(reference, dict):
+            raise ProtocolError(
+                "'data' must be an object with a 'text' or 'path' key",
+                protocol.E_BAD_REQUEST,
+            )
+        if "text" in reference:
+            text, name = reference["text"], reference.get("name", "<data>")
+            default_format = "turtle"
+        elif "path" in reference:
+            name = reference["path"]
+            text = self._read_path(name)
+            default_format = "ntriples" if name.endswith(".nt") else "turtle"
+        else:
+            raise ProtocolError(
+                "'data' object needs a 'text' or 'path' key", protocol.E_BAD_REQUEST
+            )
+        data_format = reference.get("format", default_format)
+        if data_format not in ("turtle", "ntriples"):
+            raise ProtocolError(
+                f"unknown data format {data_format!r}; expected turtle or ntriples",
+                protocol.E_BAD_REQUEST,
+            )
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        found, cached = self._parsed.get(("data", digest, data_format))
+        if found:
+            return cached
+        parser = parse_ntriples if data_format == "ntriples" else parse_turtle_lite
+        graph = rdf_to_simple_graph(parser(text, name=name), name=name)
+        self._parsed.put(("data", digest, data_format), graph)
+        return graph
+
+    def _validation_result(self, result: JobResult) -> Dict[str, Any]:
+        return {
+            "verdict": result.verdict,
+            "label": result.label,
+            "untyped_nodes": list(result.payload["untyped_nodes"]),
+            "cached": result.cached,
+            "seconds": round(result.seconds, 6),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    async def _op_ping(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "pong": True,
+            "version": repro.__version__,
+            "protocol": protocol.PROTOCOL_VERSION,
+        }
+
+    async def _op_load_schema(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        name = protocol.require(message, "name", str)
+        if "text" in message:
+            text = protocol.require(message, "text", str)
+        else:
+            text = await self._offload(self._read_path, protocol.require(message, "path", str))
+        compiled = await self._offload(
+            lambda: self.validation.engine.compile(parse_schema(text, name=name))
+        )
+        self._schemas[name] = compiled
+        return {
+            "name": name,
+            "fingerprint": compiled.fingerprint,
+            "schema_class": str(compiled.schema_class),
+            "types": len(compiled.schema.types),
+        }
+
+    async def _op_validate(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        compiled = await self._offload(
+            self._resolve_schema, protocol.require(message, "schema")
+        )
+        graph = await self._offload(self._resolve_data, protocol.require(message, "data"))
+        compressed = message.get("compressed", False)
+        if not isinstance(compressed, bool):
+            raise ProtocolError("'compressed' must be a boolean", protocol.E_BAD_REQUEST)
+        result = await self.validation.submit(
+            graph, compiled, compressed=compressed, label=str(message.get("label", ""))
+        )
+        response = self._validation_result(result)
+        if message.get("include_typing"):
+            response["typing"] = [
+                [node, list(types)] for node, types in result.payload["typing"]
+            ]
+        return response
+
+    async def _op_contains(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        left = await self._offload(
+            self._resolve_schema, protocol.require(message, "left"), "left"
+        )
+        right = await self._offload(
+            self._resolve_schema, protocol.require(message, "right"), "right"
+        )
+        options = {}
+        for option in ("max_nodes", "samples"):
+            if option in message:
+                value = message[option]
+                if not isinstance(value, int):
+                    raise ProtocolError(
+                        f"{option!r} must be an integer", protocol.E_BAD_REQUEST
+                    )
+                options[option] = value
+        result = await self.containment.submit(
+            left, right, label=str(message.get("label", "")), **options
+        )
+        payload = result.payload
+        return {
+            "verdict": result.verdict,
+            "method": payload["method"],
+            "left_class": payload["left_class"],
+            "right_class": payload["right_class"],
+            "counterexample": (
+                list(payload["counterexample"])
+                if payload["counterexample"] is not None
+                else None
+            ),
+            "cached": result.cached,
+            "seconds": round(result.seconds, 6),
+        }
+
+    async def _op_batch(
+        self, message: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        """Validate many jobs; stream per-job events or return one list."""
+        request_id = message.get("id")
+        declared = protocol.require(message, "jobs", list)
+        stream = message.get("stream", False)
+        if not isinstance(stream, bool):
+            raise ProtocolError("'stream' must be a boolean", protocol.E_BAD_REQUEST)
+        def build_jobs():
+            jobs = []
+            for position, entry in enumerate(declared):
+                if not isinstance(entry, dict):
+                    raise ProtocolError(
+                        f"jobs[{position}] must be an object", protocol.E_BAD_REQUEST
+                    )
+                compiled = self._resolve_schema(protocol.require(entry, "schema"))
+                graph = self._resolve_data(protocol.require(entry, "data"))
+                jobs.append(
+                    ValidationJob(
+                        graph=graph,
+                        schema=compiled.schema,
+                        compressed=bool(entry.get("compressed", False)),
+                        label=str(entry.get("label", f"job-{position}")),
+                    )
+                )
+            return jobs
+
+        jobs = await self._offload(build_jobs)
+        collected: Dict[int, Dict[str, Any]] = {}
+        cached_count = 0
+        started = time.perf_counter()
+        async for result in self.validation.stream_batch(jobs):
+            entry = dict(self._validation_result(result), index=result.index)
+            cached_count += int(result.cached)
+            if stream:
+                writer.write(
+                    protocol.encode(protocol.ok_response(request_id, entry, "result"))
+                )
+                await writer.drain()
+            else:
+                collected[result.index] = entry
+        summary = {
+            "jobs": len(jobs),
+            "cached": cached_count,
+            "seconds": round(time.perf_counter() - started, 6),
+            "cache": _stats_dict(self.validation.engine.cache.stats()),
+        }
+        if stream:
+            writer.write(
+                protocol.encode(protocol.ok_response(request_id, summary, "done"))
+            )
+        else:
+            summary["results"] = [collected[index] for index in range(len(jobs))]
+            writer.write(protocol.encode(protocol.ok_response(request_id, summary)))
+
+    async def _op_status(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "version": repro.__version__,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "address": self.address,
+            "backend": self.validation.backend,
+            "uptime_seconds": round(time.time() - (self._started_at or time.time()), 3),
+            "connections": self._connections,
+            "requests": dict(sorted(self._requests.items())),
+            "schemas": {
+                name: compiled.fingerprint
+                for name, compiled in sorted(self._schemas.items())
+            },
+            "validation_cache": _stats_dict(self.validation.engine.cache.stats()),
+            "containment_cache": _stats_dict(self.containment.engine.cache.stats()),
+        }
+
+    async def _op_flush_cache(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        flushed = {
+            "validation": len(self.validation.engine.cache),
+            "containment": len(self.containment.engine.cache),
+            "parsed": len(self._parsed),
+        }
+        self.validation.engine.cache.clear()
+        self.containment.engine.cache.clear()
+        self._parsed.clear()
+        return {"flushed": flushed}
+
+    async def _op_shutdown(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return {"stopping": True}
+
+
+# --------------------------------------------------------------------------- #
+# Embedding helper: run a daemon on a background thread
+# --------------------------------------------------------------------------- #
+class DaemonHandle:
+    """A daemon running on a background thread, stoppable from the caller.
+
+    Returned by :func:`start_in_thread`; usable as a context manager.  The
+    daemon object is exposed as :attr:`daemon` (e.g. for ``daemon.address``).
+    """
+
+    def __init__(self, daemon: ValidationDaemon, thread: threading.Thread):
+        self.daemon = daemon
+        self._thread = thread
+
+    @property
+    def address(self) -> str:
+        """The running daemon's listening address."""
+        return self.daemon.address
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the daemon and join its thread."""
+        loop = self.daemon._loop
+        if loop is not None and self._thread.is_alive():
+            loop.call_soon_threadsafe(self.daemon.request_stop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "DaemonHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.stop()
+        return False
+
+
+def start_in_thread(timeout: float = 10.0, **daemon_options) -> DaemonHandle:
+    """Start a :class:`ValidationDaemon` on a daemon thread; returns once bound.
+
+    Keyword arguments go to the :class:`ValidationDaemon` constructor.  Used
+    by the tests, ``examples/serve_demo.py``, and the serve benchmark to embed
+    a real socket-speaking daemon without spawning a process.
+    """
+    daemon = ValidationDaemon(**daemon_options)
+    ready = threading.Event()
+    failures: list = []
+
+    def runner() -> None:
+        try:
+            asyncio.run(daemon.serve(on_ready=ready.set))
+        except BaseException as exc:  # noqa: BLE001 — surfaced to the caller
+            failures.append(exc)
+        finally:
+            ready.set()
+
+    thread = threading.Thread(target=runner, name="repro-serve-daemon", daemon=True)
+    thread.start()
+    if not ready.wait(timeout):
+        raise RuntimeError(f"daemon did not come up within {timeout}s")
+    if failures:
+        raise failures[0]
+    return DaemonHandle(daemon, thread)

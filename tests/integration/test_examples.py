@@ -15,6 +15,11 @@ EXPECTED_OUTPUT = {
     "counterexample_hunting.py": ["verified: it satisfies H and violates K."],
     "rdf_validation.py": ["graph satisfies the schema: False", "the graph validates: True"],
     "complexity_landscape.py": ["DetShEx0-", "Lemma 5.1", "Theorem 3.5"],
+    "serve_demo.py": [
+        "streamed 20 validation results",
+        "jobs served from cache",
+        "daemon stopped cleanly",
+    ],
 }
 
 

@@ -102,9 +102,13 @@ class TestBatchCommand:
         manifest = workspace / "jobs.txt"
         manifest.write_text("good.ttl schema.shex\ndata.nt schema.shex\n")
         code = main(["batch", "--manifest", str(manifest)])
-        out = capsys.readouterr().out
+        captured = capsys.readouterr()
         assert code == 0
-        assert out.count("VALID") >= 2 and "job(s)" in out
+        assert captured.out.count("VALID") >= 2
+        # The summary is human diagnostics: stderr only, so stdout stays
+        # machine-parseable (one line per job).
+        assert "job(s)" in captured.err and "job(s)" not in captured.out
+        assert len(captured.out.strip().splitlines()) == 2
 
     def test_batch_with_invalid_job(self, workspace, capsys):
         manifest = workspace / "jobs.txt"
@@ -127,14 +131,14 @@ class TestBatchCommand:
         manifest.write_text("good.ttl schema.shex\nbad.ttl schema.shex\n")
         code = main(["batch", "--manifest", str(manifest), "--backend", "thread", "--jobs", "2"])
         assert code == 1
-        assert "thread" in capsys.readouterr().out
+        assert "thread" in capsys.readouterr().err
 
     def test_batch_empty_manifest(self, workspace, capsys):
         manifest = workspace / "jobs.txt"
         manifest.write_text("# nothing here\n")
         code = main(["batch", "--manifest", str(manifest)])
         assert code == 0
-        assert "no jobs" in capsys.readouterr().out
+        assert "no jobs" in capsys.readouterr().err
 
 
 class TestCLIErrorHandling:

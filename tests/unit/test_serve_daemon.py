@@ -1,0 +1,253 @@
+"""Daemon round-trip tests: Unix socket, caching, streaming, error handling."""
+
+import json
+import socket
+
+import pytest
+
+from repro.cli import main as containment_main
+from repro.errors import DaemonError
+from repro.serve.cli import main as serve_main
+from repro.serve.client import DaemonClient
+from repro.serve.daemon import start_in_thread
+
+SCHEMA_TEXT = "Bug -> descr :: Lit, related :: Bug*\nLit -> eps"
+
+GOOD_TURTLE = """
+@prefix ex: <http://example.org/> .
+ex:b1 ex:descr ex:l1 ; ex:related ex:b2 .
+ex:b2 ex:descr ex:l2 .
+"""
+
+BAD_TURTLE = """
+@prefix ex: <http://example.org/> .
+ex:b1 ex:related ex:b2 .
+"""
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A live daemon on a Unix socket, torn down (and socket removed) after."""
+    handle = start_in_thread(
+        socket_path=str(tmp_path / "shex.sock"), backend="thread", max_workers=2
+    )
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(daemon):
+    with DaemonClient.connect(daemon.daemon.socket_path) as connected:
+        yield connected
+
+
+class TestRoundTrip:
+    def test_ping_reports_version_and_protocol(self, client):
+        answer = client.ping()
+        assert answer["pong"] is True
+        assert answer["protocol"] == 1
+
+    def test_validate_repeat_is_served_from_cache(self, client):
+        client.load_schema("bug", text=SCHEMA_TEXT)
+        first = client.validate("bug", data_text=GOOD_TURTLE)
+        second = client.validate("bug", data_text=GOOD_TURTLE)
+        assert first["verdict"] == second["verdict"] == "valid"
+        assert not first["cached"] and second["cached"]
+        # The acceptance check: cache-stats in the status response prove the
+        # repeat was a hit on the daemon's shared cache.
+        stats = client.status()["validation_cache"]
+        assert stats["hits"] >= 1 and stats["misses"] >= 1
+
+    def test_cache_survives_across_connections(self, daemon):
+        path = daemon.daemon.socket_path
+        with DaemonClient.connect(path) as first:
+            first.load_schema("bug", text=SCHEMA_TEXT)
+            assert not first.validate("bug", data_text=GOOD_TURTLE)["cached"]
+        with DaemonClient.connect(path) as second:
+            # New connection, same daemon: compiled schema and result persist.
+            assert second.validate("bug", data_text=GOOD_TURTLE)["cached"]
+
+    def test_invalid_document_reports_untyped_nodes(self, client):
+        client.load_schema("bug", text=SCHEMA_TEXT)
+        answer = client.validate("bug", data_text=BAD_TURTLE)
+        assert answer["verdict"] == "invalid"
+        assert len(answer["untyped_nodes"]) == 1
+
+    def test_inline_schema_without_registration(self, client):
+        answer = client.validate({"text": SCHEMA_TEXT}, data_text=GOOD_TURTLE)
+        assert answer["verdict"] == "valid"
+
+    def test_containment_over_the_wire(self, client):
+        relaxed = "Bug -> descr :: Lit?, related :: Bug*\nLit -> eps"
+        client.load_schema("old", text=SCHEMA_TEXT)
+        client.load_schema("new", text=relaxed)
+        assert client.contains("old", "new")["verdict"] == "contained"
+        backward = client.contains("new", "old")
+        assert backward["verdict"] == "not-contained"
+        assert backward["counterexample"]
+        assert client.contains("old", "new")["cached"]
+
+    def test_batch_streams_results_then_done(self, client):
+        client.load_schema("bug", text=SCHEMA_TEXT)
+        jobs = [
+            {"schema": "bug", "data": {"text": GOOD_TURTLE}, "label": "a"},
+            {"schema": "bug", "data": {"text": BAD_TURTLE}, "label": "b"},
+            {"schema": "bug", "data": {"text": GOOD_TURTLE}, "label": "c"},
+        ]
+        events = []
+        summary = client.batch_validate(jobs, stream=True, on_result=events.append)
+        assert summary["jobs"] == 3
+        assert sorted(event["label"] for event in events) == ["a", "b", "c"]
+        verdicts = {event["label"]: event["verdict"] for event in events}
+        assert verdicts == {"a": "valid", "b": "invalid", "c": "valid"}
+
+    def test_flush_cache_empties_stats(self, client):
+        client.load_schema("bug", text=SCHEMA_TEXT)
+        client.validate("bug", data_text=GOOD_TURTLE)
+        flushed = client.flush_cache()["flushed"]
+        assert flushed["validation"] == 1
+        assert client.status()["validation_cache"]["size"] == 0
+
+    def test_second_daemon_refuses_a_live_socket(self, daemon):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="already serving"):
+            start_in_thread(socket_path=daemon.daemon.socket_path)
+        # The original daemon is untouched.
+        with DaemonClient.connect(daemon.daemon.socket_path) as client:
+            assert client.ping()["pong"] is True
+
+    def test_shutdown_is_clean(self, tmp_path):
+        handle = start_in_thread(socket_path=str(tmp_path / "down.sock"))
+        with DaemonClient.connect(handle.daemon.socket_path) as client:
+            assert client.shutdown() == {"stopping": True}
+        handle._thread.join(10)
+        assert not handle._thread.is_alive()
+        assert not (tmp_path / "down.sock").exists()  # socket file removed
+
+
+class TestErrorHandling:
+    def test_malformed_json_is_a_structured_error_not_a_crash(self, daemon):
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as raw:
+            raw.settimeout(10)
+            raw.connect(daemon.daemon.socket_path)
+            raw.sendall(b"this is not json\n")
+            reader = raw.makefile("rb")
+            answer = json.loads(reader.readline())
+            assert answer["ok"] is False
+            assert answer["error"]["code"] == "bad-json"
+            # The connection survives the bad line and still answers requests.
+            raw.sendall(b'{"op": "ping", "id": 42}\n')
+            answer = json.loads(reader.readline())
+            assert answer["ok"] is True and answer["id"] == 42
+
+    def test_unknown_op(self, client):
+        with pytest.raises(DaemonError) as caught:
+            client.request("frobnicate")
+        assert caught.value.code == "unknown-op"
+
+    def test_missing_fields(self, client):
+        with pytest.raises(DaemonError) as caught:
+            client.request("validate")
+        assert caught.value.code == "bad-request"
+
+    def test_unknown_schema_name(self, client):
+        with pytest.raises(DaemonError) as caught:
+            client.validate("never-loaded", data_text=GOOD_TURTLE)
+        assert caught.value.code == "unknown-schema"
+
+    def test_broken_schema_text_is_a_parse_error(self, client):
+        with pytest.raises(DaemonError) as caught:
+            client.validate({"text": "A -> x :: Undefined\n"}, data_text=GOOD_TURTLE)
+        assert caught.value.code == "parse-error"
+
+    def test_broken_data_text_is_a_parse_error(self, client):
+        client.load_schema("bug", text=SCHEMA_TEXT)
+        with pytest.raises(DaemonError) as caught:
+            client.validate("bug", data_text="not turtle @@@")
+        assert caught.value.code == "parse-error"
+
+    def test_errors_do_not_poison_the_connection(self, client):
+        for _ in range(3):
+            with pytest.raises(DaemonError):
+                client.request("validate")
+        assert client.ping()["pong"] is True
+
+
+class TestCliConnectMode:
+    @pytest.fixture
+    def workspace(self, tmp_path):
+        (tmp_path / "schema.shex").write_text(SCHEMA_TEXT + "\n")
+        (tmp_path / "good.ttl").write_text(GOOD_TURTLE)
+        (tmp_path / "bad.ttl").write_text(BAD_TURTLE)
+        return tmp_path
+
+    def test_validate_connect(self, daemon, workspace, capsys):
+        argv = [
+            "validate",
+            "--connect", daemon.daemon.socket_path,
+            "--schema", str(workspace / "schema.shex"),
+            "--data", str(workspace / "good.ttl"),
+        ]
+        assert containment_main(argv) == 0
+        assert "VALID" in capsys.readouterr().out
+        # Second invocation is answered from the daemon cache.
+        assert containment_main(argv) == 0
+        assert "(cached)" in capsys.readouterr().out
+
+    def test_validate_connect_invalid_exits_1(self, daemon, workspace, capsys):
+        code = containment_main(
+            [
+                "validate",
+                "--connect", daemon.daemon.socket_path,
+                "--schema", str(workspace / "schema.shex"),
+                "--data", str(workspace / "bad.ttl"),
+            ]
+        )
+        assert code == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_batch_connect_summary_on_stderr(self, daemon, workspace, capsys):
+        manifest = workspace / "jobs.txt"
+        manifest.write_text("good.ttl schema.shex\nbad.ttl schema.shex\ngood.ttl schema.shex\n")
+        code = containment_main(["batch", "--manifest", str(manifest), "--connect", daemon.daemon.socket_path])
+        captured = capsys.readouterr()
+        assert code == 1  # one job is invalid
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 3  # stdout: exactly one line per job, in order
+        assert "VALID" in lines[0] and "INVALID" in lines[1]
+        assert "via daemon" in captured.err and "job(s)" in captured.err
+
+    def test_shex_serve_status_and_flush_and_stop(self, daemon, capsys):
+        address = daemon.daemon.socket_path
+        assert serve_main(["status", "--connect", address]) == 0
+        out = capsys.readouterr().out
+        assert "backend: thread" in out and "validation cache" in out
+        assert serve_main(["status", "--connect", address, "--json"]) == 0
+        assert '"pid"' in capsys.readouterr().out
+        assert serve_main(["flush", "--connect", address]) == 0
+        assert "flushed" in capsys.readouterr().out
+        assert serve_main(["stop", "--connect", address]) == 0
+        daemon._thread.join(10)
+        assert not daemon._thread.is_alive()
+
+    def test_shex_serve_status_unreachable_exits_2(self, tmp_path, capsys):
+        code = serve_main(["status", "--connect", str(tmp_path / "no.sock")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_shex_serve_start_rejects_ambiguous_endpoint(self, capsys):
+        assert serve_main(["start"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_connect_refused_exits_2(self, workspace, capsys):
+        code = containment_main(
+            [
+                "validate",
+                "--connect", str(workspace / "nothing.sock"),
+                "--schema", str(workspace / "schema.shex"),
+                "--data", str(workspace / "good.ttl"),
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err

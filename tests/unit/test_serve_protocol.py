@@ -1,0 +1,105 @@
+"""Unit tests for the NDJSON protocol helpers (no sockets involved)."""
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve import protocol
+
+
+class TestEncoding:
+    def test_encode_is_one_terminated_line(self):
+        line = protocol.encode({"op": "ping", "id": 1})
+        assert line.endswith(b"\n") and line.count(b"\n") == 1
+        assert json.loads(line) == {"op": "ping", "id": 1}
+
+    def test_encode_is_deterministic(self):
+        assert protocol.encode({"b": 1, "a": 2}) == protocol.encode({"a": 2, "b": 1})
+
+
+class TestDecodeRequest:
+    def test_valid_request(self):
+        message = protocol.decode_request(b'{"op": "status", "id": "x"}')
+        assert message == {"op": "status", "id": "x"}
+
+    def test_bad_json(self):
+        with pytest.raises(ProtocolError) as caught:
+            protocol.decode_request(b"{nope")
+        assert caught.value.code == protocol.E_BAD_JSON
+
+    def test_non_object(self):
+        with pytest.raises(ProtocolError) as caught:
+            protocol.decode_request(b"[1, 2]")
+        assert caught.value.code == protocol.E_BAD_REQUEST
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError) as caught:
+            protocol.decode_request(b'{"id": 3}')
+        assert caught.value.code == protocol.E_BAD_REQUEST
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError) as caught:
+            protocol.decode_request(b'{"op": "explode"}')
+        assert caught.value.code == protocol.E_UNKNOWN_OP
+
+
+class TestResponses:
+    def test_ok_response_echoes_id(self):
+        message = protocol.ok_response(7, {"pong": True})
+        assert message == {"ok": True, "id": 7, "result": {"pong": True}}
+
+    def test_ok_response_without_id(self):
+        assert "id" not in protocol.ok_response(None, {})
+
+    def test_stream_event_tag(self):
+        assert protocol.ok_response(1, {}, "done")["event"] == "done"
+
+    def test_error_response_carries_registered_code(self):
+        message = protocol.error_response(2, protocol.E_PARSE, "boom")
+        assert message["ok"] is False
+        assert message["error"] == {"code": protocol.E_PARSE, "message": "boom"}
+
+    def test_every_error_code_is_registered(self):
+        assert set(protocol.ERROR_CODES) == {
+            "bad-json",
+            "bad-request",
+            "unknown-op",
+            "parse-error",
+            "unknown-schema",
+            "internal-error",
+        }
+
+
+class TestRequire:
+    def test_present_field(self):
+        assert protocol.require({"op": "x", "name": "n"}, "name", str) == "n"
+
+    def test_missing_field(self):
+        with pytest.raises(ProtocolError) as caught:
+            protocol.require({"op": "x"}, "name")
+        assert caught.value.code == protocol.E_BAD_REQUEST
+
+    def test_wrong_type(self):
+        with pytest.raises(ProtocolError) as caught:
+            protocol.require({"op": "x", "name": 3}, "name", str)
+        assert caught.value.code == protocol.E_BAD_REQUEST
+
+
+class TestSplitAddress:
+    def test_plain_path(self):
+        assert protocol.split_address("/tmp/shex.sock") == ("/tmp/shex.sock", None)
+
+    def test_host_port(self):
+        assert protocol.split_address("127.0.0.1:9753") == (None, ("127.0.0.1", 9753))
+
+    def test_explicit_prefixes(self):
+        assert protocol.split_address("unix:/tmp/a:b.sock") == ("/tmp/a:b.sock", None)
+        assert protocol.split_address("tcp:localhost:80") == (None, ("localhost", 80))
+
+    def test_path_with_colon_but_slash_stays_unix(self):
+        assert protocol.split_address("/tmp/odd:123") == ("/tmp/odd:123", None)
+
+    def test_bad_tcp(self):
+        with pytest.raises(ProtocolError):
+            protocol.split_address("tcp:nohost")
