@@ -48,14 +48,17 @@ from repro.containment.detshex import contains_detshex0_minus
 from repro.engine import (
     CompiledSchema,
     ContainmentEngine,
+    DiskResultCache,
     EngineReport,
+    FixpointStats,
     JobResult,
     ValidationEngine,
     compile_schema,
+    maximal_typing_fixpoint,
 )
 from repro.serve import AsyncContainmentEngine, AsyncValidationEngine, DaemonClient
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Bag",
@@ -107,10 +110,13 @@ __all__ = [
     "contains_detshex0_minus",
     "CompiledSchema",
     "ContainmentEngine",
+    "DiskResultCache",
     "EngineReport",
+    "FixpointStats",
     "JobResult",
     "ValidationEngine",
     "compile_schema",
+    "maximal_typing_fixpoint",
     "AsyncContainmentEngine",
     "AsyncValidationEngine",
     "DaemonClient",

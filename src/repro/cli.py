@@ -148,7 +148,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return _cmd_batch_connected(args, entries)
     jobs = load_jobs(entries)
     with ValidationEngine(
-        backend=args.backend, max_workers=args.jobs, cache_size=args.cache_size
+        backend=args.backend,
+        max_workers=args.jobs,
+        cache_size=args.cache_size,
+        cache_dir=args.cache_dir,
     ) as engine:
         report = engine.run_batch(jobs)
     width = max(len(result.label) for result in report.results)
@@ -169,10 +172,15 @@ def _cmd_batch_connected(args: argparse.Namespace, entries) -> int:
     from repro.serve.client import DaemonClient, batch_jobs_from_manifest
 
     # Engine tuning happens daemon-side: these flags only apply to local runs.
-    if args.backend != "serial" or args.jobs is not None or args.cache_size != 1024:
+    if (
+        args.backend != "serial"
+        or args.jobs is not None
+        or args.cache_size != 1024
+        or args.cache_dir is not None
+    ):
         print(
-            "shex-containment: warning: --backend/--jobs/--cache-size are ignored "
-            "with --connect (the daemon's configuration applies)",
+            "shex-containment: warning: --backend/--jobs/--cache-size/--cache-dir "
+            "are ignored with --connect (the daemon's configuration applies)",
             file=sys.stderr,
         )
     jobs = batch_jobs_from_manifest(entries)
@@ -260,6 +268,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_parser.add_argument(
         "--cache-size", type=int, default=1024, help="LRU result-cache capacity (0 disables)"
+    )
+    batch_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist results to DIR (content-fingerprint keyed; shared across runs)",
     )
     batch_parser.add_argument(
         "--show-untyped", action="store_true", help="list untyped nodes of invalid graphs"

@@ -11,7 +11,12 @@ service layer:
 * :class:`ValidationEngine` / :class:`ContainmentEngine` — ``submit`` /
   ``run_batch`` APIs that fan independent jobs out to a pluggable executor
   (``serial``, ``thread``, ``process``) and serve repeated jobs from an LRU
-  cache keyed by content hashes;
+  cache keyed by content hashes (optionally persisted on disk via
+  :class:`DiskResultCache` / ``cache_dir``);
+* :func:`maximal_typing_fixpoint` — the shared SCC-scheduled fixpoint kernel
+  under both validation semantics (:mod:`repro.engine.fixpoint`): fine-grained
+  ``(node, type)`` dirtiness, neighbourhood-signature memoisation, batched
+  Presburger solving;
 * :func:`maximal_typing_chunked` — intra-job parallelism over the node
   frontier of a single large graph;
 * :mod:`repro.engine.manifest` — declarative batch manifests for the
@@ -20,7 +25,7 @@ service layer:
   timings and cache statistics, byte-identical across backends.
 """
 
-from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.cache import CacheStats, DiskResultCache, LRUCache
 from repro.engine.compiled import (
     CompiledSchema,
     CompiledType,
@@ -36,6 +41,7 @@ from repro.engine.executors import (
     ThreadExecutor,
     get_executor,
 )
+from repro.engine.fixpoint import FixpointStats, maximal_typing_fixpoint
 from repro.engine.jobs import ContainmentJob, EngineReport, JobResult, ValidationJob
 from repro.engine.manifest import ManifestEntry, load_jobs, load_manifest, parse_manifest
 from repro.engine.validation import ValidationEngine, maximal_typing_chunked
@@ -47,7 +53,9 @@ __all__ = [
     "CompiledType",
     "ContainmentEngine",
     "ContainmentJob",
+    "DiskResultCache",
     "EngineReport",
+    "FixpointStats",
     "JobResult",
     "LRUCache",
     "ManifestEntry",
@@ -62,6 +70,7 @@ __all__ = [
     "load_jobs",
     "load_manifest",
     "maximal_typing_chunked",
+    "maximal_typing_fixpoint",
     "parse_manifest",
     "schema_fingerprint",
 ]

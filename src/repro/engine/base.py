@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.engine.cache import LRUCache
+from repro.engine.cache import DiskResultCache, LRUCache
 from repro.engine.executors import get_executor
 from repro.engine.jobs import EngineReport, JobResult, Stopwatch
 
@@ -41,10 +41,16 @@ class BatchEngine:
         backend: str = "serial",
         max_workers: Optional[int] = None,
         cache_size: int = 1024,
+        cache_dir: Optional[str] = None,
     ):
         self.backend = backend
         self._executor = get_executor(backend, max_workers)
-        self.cache = LRUCache(cache_size)
+        # With a cache_dir the result cache persists across processes and
+        # restarts; cache_size then bounds only its in-memory front.
+        if cache_dir is not None:
+            self.cache = DiskResultCache(cache_dir, memory_size=cache_size)
+        else:
+            self.cache = LRUCache(cache_size)
         self._pending: List = []
 
     # -- subclass hooks ------------------------------------------------------

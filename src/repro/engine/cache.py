@@ -1,14 +1,26 @@
-"""A small thread-safe LRU result cache with hit/miss accounting.
+"""Result caches: a thread-safe in-memory LRU and a persistent disk backend.
 
-The engines key this cache by content fingerprints of the job inputs (see
+The engines key these caches by content fingerprints of the job inputs (see
 :func:`repro.engine.compiled.schema_fingerprint` /
 :func:`repro.engine.compiled.graph_fingerprint`), so identical jobs — the same
 schema and data loaded twice, or re-submitted across batches — are answered
 without recomputation, regardless of object identity.
+
+:class:`LRUCache` is the default, process-local backend.
+:class:`DiskResultCache` layers the same interface over a directory of
+pickled entries, so verdicts survive process restarts: a nightly batch, a
+redeployed daemon, or two CLI invocations pointing at the same
+``--cache-dir`` share results.  Because keys are *content* fingerprints, a
+stale entry can only be produced by a hash collision — entries never need
+invalidation when files are re-parsed or objects rebuilt.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -100,4 +112,149 @@ class LRUCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 max_size=self.max_size,
+            )
+
+
+class DiskResultCache:
+    """A persistent result cache: one pickled file per content-fingerprint key.
+
+    Drop-in for :class:`LRUCache` in the engines (same
+    ``get``/``put``/``clear``/``stats`` contract) with two levels:
+
+    * a bounded in-memory LRU front (``memory_size`` entries) absorbing the
+      hot keys of the current process;
+    * the directory, unbounded, shared by every process pointed at it and
+      surviving restarts.
+
+    Entries are written atomically (temp file + ``os.replace``), so
+    concurrent writers — parallel CLI runs, a daemon plus a batch job — can
+    share a directory: the worst race rewrites an identical entry.  An
+    unreadable or truncated file is treated as a miss and deleted.  Select it
+    with ``cache_dir=...`` on the engines, ``--cache-dir`` on the
+    ``shex-containment batch`` / ``shex-serve start`` CLIs, or the daemon's
+    ``cache_dir`` config field.
+    """
+
+    _SUFFIX = ".result.pkl"
+
+    def __init__(self, directory: str, memory_size: int = 1024):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._memory = LRUCache(memory_size)
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        # Entry count, maintained incrementally: stats() runs on every batch
+        # report and daemon status request, so it must not rescan the
+        # directory.  The count is exact for this process and approximate
+        # when other processes write the same directory concurrently.
+        self._disk_entries = self._scan_disk()
+
+    def _scan_disk(self) -> int:
+        return sum(
+            1 for name in os.listdir(self.directory) if name.endswith(self._SUFFIX)
+        )
+
+    def _path(self, key: Hashable) -> str:
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        return os.path.join(self.directory, digest + self._SUFFIX)
+
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        """``(found, value)``; disk hits are promoted into the memory front."""
+        found, value = self._memory.get(key)
+        if found:
+            with self._lock:
+                self._hits += 1
+            return True, value
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            with self._lock:
+                self._misses += 1
+            return False, None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            # A torn or stale entry: drop it and recompute.
+            try:
+                os.unlink(path)
+                with self._lock:
+                    self._disk_entries = max(self._disk_entries - 1, 0)
+            except OSError:
+                pass
+            with self._lock:
+                self._misses += 1
+            return False, None
+        self._memory.put(key, value)
+        with self._lock:
+            self._hits += 1
+        return True, value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store in memory and persist to disk atomically.
+
+        Persistence failures — disk errors *and* unpicklable values — are
+        swallowed: the entry simply stays memory-only, and the temp file is
+        always cleaned up.
+        """
+        self._memory.put(key, value)
+        path = self._path(key)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=self.directory, suffix=".tmp", delete=False
+        )
+        persisted = False
+        try:
+            with handle:
+                pickle.dump(value, handle)
+            existed = os.path.exists(path)
+            os.replace(handle.name, path)
+            persisted = True
+            if not existed:
+                with self._lock:
+                    self._disk_entries += 1
+        except (OSError, pickle.PicklingError, TypeError):
+            pass
+        finally:
+            if not persisted:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+
+    def clear(self) -> None:
+        """Drop the memory front and delete every persisted entry (and any
+        orphaned temp files left by crashed writers)."""
+        self._memory.clear()
+        with self._lock:
+            for name in os.listdir(self.directory):
+                if name.endswith(self._SUFFIX) or name.endswith(".tmp"):
+                    try:
+                        os.unlink(os.path.join(self.directory, name))
+                    except OSError:
+                        pass
+            self._disk_entries = 0
+
+    def __len__(self) -> int:
+        """The number of entries persisted on disk (exact: rescans the
+        directory; use ``stats().size`` for the cheap tracked count)."""
+        return self._scan_disk()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._memory or os.path.exists(self._path(key))
+
+    def stats(self) -> CacheStats:
+        """Combined counters: a hit is a hit whether memory or disk served it.
+
+        ``size`` is the incrementally tracked disk-entry count — O(1), not a
+        directory scan — so it may drift from other processes' concurrent
+        writes to a shared directory.
+        """
+        memory = self._memory.stats()
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=memory.evictions,
+                size=self._disk_entries,
+                max_size=memory.max_size,
             )

@@ -72,6 +72,7 @@ class CompiledType:
         "profile",
         "group_bounds",
         "_template",
+        "_normalised",
     )
 
     def __init__(self, type_name: TypeName, expr: RBE):
@@ -87,6 +88,7 @@ class CompiledType:
                 for symbol, interval in self.profile.per_symbol_interval().items()
             }
         self._template: Optional[Tuple[Dict[object, str], Formula]] = None
+        self._normalised = None
 
     def presburger_template(self) -> Tuple[Dict[object, str], Formula]:
         """``(z_vars, ψ_{δ(t)}(z̄, 1))`` with stable per-type count variables.
@@ -101,6 +103,31 @@ class CompiledType:
             template = (z_vars, rbe_to_formula(self.expr, z_vars, const(1)))
             self._template = template
         return template
+
+    def normalised_template(self):
+        """``(z_vars, conjuncts)``: the template's DNF as normalised rows.
+
+        Every conjunct of ``ψ_{δ(t)}(z̄, 1)`` is pre-normalised into the
+        hashable coefficient rows of :func:`repro.presburger.solver.normalise_conjunct`,
+        so per-(node, type) compressed checks assemble their linear systems by
+        concatenating rows instead of rebuilding and re-normalising formula
+        trees.  The template's helper variables are bound and uniquely named,
+        hence safe to share across any number of per-node systems (the batch
+        solver keys variables per block).  Computed once per type.
+        """
+        normalised = self._normalised
+        if normalised is None:
+            from repro.presburger.solver import _to_dnf, normalise_conjunct
+
+            z_vars, psi = self.presburger_template()
+            conjuncts = []
+            for atoms in _to_dnf(psi):
+                conjunct = normalise_conjunct(atoms)
+                if conjunct is not None:
+                    conjuncts.append(conjunct)
+            normalised = (z_vars, tuple(conjuncts))
+            self._normalised = normalised
+        return normalised
 
 
 class CompiledSchema:
@@ -119,6 +146,8 @@ class CompiledSchema:
         self._schema_class = None
         self._shape_graph: Optional[Graph] = None
         self._is_shex0: Optional[bool] = None
+        self._type_order: Optional[Tuple[TypeName, ...]] = None
+        self._watchers: Optional[Dict[object, Tuple[TypeName, ...]]] = None
 
     @classmethod
     def of(cls, schema: Union[ShExSchema, "CompiledSchema"]) -> "CompiledSchema":
@@ -131,6 +160,32 @@ class CompiledSchema:
     def types(self):
         """The schema's type names (delegates to the wrapped schema)."""
         return self.schema.types
+
+    @property
+    def type_order(self) -> Tuple[TypeName, ...]:
+        """The schema's type names, sorted once: the deterministic iteration
+        order the fixpoint kernel uses instead of per-iteration ``sorted()``."""
+        if self._type_order is None:
+            self._type_order = tuple(sorted(self.schema.types))
+        return self._type_order
+
+    def symbol_watchers(self) -> Dict[object, Tuple[TypeName, ...]]:
+        """``(label, type) -> types whose alphabet contains that symbol``.
+
+        The inverted alphabet index behind fine-grained dirtiness: when a node
+        loses type ``τ``, a predecessor reached through label ``a`` only needs
+        its type ``t`` re-checked when ``(a, τ)`` occurs in ``δ(t)`` — i.e.
+        when ``t`` *watches* the symbol.  Computed once per schema.
+        """
+        if self._watchers is None:
+            watchers: Dict[object, list] = {}
+            for type_name in self.type_order:
+                for symbol in self.type_artifact(type_name).sorted_alphabet:
+                    watchers.setdefault(symbol, []).append(type_name)
+            self._watchers = {
+                symbol: tuple(types) for symbol, types in watchers.items()
+            }
+        return self._watchers
 
     def type_artifact(self, type_name: TypeName) -> CompiledType:
         """The (interned) per-type artifact for ``type_name``."""

@@ -1,0 +1,422 @@
+"""The shared maximal-typing fixpoint kernel.
+
+Both validation semantics — plain graphs (:func:`repro.schema.typing.maximal_typing`)
+and compressed graphs (:func:`repro.schema.validation.maximal_typing_compressed`)
+— compute the same greatest fixpoint: start from the full relation ``N × Γ``
+and drop ``(node, type)`` pairs whose check fails under the current relation
+until nothing changes.  This module owns that loop once, with three
+scheduling/solving improvements over the per-semantics worklists it replaced
+(retained in :mod:`repro.schema.reference`):
+
+**SCC schedule.**  A node's types depend only on the types of its successors,
+so the graph is condensed into strongly connected components
+(:mod:`repro.graphs.scc`) and each component is driven to its local fixpoint
+in reverse topological order (sinks first).  By the time a component is
+examined, everything it depends on outside itself is final — types stabilise
+component-by-component instead of rippling globally, and no component is ever
+revisited.
+
+**Fine-grained dirtiness.**  Work is tracked per ``(node, type)`` pair, not
+per node.  When a successor reached through label ``a`` loses type ``τ``, a
+pair ``(n, t)`` is marked dirty only when the symbol ``(a, τ)`` occurs in
+``t``'s alphabet (the inverted index
+:meth:`repro.engine.compiled.CompiledSchema.symbol_watchers`); all other types
+of ``n`` provably cannot have been invalidated.  Iteration order comes from
+the precomputed :attr:`repro.engine.compiled.CompiledSchema.type_order`, so
+the inner loop performs no per-iteration ``sorted()`` calls.
+
+**Signature memoisation and batched solving.**  A check's outcome depends
+only on the type and the node's *neighbourhood signature* — the multiset of
+``(label[, multiplicity], candidate types)`` over its out-edges — so
+isomorphic nodes (clones, unrolled copies, kind-mates) are checked once per
+signature.  Under the compressed semantics, each refinement round collects
+every non-memoised check, assembles its linear system from the type's cached
+normalised Presburger template
+(:meth:`repro.engine.compiled.CompiledType.normalised_template`), and answers
+the whole round through one batched MILP invocation
+(:func:`repro.presburger.solver.solve_problems`) instead of one solver call
+per pair.
+
+Chaotic iteration of a monotone operator reaches the same greatest fixpoint
+regardless of evaluation order, so all of the above is a *schedule* — the
+resulting typing is identical to the naive full-rescan reference, which the
+parity suite (``tests/property/test_fixpoint_parity.py``) asserts on
+randomized instances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.engine.compiled import CompiledSchema, compile_schema
+from repro.graphs.graph import Graph
+from repro.graphs.scc import strongly_connected_components
+from repro.presburger.solver import solve_problems
+from repro.schema.shex import ShExSchema, TypeName
+from repro.schema.typing import Typing, satisfies_type_groups
+
+NodeId = Hashable
+
+#: A plain-semantics neighbourhood signature entry: (label, candidate types).
+#: Compressed signatures additionally carry the edge multiplicity.
+
+
+@dataclass
+class FixpointStats:
+    """Counters describing one kernel run (observability and benchmarks).
+
+    ``checks`` counts (node, type) satisfaction questions asked;
+    ``signature_hits`` how many were answered from the neighbourhood-signature
+    memo; ``shortcut_failures`` how many failed outright because a mandatory
+    edge had no candidate target type (no memo needed); ``solver_problems``
+    how many Presburger systems reached the batch solver (compressed semantics
+    only).  ``checks - signature_hits - shortcut_failures`` is therefore the
+    number of checks actually *evaluated* — on a graph of isomorphic clones it
+    stays flat as copies are added.  Presburger-side counters (memo hits,
+    actual MILP invocations) live in
+    :func:`repro.presburger.solver.solver_stats`.
+    """
+
+    components: int = 0
+    rounds: int = 0
+    checks: int = 0
+    signature_hits: int = 0
+    shortcut_failures: int = 0
+    removals: int = 0
+    solver_problems: int = 0
+
+    @property
+    def evaluated(self) -> int:
+        """Checks that required real work (no memo, no shortcut)."""
+        return self.checks - self.signature_hits - self.shortcut_failures
+
+
+def maximal_typing_fixpoint(
+    graph: Graph,
+    schema: Optional[Union[ShExSchema, CompiledSchema]] = None,
+    compiled: Optional[CompiledSchema] = None,
+    compressed: bool = False,
+    stats: Optional[FixpointStats] = None,
+) -> Typing:
+    """The maximal typing of ``graph``, by the SCC-scheduled fixpoint kernel.
+
+    ``compressed`` selects the Section 6.1 semantics (edge multiplicities as
+    exponents, satisfaction via batched Presburger solving).  Pass ``stats``
+    to collect :class:`FixpointStats` about the run.  Either ``schema`` or a
+    pre-built ``compiled`` schema must be given; results are identical to the
+    naive references in :mod:`repro.schema.reference`.
+    """
+    if compiled is None:
+        if schema is None:
+            raise ValueError("pass a schema or a compiled schema")
+        compiled = compile_schema(schema)
+    else:
+        compiled = compile_schema(compiled)
+    if stats is None:
+        stats = FixpointStats()
+
+    type_order = compiled.type_order
+    artifacts = {
+        type_name: compiled.type_artifact(type_name) for type_name in type_order
+    }
+    watchers = compiled.symbol_watchers()
+    current: Dict[NodeId, Set[TypeName]] = {
+        node: set(type_order) for node in graph.nodes
+    }
+    components = strongly_connected_components(graph)
+    stats.components = len(components)
+    # (type, neighbourhood signature) -> verdict; shared across components so
+    # isomorphic nodes anywhere in the graph are checked once.
+    signature_memo: Dict[Tuple, bool] = {}
+
+    stabilise = _stabilise_compressed if compressed else _stabilise_plain
+    for component in components:
+        stabilise(
+            graph, component, set(component), current,
+            type_order, artifacts, watchers, signature_memo, stats,
+        )
+    return Typing(current)
+
+
+# --------------------------------------------------------------------------- #
+# Dirtiness propagation (shared by both semantics)
+# --------------------------------------------------------------------------- #
+def _mark_dirty(
+    graph: Graph,
+    node: NodeId,
+    removed: Sequence[TypeName],
+    member_set: Set[NodeId],
+    current: Dict[NodeId, Set[TypeName]],
+    watchers: Dict[object, Tuple[TypeName, ...]],
+    dirty: Dict[NodeId, Set[TypeName]],
+) -> List[NodeId]:
+    """Mark the pairs invalidated by ``node`` losing ``removed`` types.
+
+    Only predecessors inside the active component are marked: predecessors in
+    other components are upstream in the condensation, hence not yet processed
+    and still fully dirty.  Returns the members that gained dirty types.
+    """
+    touched: List[NodeId] = []
+    for edge in graph.in_edges(node):
+        predecessor = edge.source
+        if predecessor not in member_set:
+            continue
+        predecessor_types = current[predecessor]
+        marks = dirty[predecessor]
+        before = len(marks)
+        for lost in removed:
+            for watcher in watchers.get((edge.label, lost), ()):
+                if watcher in predecessor_types:
+                    marks.add(watcher)
+        if len(marks) != before:
+            touched.append(predecessor)
+    return touched
+
+
+# --------------------------------------------------------------------------- #
+# Plain semantics: per-pair Gauss-Seidel within a component
+# --------------------------------------------------------------------------- #
+def _stabilise_plain(
+    graph: Graph,
+    component: Tuple[NodeId, ...],
+    member_set: Set[NodeId],
+    current: Dict[NodeId, Set[TypeName]],
+    type_order: Tuple[TypeName, ...],
+    artifacts: Dict[TypeName, object],
+    watchers: Dict[object, Tuple[TypeName, ...]],
+    signature_memo: Dict[Tuple, bool],
+    stats: FixpointStats,
+) -> None:
+    dirty: Dict[NodeId, Set[TypeName]] = {
+        node: set(current[node]) for node in component
+    }
+    queue: deque = deque(component)  # components come pre-sorted by repr
+    queued: Set[NodeId] = set(component)
+    while queue:
+        node = queue.popleft()
+        queued.discard(node)
+        pending = dirty[node]
+        if not pending:
+            continue
+        dirty[node] = set()
+        node_types = current[node]
+        removed: List[TypeName] = []
+        for type_name in type_order:
+            if type_name not in pending or type_name not in node_types:
+                continue
+            stats.checks += 1
+            if not _check_plain(
+                graph, node, artifacts[type_name], current,
+                type_order, signature_memo, stats,
+            ):
+                node_types.discard(type_name)
+                removed.append(type_name)
+        if removed:
+            stats.removals += len(removed)
+            for touched in _mark_dirty(
+                graph, node, removed, member_set, current, watchers, dirty
+            ):
+                if touched not in queued:
+                    queue.append(touched)
+                    queued.add(touched)
+
+
+def _check_plain(
+    graph: Graph,
+    node: NodeId,
+    artifact,
+    current: Dict[NodeId, Set[TypeName]],
+    type_order: Tuple[TypeName, ...],
+    signature_memo: Dict[Tuple, bool],
+    stats: FixpointStats,
+) -> bool:
+    symbol_set = artifact.symbol_set
+    groups: Dict[Tuple[str, Tuple[TypeName, ...]], int] = {}
+    for edge in graph.out_edges(node):
+        target_types = current.get(edge.target, ())
+        options = tuple(
+            type_name
+            for type_name in type_order
+            if type_name in target_types and (edge.label, type_name) in symbol_set
+        )
+        if not options:
+            stats.shortcut_failures += 1
+            return False
+        key = (edge.label, options)
+        groups[key] = groups.get(key, 0) + 1
+    signature = (artifact.type_name, tuple(sorted(groups.items())))
+    known = signature_memo.get(signature)
+    if known is not None:
+        stats.signature_hits += 1
+        return known
+    verdict = satisfies_type_groups(artifact, groups)
+    signature_memo[signature] = verdict
+    return verdict
+
+
+# --------------------------------------------------------------------------- #
+# Compressed semantics: round-based Jacobi sweeps with batched solving
+# --------------------------------------------------------------------------- #
+def _stabilise_compressed(
+    graph: Graph,
+    component: Tuple[NodeId, ...],
+    member_set: Set[NodeId],
+    current: Dict[NodeId, Set[TypeName]],
+    type_order: Tuple[TypeName, ...],
+    artifacts: Dict[TypeName, object],
+    watchers: Dict[object, Tuple[TypeName, ...]],
+    signature_memo: Dict[Tuple, bool],
+    stats: FixpointStats,
+) -> None:
+    """Stabilise one component by synchronous rounds of batched checks.
+
+    Each round snapshots every dirty surviving pair, decides all of them
+    against the *current* relation (one batched MILP for the non-memoised
+    ones), then applies the removals together and marks the next round's
+    dirtiness.  Removing several pairs at once is sound because satisfaction
+    is monotone in the relation — a pair invalid under the snapshot stays
+    invalid under any smaller relation — and chaotic iteration converges to
+    the same greatest fixpoint as the per-pair schedule.
+    """
+    dirty: Dict[NodeId, Set[TypeName]] = {
+        node: set(current[node]) for node in component
+    }
+    while True:
+        batch: List[Tuple[NodeId, TypeName]] = []
+        for node in component:
+            pending = dirty[node]
+            if not pending:
+                continue
+            node_types = current[node]
+            for type_name in type_order:
+                if type_name in pending and type_name in node_types:
+                    batch.append((node, type_name))
+            dirty[node] = set()
+        if not batch:
+            return
+        stats.rounds += 1
+        verdicts = _check_compressed_batch(
+            graph, batch, current, type_order, artifacts, signature_memo, stats
+        )
+        removed_by_node: Dict[NodeId, List[TypeName]] = {}
+        for (node, type_name), verdict in zip(batch, verdicts):
+            if not verdict:
+                current[node].discard(type_name)
+                removed_by_node.setdefault(node, []).append(type_name)
+        for node, removed in removed_by_node.items():
+            stats.removals += len(removed)
+            _mark_dirty(graph, node, removed, member_set, current, watchers, dirty)
+
+
+def _check_compressed_batch(
+    graph: Graph,
+    pairs: Sequence[Tuple[NodeId, TypeName]],
+    current: Dict[NodeId, Set[TypeName]],
+    type_order: Tuple[TypeName, ...],
+    artifacts: Dict[TypeName, object],
+    signature_memo: Dict[Tuple, bool],
+    stats: FixpointStats,
+) -> List[bool]:
+    """Decide one round of compressed checks; one solver batch for the misses."""
+    verdicts: List[Optional[bool]] = [None] * len(pairs)
+    pending_positions: Dict[Tuple, List[int]] = {}
+    pending_order: List[Tuple] = []
+    pending_problems: List[Tuple] = []
+    for position, (node, type_name) in enumerate(pairs):
+        stats.checks += 1
+        artifact = artifacts[type_name]
+        described = _compressed_signature(graph, node, artifact, current, type_order)
+        if described is None:
+            stats.shortcut_failures += 1
+            verdicts[position] = False  # a mandatory edge has no candidate type
+            continue
+        signature, edge_descriptions = described
+        known = signature_memo.get(signature)
+        if known is not None:
+            stats.signature_hits += 1
+            verdicts[position] = known
+            continue
+        positions = pending_positions.get(signature)
+        if positions is not None:
+            positions.append(position)
+            continue
+        pending_positions[signature] = [position]
+        pending_order.append(signature)
+        pending_problems.append(_assemble_problem(artifact, edge_descriptions))
+    if pending_problems:
+        stats.solver_problems += len(pending_problems)
+        solved = solve_problems(pending_problems)
+        for signature, verdict in zip(pending_order, solved):
+            signature_memo[signature] = verdict
+            for position in pending_positions[signature]:
+                verdicts[position] = verdict
+    return [bool(verdict) for verdict in verdicts]
+
+
+def _compressed_signature(
+    graph: Graph,
+    node: NodeId,
+    artifact,
+    current: Dict[NodeId, Set[TypeName]],
+    type_order: Tuple[TypeName, ...],
+):
+    """``(signature, edge descriptions)`` for one compressed check, or ``None``.
+
+    ``None`` means the check fails outright: some edge with positive
+    multiplicity has no candidate target type in the rule's alphabet.
+    Zero-multiplicity edges are dropped — their parallel-edge variables are
+    forced to zero, contributing nothing to any symbol count.
+    """
+    symbol_set = artifact.symbol_set
+    descriptions: List[Tuple[str, int, Tuple[TypeName, ...]]] = []
+    for edge in graph.out_edges(node):
+        multiplicity = edge.occur.lower
+        target_types = current.get(edge.target, ())
+        options = tuple(
+            type_name
+            for type_name in type_order
+            if type_name in target_types and (edge.label, type_name) in symbol_set
+        )
+        if not options:
+            if multiplicity > 0:
+                return None
+            continue
+        if multiplicity == 0:
+            continue
+        descriptions.append((edge.label, multiplicity, options))
+    signature = (artifact.type_name, tuple(sorted(descriptions)))
+    return signature, descriptions
+
+
+def _assemble_problem(artifact, edge_descriptions) -> Tuple:
+    """Build the normalised linear system of one compressed check.
+
+    Follows the encoding of Proposition 6.2 — variables ``y_{e,τ}`` split each
+    compressed edge's multiplicity across candidate types, per-symbol totals
+    ``z_{a::τ}`` must satisfy ``ψ_{δ(t)}(z̄, 1)`` — but assembles coefficient
+    rows directly against the type's cached normalised template instead of
+    building and re-normalising a formula tree per check.
+    """
+    z_vars, template_conjuncts = artifact.normalised_template()
+    if not template_conjuncts:
+        return ()  # ψ is unsatisfiable on its own
+    rows: List[Tuple[Tuple[Tuple[str, int], ...], int]] = []
+    contributions: Dict[object, List[str]] = {}
+    for edge_index, (label, multiplicity, options) in enumerate(edge_descriptions):
+        items = []
+        for type_name in options:
+            name = f"y!{edge_index}!{type_name}"
+            items.append((name, 1))
+            contributions.setdefault((label, type_name), []).append(name)
+        rows.append((tuple(sorted(items)), multiplicity))
+    for symbol in artifact.sorted_alphabet:
+        items = [(z_vars[symbol], 1)]
+        items.extend((name, -1) for name in contributions.get(symbol, ()))
+        rows.append((tuple(sorted(items)), 0))
+    call_rows = tuple(rows)
+    return tuple(
+        (call_rows + equalities, inequalities)
+        for equalities, inequalities in template_conjuncts
+    )

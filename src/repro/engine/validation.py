@@ -100,8 +100,9 @@ class ValidationEngine(BatchEngine):
         backend: str = "serial",
         max_workers: Optional[int] = None,
         cache_size: int = 1024,
+        cache_dir: Optional[str] = None,
     ):
-        super().__init__(backend, max_workers, cache_size)
+        super().__init__(backend, max_workers, cache_size, cache_dir)
         self._compiled: Dict[str, CompiledSchema] = {}
 
     # ------------------------------------------------------------------ #

@@ -10,10 +10,13 @@ from repro.graphs.shape import (
     is_detshex0_minus_graph,
 )
 from repro.graphs.compressed import CompressedGraph, pack_simple_graph
+from repro.graphs.scc import condensation_order, strongly_connected_components
 
 __all__ = [
     "Edge",
     "Graph",
+    "condensation_order",
+    "strongly_connected_components",
     "simple_graph_from_triples",
     "assert_simple",
     "is_simple",

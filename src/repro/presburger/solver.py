@@ -6,9 +6,26 @@ graphs).  The solver here:
 
 1. renames bound variables apart,
 2. rewrites the formula into disjunctive normal form over comparison atoms,
-3. solves every conjunct as an integer-linear feasibility problem over
-   non-negative integers (via ``scipy.optimize.milp`` when available, falling
+3. normalises every conjunct into an integer-linear system over non-negative
+   integers and solves it (via ``scipy.optimize.milp`` when available, falling
    back to a small branch-and-bound enumeration otherwise).
+
+Three mechanisms make the repeated, structurally similar queries of the
+maximal-typing fixpoint cheap:
+
+* **normalised systems** — conjuncts are exposed as hashable coefficient rows
+  (:func:`normalise_conjunct`), so callers such as
+  :meth:`repro.engine.compiled.CompiledType.normalised_template` can cache the
+  DNF/matrix form of a formula once and re-assemble per-node systems without
+  ever rebuilding formula trees;
+* **memoisation** — :func:`is_satisfiable` (and the batch entry point) key
+  results by a canonical fingerprint of the normalised system
+  (:func:`problem_fingerprint`, variable names canonically renamed), so the
+  thousands of isomorphic formulas a large graph produces are solved once;
+* **batching** — :func:`solve_problems` answers a whole round of independent
+  feasibility questions with a *single* ``milp`` invocation: every conjunct
+  becomes one block of an elastic block-diagonal program whose slack variables
+  are minimised, and a block is feasible exactly when its optimal slack is 0.
 
 It also exposes :func:`small_model_bound`, the bound of Proposition 6.3
 (Weispfenning) that the paper uses to bound the size of compressed
@@ -18,6 +35,8 @@ counter-examples.
 from __future__ import annotations
 
 import itertools
+import threading
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import PresburgerError
@@ -38,10 +57,63 @@ try:  # pragma: no cover - exercised implicitly on import
     from scipy.optimize import LinearConstraint as _LinearConstraint
     from scipy.optimize import milp as _milp
     from scipy.optimize import Bounds as _Bounds
+    from scipy.sparse import csr_matrix as _csr_matrix
 
     _HAVE_SCIPY = True
 except ImportError:  # pragma: no cover
     _HAVE_SCIPY = False
+
+#: A normalised row ``Σ coeff·x (== | <=) bound``: sorted coefficient items.
+Row = Tuple[Tuple[Tuple[str, int], ...], int]
+#: A normalised conjunct: ``(equality_rows, inequality_rows)``.
+Conjunct = Tuple[Tuple[Row, ...], Tuple[Row, ...]]
+#: A satisfiability problem: DNF alternatives.  Empty = unsatisfiable;
+#: a conjunct with no rows = trivially satisfiable.
+Problem = Tuple[Conjunct, ...]
+
+
+# --------------------------------------------------------------------------- #
+# Instrumentation
+# --------------------------------------------------------------------------- #
+@dataclass
+class SolverStats:
+    """Counters describing how much actual solving the process has done.
+
+    ``solver_calls`` (milp + enumeration + batch invocations) is the number
+    the fixpoint benchmarks track: every entry is one real optimisation run,
+    whereas ``sat_checks`` counts logical queries, however they were answered.
+    """
+
+    sat_checks: int = 0
+    memo_hits: int = 0
+    milp_calls: int = 0
+    enumeration_calls: int = 0
+    batch_calls: int = 0
+    batch_blocks: int = 0
+
+    @property
+    def solver_calls(self) -> int:
+        """Actual optimisation runs (one batched call counts once)."""
+        return self.milp_calls + self.enumeration_calls + self.batch_calls
+
+
+_STATS = SolverStats()
+_SAT_MEMO: Dict[Tuple, bool] = {}
+_SAT_MEMO_LIMIT = 65536
+_MEMO_LOCK = threading.Lock()
+
+
+def solver_stats() -> SolverStats:
+    """A snapshot of the process-wide solver counters."""
+    return SolverStats(**vars(_STATS))
+
+
+def reset_solver_state() -> None:
+    """Clear the satisfiability memo and zero all counters (benchmarks/tests)."""
+    with _MEMO_LOCK:
+        _SAT_MEMO.clear()
+    for field in vars(_STATS):
+        setattr(_STATS, field, 0)
 
 
 # --------------------------------------------------------------------------- #
@@ -114,7 +186,7 @@ def _to_dnf(formula: Formula) -> List[List[Comparison]]:
 
 
 # --------------------------------------------------------------------------- #
-# Linear feasibility over the naturals
+# Normalisation into linear systems over the naturals
 # --------------------------------------------------------------------------- #
 def _normalise_atom(atom: Comparison) -> Tuple[Dict[str, int], int, str]:
     """Rewrite an atom as ``Σ coeff·x  OP  constant`` with OP in {==, <=}.
@@ -144,35 +216,110 @@ def _normalise_atom(atom: Comparison) -> Tuple[Dict[str, int], int, str]:
     return coeffs, -constant, operator  # Σ coeff·x OP  -constant
 
 
-def _solve_conjunct(atoms: Sequence[Comparison]) -> Optional[Dict[str, int]]:
-    """Find a non-negative integer solution of a conjunction of atoms."""
-    equalities: List[Tuple[Dict[str, int], int]] = []
-    inequalities: List[Tuple[Dict[str, int], int]] = []
-    variables: List[str] = []
-    seen = set()
+def normalise_conjunct(atoms: Sequence[Comparison]) -> Optional[Conjunct]:
+    """Normalise a conjunction of atoms into hashable coefficient rows.
+
+    Constant atoms are decided on the spot: a contradictory one makes the
+    whole conjunct infeasible (``None``), a trivially true one is dropped.
+    A returned conjunct with no rows is trivially satisfiable.
+    """
+    equalities: List[Row] = []
+    inequalities: List[Row] = []
     for atom in atoms:
         coeffs, bound, operator = _normalise_atom(atom)
-        for name in coeffs:
-            if name not in seen:
-                seen.add(name)
-                variables.append(name)
         if not coeffs:
             satisfied = (0 == bound) if operator == "==" else (0 <= bound)
             if not satisfied:
                 return None
             continue
+        row: Row = (tuple(sorted(coeffs.items())), bound)
         if operator == "==":
-            equalities.append((coeffs, bound))
+            equalities.append(row)
         else:
-            inequalities.append((coeffs, bound))
+            inequalities.append(row)
+    return tuple(equalities), tuple(inequalities)
+
+
+def formula_to_problem(formula: Formula) -> Problem:
+    """Rename apart, convert to DNF, and normalise every conjunct.
+
+    Contradictory conjuncts are dropped; an empty result is unsatisfiable and
+    a conjunct without rows is trivially satisfiable.
+    """
+    renamed = _rename(formula, {})
+    conjuncts: List[Conjunct] = []
+    for atoms in _to_dnf(renamed):
+        normalised = normalise_conjunct(atoms)
+        if normalised is not None:
+            conjuncts.append(normalised)
+    return tuple(conjuncts)
+
+
+def problem_fingerprint(problem: Problem) -> Tuple:
+    """A canonical, hashable fingerprint of a normalised problem.
+
+    Variables are renamed to their first-occurrence index and each row's items
+    re-sorted by that index, so two problems that differ only by a variable
+    bijection (e.g. the per-node formulas of isomorphic neighbourhoods) share
+    one fingerprint — the key of the satisfiability memo.
+    """
+    rename: Dict[str, int] = {}
+    canonical: List[Tuple] = []
+    for equalities, inequalities in problem:
+        rows: List[Tuple] = []
+        for group in (equalities, inequalities):
+            canon_group: List[Row] = []
+            for coeffs, bound in group:
+                items = []
+                for name, coeff in coeffs:
+                    index = rename.setdefault(name, len(rename))
+                    items.append((index, coeff))
+                items.sort()
+                canon_group.append((tuple(items), bound))
+            rows.append(tuple(canon_group))
+        canonical.append((rows[0], rows[1]))
+    return tuple(canonical)
+
+
+# --------------------------------------------------------------------------- #
+# Linear feasibility over the naturals
+# --------------------------------------------------------------------------- #
+def _rows_to_dicts(rows: Sequence[Row]) -> List[Tuple[Dict[str, int], int]]:
+    return [(dict(coeffs), bound) for coeffs, bound in rows]
+
+
+def _solve_rows(
+    equalities: Sequence[Row], inequalities: Sequence[Row]
+) -> Optional[Dict[str, int]]:
+    """Find a non-negative integer solution of one normalised conjunct."""
+    variables: List[str] = []
+    seen = set()
+    for coeffs, _bound in itertools.chain(equalities, inequalities):
+        for name, _coeff in coeffs:
+            if name not in seen:
+                seen.add(name)
+                variables.append(name)
     if not variables:
         return {}
     if _HAVE_SCIPY:
-        return _solve_with_milp(variables, equalities, inequalities)
-    return _solve_by_enumeration(variables, equalities, inequalities)
+        return _solve_with_milp(
+            variables, _rows_to_dicts(equalities), _rows_to_dicts(inequalities)
+        )
+    return _solve_by_enumeration(
+        variables, _rows_to_dicts(equalities), _rows_to_dicts(inequalities)
+    )
+
+
+def _solve_conjunct(atoms: Sequence[Comparison]) -> Optional[Dict[str, int]]:
+    """Find a non-negative integer solution of a conjunction of atoms."""
+    normalised = normalise_conjunct(atoms)
+    if normalised is None:
+        return None
+    return _solve_rows(*normalised)
 
 
 def _solve_with_milp(variables, equalities, inequalities) -> Optional[Dict[str, int]]:
+    _STATS.milp_calls += 1
     index = {name: i for i, name in enumerate(variables)}
     n = len(variables)
     constraints = []
@@ -205,6 +352,7 @@ def _solve_with_milp(variables, equalities, inequalities) -> Optional[Dict[str, 
 
 def _solve_by_enumeration(variables, equalities, inequalities, limit: int = 16):
     """Tiny fallback enumeration over {0..limit}^n (only used without scipy)."""
+    _STATS.enumeration_calls += 1
     for values in itertools.product(range(limit + 1), repeat=len(variables)):
         assignment = dict(zip(variables, values))
         ok = True
@@ -223,6 +371,188 @@ def _solve_by_enumeration(variables, equalities, inequalities, limit: int = 16):
 
 
 # --------------------------------------------------------------------------- #
+# Batched feasibility: one elastic MILP for many independent systems
+# --------------------------------------------------------------------------- #
+#: Blocks per single batched ``milp`` call; rounds larger than this are split.
+_BATCH_BLOCK_LIMIT = 256
+
+
+def _solve_blocks_elastic(blocks: Sequence[Conjunct]) -> Optional[List[bool]]:
+    """Feasibility of many variable-disjoint systems via one elastic MILP.
+
+    Every block's rows are made elastic — equalities get a slack pair
+    ``+s⁺ − s⁻``, inequalities a surplus ``−s`` — and the total slack is
+    minimised.  Blocks are variable-disjoint, so the optimum decomposes: a
+    block is feasible exactly when its own slack sum is zero (over integer
+    data an infeasible block contributes at least 1).  Returns ``None`` when
+    the solver fails, letting the caller fall back to per-block solving.
+    """
+    rows_i: List[int] = []  # COO triplets of the combined constraint matrix
+    cols_j: List[int] = []
+    data: List[float] = []
+    lower: List[float] = []
+    upper: List[float] = []
+    objective: List[float] = []
+    block_slack_columns: List[List[int]] = []
+    row_count = 0
+    column_count = 0
+
+    def new_column(cost: float) -> int:
+        nonlocal column_count
+        objective.append(cost)
+        column_count += 1
+        return column_count - 1
+
+    for equalities, inequalities in blocks:
+        columns: Dict[str, int] = {}
+        slack_columns: List[int] = []
+        for is_equality, rows in ((True, equalities), (False, inequalities)):
+            for coeffs, bound in rows:
+                for name, coeff in coeffs:
+                    column = columns.get(name)
+                    if column is None:
+                        column = columns[name] = new_column(0.0)
+                    rows_i.append(row_count)
+                    cols_j.append(column)
+                    data.append(float(coeff))
+                if is_equality:
+                    surplus, deficit = new_column(1.0), new_column(1.0)
+                    slack_columns.extend((surplus, deficit))
+                    rows_i.extend((row_count, row_count))
+                    cols_j.extend((surplus, deficit))
+                    data.extend((1.0, -1.0))
+                    lower.append(float(bound))
+                    upper.append(float(bound))
+                else:
+                    surplus = new_column(1.0)
+                    slack_columns.append(surplus)
+                    rows_i.append(row_count)
+                    cols_j.append(surplus)
+                    data.append(-1.0)
+                    lower.append(-_np.inf)
+                    upper.append(float(bound))
+                row_count += 1
+        block_slack_columns.append(slack_columns)
+
+    matrix = _csr_matrix(
+        (data, (rows_i, cols_j)), shape=(row_count, column_count)
+    )
+    result = _milp(
+        c=_np.array(objective),
+        constraints=_LinearConstraint(matrix, _np.array(lower), _np.array(upper)),
+        integrality=_np.ones(column_count),
+        bounds=_Bounds(0, _np.inf),
+    )
+    if not result.success or result.x is None:
+        return None
+    verdicts = []
+    for slack_columns in block_slack_columns:
+        slack_total = float(sum(result.x[column] for column in slack_columns))
+        verdicts.append(slack_total < 0.5)
+    return verdicts
+
+
+def solve_problem(problem: Problem) -> bool:
+    """Satisfiability of one normalised problem (any conjunct feasible)."""
+    for equalities, inequalities in problem:
+        if not equalities and not inequalities:
+            return True
+        if _solve_rows(equalities, inequalities) is not None:
+            return True
+    return False
+
+
+def _memo_get(fingerprint: Tuple) -> Optional[bool]:
+    verdict = _SAT_MEMO.get(fingerprint)
+    if verdict is not None:
+        _STATS.memo_hits += 1
+    return verdict
+
+
+def _memo_put(fingerprint: Tuple, verdict: bool) -> None:
+    with _MEMO_LOCK:
+        if len(_SAT_MEMO) >= _SAT_MEMO_LIMIT:
+            _SAT_MEMO.clear()
+        _SAT_MEMO[fingerprint] = verdict
+
+
+def solve_problems(problems: Sequence[Problem]) -> List[bool]:
+    """Satisfiability of many independent problems, batched and memoised.
+
+    Trivial problems are decided structurally; repeated problems (within the
+    batch or across calls) are answered from the fingerprint memo; the
+    remaining conjuncts are packed into as few elastic MILP invocations as
+    possible (see :func:`_solve_blocks_elastic`).  Intended for the
+    per-refinement-round check batches of :mod:`repro.engine.fixpoint`.
+    """
+    _STATS.sat_checks += len(problems)
+    verdicts: List[Optional[bool]] = [None] * len(problems)
+    pending: List[Tuple[int, Tuple]] = []  # (problem index, fingerprint)
+    pending_keys: Dict[Tuple, List[int]] = {}
+    for position, problem in enumerate(problems):
+        if not problem:
+            verdicts[position] = False
+            continue
+        if any(not eqs and not les for eqs, les in problem):
+            verdicts[position] = True
+            continue
+        fingerprint = problem_fingerprint(problem)
+        known = _memo_get(fingerprint)
+        if known is not None:
+            verdicts[position] = known
+            continue
+        if fingerprint in pending_keys:
+            pending_keys[fingerprint].append(position)
+            continue
+        pending_keys[fingerprint] = [position]
+        pending.append((position, fingerprint))
+
+    if pending:
+        if _HAVE_SCIPY:
+            _solve_pending_batched(problems, pending, pending_keys, verdicts)
+        else:
+            for position, fingerprint in pending:
+                verdict = solve_problem(problems[position])
+                _memo_put(fingerprint, verdict)
+                for shared in pending_keys[fingerprint]:
+                    verdicts[shared] = verdict
+    return [bool(verdict) for verdict in verdicts]
+
+
+def _solve_pending_batched(problems, pending, pending_keys, verdicts) -> None:
+    """Solve the deduplicated cache misses of one batch, chunked by block count."""
+    cursor = 0
+    while cursor < len(pending):
+        chunk: List[Tuple[int, Tuple]] = []
+        blocks: List[Conjunct] = []
+        block_owner: List[int] = []  # index into `chunk`
+        while cursor < len(pending) and len(blocks) < _BATCH_BLOCK_LIMIT:
+            position, fingerprint = pending[cursor]
+            owner = len(chunk)
+            chunk.append((position, fingerprint))
+            for conjunct in problems[position]:
+                blocks.append(conjunct)
+                block_owner.append(owner)
+            cursor += 1
+        _STATS.batch_calls += 1
+        _STATS.batch_blocks += len(blocks)
+        block_verdicts = _solve_blocks_elastic(blocks)
+        for owner, (position, fingerprint) in enumerate(chunk):
+            if block_verdicts is None:
+                # Solver failure: fall back to the per-conjunct path.
+                verdict = solve_problem(problems[position])
+            else:
+                verdict = any(
+                    feasible
+                    for feasible, block_of in zip(block_verdicts, block_owner)
+                    if block_of == owner
+                )
+            _memo_put(fingerprint, verdict)
+            for shared in pending_keys[fingerprint]:
+                verdicts[shared] = verdict
+
+
+# --------------------------------------------------------------------------- #
 # Public API
 # --------------------------------------------------------------------------- #
 def solve_existential(
@@ -233,7 +563,8 @@ def solve_existential(
 
     All variables — free and existentially bound — range over non-negative
     integers.  When ``wanted`` is given, only those variables are reported
-    (missing ones default to 0 in the result).
+    (missing ones default to 0 in the result).  Unlike :func:`is_satisfiable`
+    this path is not memoised: it must produce a concrete witness.
     """
     renamed = _rename(formula, {})
     # Free variables keep their names because _rename only renames bound ones.
@@ -247,8 +578,40 @@ def solve_existential(
 
 
 def is_satisfiable(formula: Formula) -> bool:
-    """True when the formula has a model over the naturals."""
-    return solve_existential(formula) is not None
+    """True when the formula has a model over the naturals.
+
+    Results are memoised by the canonical fingerprint of the normalised
+    system, so isomorphic formulas (same structure, different variable names)
+    are solved once per process.
+    """
+    _STATS.sat_checks += 1
+    problem = formula_to_problem(formula)
+    if not problem:
+        return False
+    if any(not eqs and not les for eqs, les in problem):
+        return True
+    fingerprint = problem_fingerprint(problem)
+    known = _memo_get(fingerprint)
+    if known is not None:
+        return known
+    verdict = solve_problem(problem)
+    _memo_put(fingerprint, verdict)
+    return verdict
+
+
+def is_satisfiable_uncached(formula: Formula) -> bool:
+    """The pre-memoisation satisfiability path (reference implementations).
+
+    Solves every query from scratch — no fingerprint memo, no batching — so
+    parity suites and benchmarks can compare the optimised kernel against the
+    historical cost model.
+    """
+    _STATS.sat_checks += 1
+    renamed = _rename(formula, {})
+    for conjunct in _to_dnf(renamed):
+        if _solve_conjunct(conjunct) is not None:
+            return True
+    return False
 
 
 def small_model_bound(formula_size: int, num_variables: int, alternations: int = 1) -> int:

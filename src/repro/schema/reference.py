@@ -1,0 +1,161 @@
+"""Retained naive maximal-typing implementations (parity oracle + baselines).
+
+The production fixpoint lives in :mod:`repro.engine.fixpoint`; this module
+preserves the two historical schedules it replaced, *unchanged in spirit*, so
+that
+
+* the property-style parity suite (``tests/property/test_fixpoint_parity.py``)
+  can assert that the optimised kernel computes byte-identical maximal typings
+  on randomized instances, and
+* ``benchmarks/bench_fixpoint.py`` can quantify the kernel's speedup and
+  solver-call reduction against the exact pre-kernel cost model.
+
+Nothing here should be used on a hot path.  The compressed checks go through
+:func:`repro.presburger.solver.is_satisfiable_uncached` on purpose: the
+memoised/batched solver entry points would silently accelerate the baseline
+and invalidate the comparison.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.presburger.formula import Exists, LinearTerm, conjunction, eq, fresh_variable, var
+from repro.presburger.solver import is_satisfiable_uncached
+from repro.schema.shex import ShExSchema, TypeName
+from repro.schema.typing import Typing, predecessor_map, satisfies_type
+
+NodeId = Hashable
+
+
+def _satisfies_compressed_uncached(
+    graph: Graph,
+    node: NodeId,
+    type_name: TypeName,
+    schema: ShExSchema,
+    typing: Dict[NodeId, Set[TypeName]],
+    artifact,
+) -> bool:
+    """The historical per-pair compressed check: formula tree + fresh solve.
+
+    Identical encoding to :func:`repro.schema.validation.satisfies_type_compressed`
+    but satisfiability is decided without the fingerprint memo, preserving the
+    pre-kernel one-solver-call-per-check cost model.
+    """
+    alphabet = artifact.sorted_alphabet
+    symbol_set = artifact.symbol_set
+    y_vars: Dict[Tuple[int, TypeName], str] = {}
+    constraints = []
+    contributions: Dict[Tuple[str, TypeName], List[str]] = {}
+    for edge in graph.out_edges(node):
+        multiplicity = edge.occur.lower
+        target_types = typing.get(edge.target, ())
+        options = [t for t in target_types if (edge.label, t) in symbol_set]
+        if not options:
+            if multiplicity > 0:
+                return False
+            continue
+        total = LinearTerm.of(0)
+        for option in options:
+            name = fresh_variable(f"y_{edge.edge_id}_{option}")
+            y_vars[(edge.edge_id, option)] = name
+            total = total + var(name)
+            contributions.setdefault((edge.label, option), []).append(name)
+        constraints.append(eq(total, multiplicity))
+    z_vars, psi = artifact.presburger_template()
+    for symbol in alphabet:
+        total = LinearTerm.of(0)
+        for contributor in contributions.get(symbol, ()):  # type: ignore[arg-type]
+            total = total + var(contributor)
+        constraints.append(eq(var(z_vars[symbol]), total))
+    constraints.append(psi)
+    bound = tuple(y_vars.values()) + tuple(z_vars.values())
+    formula = Exists(bound, conjunction(constraints)) if bound else conjunction(constraints)
+    return is_satisfiable_uncached(formula)
+
+
+def _check(graph, node, type_name, schema, current, artifacts, compressed: bool) -> bool:
+    if compressed:
+        return _satisfies_compressed_uncached(
+            graph, node, type_name, schema, current, artifacts[type_name]
+        )
+    return satisfies_type(
+        graph, node, type_name, schema, current, artifact=artifacts.get(type_name)
+    )
+
+
+def _artifacts(schema: ShExSchema, compiled):
+    if compiled is None:
+        from repro.engine.compiled import compile_schema
+
+        compiled = compile_schema(schema)
+    return {
+        type_name: compiled.type_artifact(type_name) for type_name in schema.types
+    }
+
+
+def maximal_typing_worklist(
+    graph: Graph,
+    schema: ShExSchema,
+    compiled=None,
+    compressed: bool = False,
+) -> Typing:
+    """The pre-kernel node-level worklist (PR 1's fixpoint), both semantics.
+
+    A node is re-examined — across *all* of its surviving types — whenever the
+    type set of one of its successors shrank; types are re-sorted on every
+    wake-up.  This is the exact schedule ``maximal_typing`` /
+    ``maximal_typing_compressed`` used before the SCC kernel, kept as the
+    benchmark baseline.
+    """
+    artifacts = _artifacts(schema, compiled)
+    current: Dict[NodeId, Set[TypeName]] = {
+        node: set(schema.types) for node in graph.nodes
+    }
+    predecessors = predecessor_map(graph)
+    pending: deque = deque(sorted(graph.nodes, key=repr))
+    queued: Set[NodeId] = set(pending)
+    while pending:
+        node = pending.popleft()
+        queued.discard(node)
+        shrunk = False
+        for type_name in sorted(current[node]):
+            if not _check(graph, node, type_name, schema, current, artifacts, compressed):
+                current[node].discard(type_name)
+                shrunk = True
+        if shrunk:
+            for dependent in predecessors[node]:
+                if dependent not in queued:
+                    pending.append(dependent)
+                    queued.add(dependent)
+    return Typing(current)
+
+
+def maximal_typing_reference(
+    graph: Graph,
+    schema: ShExSchema,
+    compiled=None,
+    compressed: bool = False,
+) -> Typing:
+    """The textbook full-rescan refinement: the parity suite's oracle.
+
+    Every iteration re-checks *every* surviving ``(node, type)`` pair and the
+    loop repeats until an iteration removes nothing.  Quadratically wasteful,
+    but its correctness is evident from the greatest-fixpoint definition —
+    which is the point of an oracle.
+    """
+    artifacts = _artifacts(schema, compiled)
+    current: Dict[NodeId, Set[TypeName]] = {
+        node: set(schema.types) for node in graph.nodes
+    }
+    changed = True
+    while changed:
+        changed = False
+        for node in sorted(graph.nodes, key=repr):
+            for type_name in sorted(current[node]):
+                if not _check(graph, node, type_name, schema, current, artifacts, compressed):
+                    current[node].discard(type_name)
+                    changed = True
+    return Typing(current)

@@ -16,9 +16,7 @@ every node (see :mod:`repro.schema.validation`).
 
 from __future__ import annotations
 
-import itertools
-from collections import deque
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Set, Tuple
 
 from repro.core.bags import Bag
 from repro.graphs.graph import Graph
@@ -38,6 +36,15 @@ class Typing:
         self._assignments: Dict[NodeId, FrozenSet[TypeName]] = {
             node: frozenset(types) for node, types in assignments.items()
         }
+        # The pair set is what equality, hashing, and pairs() are defined on;
+        # computing it once here keeps engine cache keys and set membership
+        # O(1) per use instead of O(nodes · types) per call.
+        self._pairs: FrozenSet[Tuple[NodeId, TypeName]] = frozenset(
+            (node, type_name)
+            for node, types in self._assignments.items()
+            for type_name in types
+        )
+        self._hash = hash(self._pairs)
 
     def types_of(self, node: NodeId) -> FrozenSet[TypeName]:
         """The set of types assigned to ``node`` (empty when unassigned)."""
@@ -51,13 +58,9 @@ class Typing:
         """True when every node of the graph carries at least one type."""
         return all(self.types_of(node) for node in graph.nodes)
 
-    def pairs(self) -> Set[Tuple[NodeId, TypeName]]:
-        """The typing as a set of ``(node, type)`` pairs."""
-        return {
-            (node, type_name)
-            for node, types in self._assignments.items()
-            for type_name in types
-        }
+    def pairs(self) -> FrozenSet[Tuple[NodeId, TypeName]]:
+        """The typing as a (frozen) set of ``(node, type)`` pairs."""
+        return self._pairs
 
     def as_dict(self) -> Dict[NodeId, FrozenSet[TypeName]]:
         return dict(self._assignments)
@@ -68,11 +71,11 @@ class Typing:
 
     def __eq__(self, other) -> bool:
         if isinstance(other, Typing):
-            return self.pairs() == other.pairs()
+            return self._pairs == other._pairs
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(frozenset(self.pairs()))
+        return self._hash
 
     def __str__(self) -> str:
         lines = []
@@ -144,13 +147,18 @@ def _satisfies_general(
     """Exhaustive (but symmetry-reduced) search for general shape expressions."""
     # Group edges that have identical label and candidate sets: only the counts
     # per chosen type matter, not which concrete edge picked which type.
-    groups: Dict[Tuple[str, FrozenSet[TypeName]], int] = {}
-    group_options: Dict[Tuple[str, FrozenSet[TypeName]], List[TypeName]] = {}
+    groups: Dict[Tuple[str, Tuple[TypeName, ...]], int] = {}
     for _, label, options in candidates:
-        key = (label, frozenset(options))
+        key = (label, tuple(sorted(set(options))))
         groups[key] = groups.get(key, 0) + 1
-        group_options[key] = sorted(set(options))
+    return _satisfies_groups(expr, groups)
 
+
+def _satisfies_groups(
+    expr: RBE,
+    groups: Mapping[Tuple[str, Tuple[TypeName, ...]], int],
+) -> bool:
+    """The grouped core of the general check: counts per (label, option set)."""
     group_keys = list(groups)
 
     def compositions(total: int, parts: int):
@@ -166,8 +174,7 @@ def _satisfies_general(
         if index == len(group_keys):
             return rbe_matches(expr, Bag(bag_counts))
         key = group_keys[index]
-        label, _ = key
-        options = group_options[key]
+        label, options = key
         for split in compositions(groups[key], len(options)):
             extended = dict(bag_counts)
             for type_name, count in zip(options, split):
@@ -179,6 +186,33 @@ def _satisfies_general(
         return False
 
     return assemble(0, {})
+
+
+def satisfies_type_groups(
+    artifact,
+    groups: Mapping[Tuple[str, Tuple[TypeName, ...]], int],
+) -> bool:
+    """Type satisfaction from a grouped neighbourhood signature.
+
+    ``groups`` maps ``(label, sorted options tuple)`` to the number of
+    outgoing edges sharing that label and candidate-type set — the only data
+    :func:`satisfies_type` actually depends on.  The fixpoint kernel
+    (:mod:`repro.engine.fixpoint`) computes these signatures anyway to memoise
+    isomorphic checks, so this entry point lets it skip rebuilding per-edge
+    candidate lists.  ``artifact`` is a
+    :class:`repro.engine.compiled.CompiledType`.  Every option tuple must be
+    non-empty (an edge without candidates fails before grouping).
+    """
+    if artifact.group_bounds is not None:
+        allowed = {}
+        item = 0
+        for (label, options), count in groups.items():
+            symbols = [(label, type_name) for type_name in options]
+            for _ in range(count):
+                allowed[item] = symbols
+                item += 1
+        return feasible_assignment(allowed, artifact.group_bounds) is not None
+    return _satisfies_groups(artifact.expr, groups)
 
 
 # --------------------------------------------------------------------------- #
@@ -197,40 +231,22 @@ def maximal_typing(graph: Graph, schema: ShExSchema, compiled=None) -> Typing:
 
     Computed by the standard refinement — start from the full relation
     ``N × Γ`` and drop pairs ``(n, t)`` whose node no longer satisfies the
-    definition of ``t`` under the current relation — driven by a worklist: a
-    node is only re-examined when the type set of one of its successors shrank,
-    since those are the only events that can invalidate its checks.
+    definition of ``t`` under the current relation — scheduled by the shared
+    fixpoint kernel of :mod:`repro.engine.fixpoint`: the graph is condensed
+    into strongly connected components that stabilise sinks-first, a pair
+    ``(n, t)`` is only re-checked when a successor lost a type appearing in
+    ``t``'s alphabet, and isomorphic neighbourhood checks are memoised.
 
     ``compiled`` optionally supplies a
     :class:`repro.engine.compiled.CompiledSchema` whose per-type artifacts are
     reused instead of recomputing alphabets and RBE0 bounds per check.
+
+    The historical implementations this kernel replaced are retained in
+    :mod:`repro.schema.reference` for parity testing and benchmarking.
     """
-    artifacts = {
-        type_name: compiled.type_artifact(type_name) for type_name in schema.types
-    } if compiled is not None else {}
-    current: Dict[NodeId, Set[TypeName]] = {
-        node: set(schema.types) for node in graph.nodes
-    }
-    predecessors = predecessor_map(graph)
-    pending: deque = deque(sorted(graph.nodes, key=repr))
-    queued: Set[NodeId] = set(pending)
-    while pending:
-        node = pending.popleft()
-        queued.discard(node)
-        shrunk = False
-        for type_name in sorted(current[node]):
-            if not satisfies_type(
-                graph, node, type_name, schema, current,
-                artifact=artifacts.get(type_name),
-            ):
-                current[node].discard(type_name)
-                shrunk = True
-        if shrunk:
-            for dependent in predecessors[node]:
-                if dependent not in queued:
-                    pending.append(dependent)
-                    queued.add(dependent)
-    return Typing(current)
+    from repro.engine.fixpoint import maximal_typing_fixpoint
+
+    return maximal_typing_fixpoint(graph, schema, compiled=compiled)
 
 
 def is_valid_typing(

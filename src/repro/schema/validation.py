@@ -18,9 +18,8 @@ and reuse it across jobs.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Tuple
 
 from repro.graphs.graph import Graph
 from repro.presburger.formula import (
@@ -33,7 +32,7 @@ from repro.presburger.formula import (
 )
 from repro.presburger.solver import is_satisfiable
 from repro.schema.shex import ShExSchema, TypeName
-from repro.schema.typing import Typing, maximal_typing, predecessor_map, satisfies_type
+from repro.schema.typing import Typing, maximal_typing
 
 NodeId = Hashable
 
@@ -140,41 +139,20 @@ def satisfies_type_compressed(
 def maximal_typing_compressed(graph: Graph, schema: ShExSchema, compiled=None) -> Typing:
     """The maximal typing of a compressed graph (Section 6.1 semantics).
 
-    Uses the same worklist refinement as :func:`repro.schema.typing.maximal_typing`:
-    instead of rescanning every node whenever anything changed, a node is
-    re-examined only when the type set of one of its successors shrank — the
-    only event that can falsify its (monotone) satisfaction checks.
-    """
-    if compiled is None:
-        from repro.engine.compiled import compile_schema
+    Delegates to the shared fixpoint kernel (:mod:`repro.engine.fixpoint`)
+    with the compressed semantics enabled: components stabilise sinks-first,
+    ``(node, type)`` pairs are only re-checked when a successor lost a type in
+    that type's alphabet, and each refinement round's Presburger feasibility
+    questions are deduplicated by neighbourhood signature and answered through
+    one batched MILP invocation (:func:`repro.presburger.solver.solve_problems`)
+    instead of one solver call per pair.
 
-        compiled = compile_schema(schema)
-    artifacts = {
-        type_name: compiled.type_artifact(type_name) for type_name in schema.types
-    }
-    current: Dict[NodeId, Set[TypeName]] = {
-        node: set(schema.types) for node in graph.nodes
-    }
-    predecessors = predecessor_map(graph)
-    pending: deque = deque(sorted(graph.nodes, key=repr))
-    queued: Set[NodeId] = set(pending)
-    while pending:
-        node = pending.popleft()
-        queued.discard(node)
-        shrunk = False
-        for type_name in sorted(current[node]):
-            if not satisfies_type_compressed(
-                graph, node, type_name, schema, current,
-                artifact=artifacts[type_name],
-            ):
-                current[node].discard(type_name)
-                shrunk = True
-        if shrunk:
-            for dependent in predecessors[node]:
-                if dependent not in queued:
-                    pending.append(dependent)
-                    queued.add(dependent)
-    return Typing(current)
+    The historical per-pair worklist is retained in
+    :mod:`repro.schema.reference` for parity testing and benchmarking.
+    """
+    from repro.engine.fixpoint import maximal_typing_fixpoint
+
+    return maximal_typing_fixpoint(graph, schema, compiled=compiled, compressed=True)
 
 
 def satisfies_compressed(graph: Graph, schema: ShExSchema, compiled=None) -> bool:

@@ -50,6 +50,7 @@ def _daemon_from_args(args: argparse.Namespace) -> ValidationDaemon:
         backend=args.backend,
         max_workers=args.jobs,
         cache_size=args.cache_size,
+        cache_dir=args.cache_dir,
         **endpoint,
     )
 
@@ -126,6 +127,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     start_parser.add_argument(
         "--cache-size", type=int, default=4096, help="LRU result-cache capacity per engine"
+    )
+    start_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist results to DIR (content-fingerprint keyed; survives restarts)",
     )
     start_parser.set_defaults(handler=_cmd_start)
 

@@ -63,9 +63,12 @@ class ValidationDaemon:
 
     Parameters mirror the engines: ``backend`` / ``max_workers`` pick the
     executor the jobs fan out to, ``cache_size`` bounds each result cache.
-    Exactly one of ``socket_path`` (Unix) or ``host``+``port`` (TCP) selects
-    the listening endpoint; ``port=0`` asks the OS for a free port, readable
-    from :attr:`address` once started.
+    ``cache_dir`` selects the persistent on-disk result cache
+    (:class:`repro.engine.cache.DiskResultCache`): verdicts then survive
+    daemon restarts and are shared with any batch CLI pointed at the same
+    directory.  Exactly one of ``socket_path`` (Unix) or ``host``+``port``
+    (TCP) selects the listening endpoint; ``port=0`` asks the OS for a free
+    port, readable from :attr:`address` once started.
     """
 
     def __init__(
@@ -76,17 +79,21 @@ class ValidationDaemon:
         backend: str = "serial",
         max_workers: Optional[int] = None,
         cache_size: int = 4096,
+        cache_dir: Optional[str] = None,
     ):
         if (socket_path is None) == (host is None):
             raise ValueError("pass exactly one of socket_path or host/port")
         self.socket_path = socket_path
         self.host = host
         self.port = port
+        self.cache_dir = cache_dir
         self.validation = AsyncValidationEngine(
-            backend=backend, max_workers=max_workers, cache_size=cache_size
+            backend=backend, max_workers=max_workers, cache_size=cache_size,
+            cache_dir=cache_dir,
         )
         self.containment = AsyncContainmentEngine(
-            backend=backend, max_workers=max_workers, cache_size=cache_size
+            backend=backend, max_workers=max_workers, cache_size=cache_size,
+            cache_dir=cache_dir,
         )
         self._schemas: Dict[str, CompiledSchema] = {}
         self._parsed = LRUCache(max_size=256)  # content-hash -> parsed document
@@ -505,6 +512,7 @@ class ValidationDaemon:
             "pid": os.getpid(),
             "address": self.address,
             "backend": self.validation.backend,
+            "cache_dir": self.cache_dir,
             "uptime_seconds": round(time.time() - (self._started_at or time.time()), 3),
             "connections": self._connections,
             "requests": dict(sorted(self._requests.items())),

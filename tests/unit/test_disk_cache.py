@@ -1,0 +1,145 @@
+"""Tests for the persistent on-disk result cache and its CLI/daemon wiring."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from repro.cli import main as containment_main
+from repro.engine.cache import DiskResultCache
+from repro.engine.validation import ValidationEngine
+from repro.serve.cli import build_parser as serve_parser
+from repro.workloads.bugtracker import bug_tracker_graph, bug_tracker_schema
+
+SCHEMA_TEXT = "Bug -> descr :: Lit, related :: Bug*\nLit -> eps\n"
+GOOD_TURTLE = (
+    "@prefix ex: <http://example.org/> .\n"
+    "ex:b1 ex:descr ex:l1 ; ex:related ex:b2 .\n"
+    "ex:b2 ex:descr ex:l2 .\n"
+)
+
+
+class TestDiskResultCache:
+    def test_roundtrip_and_persistence_across_instances(self, tmp_path):
+        first = DiskResultCache(str(tmp_path / "cache"))
+        key = ("validation", "fp-a", "fp-b", False)
+        first.put(key, ("valid", {"untyped_nodes": ()}))
+        assert first.get(key) == (True, ("valid", {"untyped_nodes": ()}))
+        # A brand-new instance (fresh process, conceptually) sees the entry.
+        second = DiskResultCache(str(tmp_path / "cache"))
+        found, value = second.get(key)
+        assert found and value == ("valid", {"untyped_nodes": ()})
+        assert key in second
+        assert len(second) == 1
+
+    def test_miss_and_stats(self, tmp_path):
+        cache = DiskResultCache(str(tmp_path))
+        assert cache.get(("absent",)) == (False, None)
+        cache.put(("present",), 1)
+        cache.get(("present",))
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.size == 1
+
+    def test_corrupted_entry_is_dropped(self, tmp_path):
+        cache = DiskResultCache(str(tmp_path))
+        cache.put(("key",), {"payload": 1})
+        another = DiskResultCache(str(tmp_path))  # cold memory front
+        (path,) = [
+            os.path.join(str(tmp_path), name)
+            for name in os.listdir(str(tmp_path))
+            if name.endswith(".result.pkl")
+        ]
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert another.get(("key",)) == (False, None)
+        assert not os.path.exists(path)  # torn entry removed
+
+    def test_clear_removes_files(self, tmp_path):
+        cache = DiskResultCache(str(tmp_path))
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(("a",)) == (False, None)
+
+    def test_values_preserve_tuples(self, tmp_path):
+        # Engine payloads rely on tuple-typed fields for byte-identical
+        # parity across backends; the disk round-trip must not degrade them.
+        cache = DiskResultCache(str(tmp_path))
+        payload = ("valid", {"typing": (("n", ("T",)),), "untyped_nodes": ()})
+        cache.put(("k",), payload)
+        cold = DiskResultCache(str(tmp_path))
+        assert cold.get(("k",))[1] == payload
+        assert isinstance(pickle.loads(pickle.dumps(payload)), tuple)
+
+
+class TestEngineCacheDir:
+    def test_results_survive_engine_restart(self, tmp_path):
+        graph, schema = bug_tracker_graph(), bug_tracker_schema()
+        cache_dir = str(tmp_path / "results")
+        with ValidationEngine(cache_dir=cache_dir) as engine:
+            cold = engine.run_batch([(graph, schema)])
+        assert cold.results[0].cached is False
+        # A different engine process-equivalent: answered from disk.
+        with ValidationEngine(cache_dir=cache_dir) as engine:
+            warm = engine.run_batch([(graph, schema)])
+        assert warm.results[0].cached is True
+        assert warm.results[0].payload == cold.results[0].payload
+        assert warm.verdicts() == cold.verdicts()
+
+
+class TestDaemonCacheDir:
+    def test_restarted_daemon_serves_from_persistent_cache(self, tmp_path):
+        import os
+
+        from repro.serve.client import DaemonClient
+        from repro.serve.daemon import start_in_thread
+
+        cache_dir = str(tmp_path / "daemon-cache")
+        schema = SCHEMA_TEXT
+        sock_a = str(tmp_path / "a.sock")
+        with start_in_thread(socket_path=sock_a, cache_dir=cache_dir):
+            with DaemonClient.connect(sock_a) as client:
+                client.load_schema("bug", text=schema)
+                first = client.validate("bug", data_text=GOOD_TURTLE)
+                assert client.status()["cache_dir"] == cache_dir
+        assert first["cached"] is False
+        assert os.listdir(cache_dir)  # the verdict was persisted
+        # A brand-new daemon on the same directory: instant cache hit.
+        sock_b = str(tmp_path / "b.sock")
+        with start_in_thread(socket_path=sock_b, cache_dir=cache_dir):
+            with DaemonClient.connect(sock_b) as client:
+                client.load_schema("bug", text=schema)
+                again = client.validate("bug", data_text=GOOD_TURTLE)
+        assert again["cached"] is True
+        assert again["verdict"] == first["verdict"]
+
+
+class TestCacheDirCLI:
+    def _workspace(self, tmp_path):
+        (tmp_path / "schema.shex").write_text(SCHEMA_TEXT)
+        (tmp_path / "good.ttl").write_text(GOOD_TURTLE)
+        (tmp_path / "jobs.txt").write_text("good.ttl schema.shex\n")
+        return tmp_path
+
+    def test_batch_cache_dir_shared_across_runs(self, tmp_path, capsys):
+        workspace = self._workspace(tmp_path)
+        argv = [
+            "batch",
+            "--manifest", str(workspace / "jobs.txt"),
+            "--cache-dir", str(workspace / "cache"),
+        ]
+        assert containment_main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cache" not in first  # cold run computed the job
+        assert containment_main(argv) == 0  # separate invocation, same dir
+        second = capsys.readouterr().out
+        assert "[cache]" in second
+
+    def test_serve_start_accepts_cache_dir(self, tmp_path):
+        args = serve_parser().parse_args(
+            ["start", "--socket", "/tmp/x.sock", "--cache-dir", str(tmp_path)]
+        )
+        assert args.cache_dir == str(tmp_path)
