@@ -31,6 +31,7 @@ from repro.rbe.parser import parse_rbe
 from repro.rbe.membership import rbe_matches
 from repro.graphs.graph import Edge, Graph
 from repro.graphs.compressed import CompressedGraph, pack_simple_graph
+from repro.graphs.store import Delta, GraphStore, kind_compress
 from repro.rdf.model import IRI, Literal, BlankNode, Triple, RDFGraph
 from repro.rdf.parser import parse_ntriples, parse_turtle_lite
 from repro.rdf.convert import rdf_to_simple_graph
@@ -52,13 +53,16 @@ from repro.engine import (
     EngineReport,
     FixpointStats,
     JobResult,
+    RevalidationOutcome,
     ValidationEngine,
     compile_schema,
     maximal_typing_fixpoint,
+    maximal_typing_store,
+    retype_incremental,
 )
 from repro.serve import AsyncContainmentEngine, AsyncValidationEngine, DaemonClient
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Bag",
@@ -76,6 +80,9 @@ __all__ = [
     "rbe_matches",
     "Edge",
     "Graph",
+    "GraphStore",
+    "Delta",
+    "kind_compress",
     "CompressedGraph",
     "pack_simple_graph",
     "IRI",
@@ -114,9 +121,12 @@ __all__ = [
     "EngineReport",
     "FixpointStats",
     "JobResult",
+    "RevalidationOutcome",
     "ValidationEngine",
     "compile_schema",
     "maximal_typing_fixpoint",
+    "maximal_typing_store",
+    "retype_incremental",
     "AsyncContainmentEngine",
     "AsyncValidationEngine",
     "DaemonClient",

@@ -14,6 +14,9 @@ Usage examples (after ``pip install -e .``)::
     # Validate a whole manifest of (data, schema) jobs in parallel
     shex-containment batch --manifest jobs.txt --backend process --jobs 4
 
+    # Validate, apply a JSON edge delta, and revalidate incrementally
+    shex-containment validate --schema schema.shex --data data.ttl --delta edit.json
+
     # Route the same commands through a running shex-serve daemon, so schema
     # compilation and the result cache persist across invocations
     shex-containment validate --connect /tmp/shex.sock --schema s.shex --data d.ttl
@@ -64,9 +67,71 @@ def _load_graph(path: str, ntriples: bool):
     return rdf_to_simple_graph(rdf, name=path)
 
 
+def _load_delta(path: str):
+    """Parse a ``--delta`` file: JSON ``{"add": [...], "remove": [...]}``.
+
+    Entries are ``[source, label, target]`` triples over the *converted*
+    graph's node identifiers and labels (IRIs, ``literal:...`` forms,
+    shortened predicate names — what ``--show-typing`` prints).
+    """
+    import json as json_module
+
+    from repro.graphs.store import Delta
+
+    try:
+        payload = json_module.loads(_read(path))
+    except ValueError as exc:
+        raise ReproError(f"--delta file {path}: {exc}") from exc
+    return Delta.from_json(payload)
+
+
+def _cmd_validate_delta(args: argparse.Namespace) -> int:
+    """``validate --delta``: validate, apply the edit, revalidate incrementally.
+
+    The base document is validated once (full typing), the delta is applied
+    through a :class:`repro.graphs.store.GraphStore`, and the new version is
+    revalidated from the delta's affected region only — the printed ``mode``
+    says which path answered.  The exit status reflects the *post-delta*
+    verdict.
+    """
+    from repro.engine.validation import ValidationEngine
+    from repro.graphs.store import GraphStore
+
+    schema = _load_schema(args.schema)
+    delta = _load_delta(args.delta)
+    store = GraphStore(_load_graph(args.data, args.ntriples))
+    engine = ValidationEngine()
+    before = engine.revalidate(store, schema)
+    print(
+        f"base     v{before.version}: {before.result.verdict.upper()} "
+        f"({len(before.result.payload['untyped_nodes'])} untyped)"
+    )
+    store.apply(delta)
+    after = engine.revalidate(store, schema)
+    print(
+        f"delta    v{after.version}: {after.result.verdict.upper()} "
+        f"[{after.mode}"
+        + (
+            f": {after.frontier} touched, {after.affected} retyped"
+            if after.mode == "incremental"
+            else ""
+        )
+        + "]"
+    )
+    if after.result.verdict != "valid":
+        for node in after.result.payload["untyped_nodes"]:
+            print(f"  untyped: {node}")
+    if args.show_typing:
+        for node, types in after.result.payload["typing"]:
+            print(f"  {node}: {{{', '.join(types)}}}")
+    return 0 if after.result.verdict == "valid" else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     if args.connect:
         return _cmd_validate_connected(args)
+    if args.delta:
+        return _cmd_validate_delta(args)
     schema = _load_schema(args.schema)
     graph = _load_graph(args.data, args.ntriples)
     report = validate(graph, schema)
@@ -91,6 +156,8 @@ def _cmd_validate_connected(args: argparse.Namespace) -> int:
 
     data_format = "ntriples" if (args.ntriples or args.data.endswith(".nt")) else "turtle"
     with DaemonClient.connect(args.connect, timeout=args.timeout) as client:
+        if args.delta:
+            return _cmd_validate_delta_connected(args, client, data_format)
         answer = client.validate(
             {"text": _read(args.schema), "name": args.schema},
             data_text=_read(args.data),
@@ -108,6 +175,31 @@ def _cmd_validate_connected(args: argparse.Namespace) -> int:
     for node in answer["untyped_nodes"]:
         print(f"  {node}")
     return 1
+
+
+def _cmd_validate_delta_connected(args, client, data_format: str) -> int:
+    """``validate --delta --connect``: the same flow through a daemon's graph store.
+
+    The graph is registered under the data path, revalidated, updated with the
+    delta, and revalidated again — the daemon keeps the typing between the two
+    calls, so the second one is incremental.
+    """
+    delta = _load_delta(args.delta)
+    schema_ref = {"text": _read(args.schema), "name": args.schema}
+    registered = client.update_graph(
+        args.data, data_text=_read(args.data), data_format=data_format
+    )
+    before = client.revalidate(registered["name"], schema_ref)
+    print(
+        f"base     v{before['version']}: {before['verdict'].upper()} "
+        f"({len(before['untyped_nodes'])} untyped) [{before['mode']}]"
+    )
+    client.update_graph(registered["name"], delta=delta.to_json())
+    after = client.revalidate(registered["name"], schema_ref)
+    print(f"delta    v{after['version']}: {after['verdict'].upper()} [{after['mode']}]")
+    for node in after["untyped_nodes"]:
+        print(f"  untyped: {node}")
+    return 0 if after["verdict"] == "valid" else 1
 
 
 def _cmd_contains(args: argparse.Namespace) -> int:
@@ -152,6 +244,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         max_workers=args.jobs,
         cache_size=args.cache_size,
         cache_dir=args.cache_dir,
+        cache_max_mb=args.cache_max_mb,
+        cache_ttl=args.cache_ttl,
     ) as engine:
         report = engine.run_batch(jobs)
     width = max(len(result.label) for result in report.results)
@@ -177,10 +271,13 @@ def _cmd_batch_connected(args: argparse.Namespace, entries) -> int:
         or args.jobs is not None
         or args.cache_size != 1024
         or args.cache_dir is not None
+        or args.cache_max_mb is not None
+        or args.cache_ttl is not None
     ):
         print(
-            "shex-containment: warning: --backend/--jobs/--cache-size/--cache-dir "
-            "are ignored with --connect (the daemon's configuration applies)",
+            "shex-containment: warning: --backend/--jobs/--cache-size/--cache-dir/"
+            "--cache-max-mb/--cache-ttl are ignored with --connect "
+            "(the daemon's configuration applies)",
             file=sys.stderr,
         )
     jobs = batch_jobs_from_manifest(entries)
@@ -228,6 +325,11 @@ def build_parser() -> argparse.ArgumentParser:
     validate_parser.add_argument("--ntriples", action="store_true", help="parse data as N-Triples")
     validate_parser.add_argument("--show-typing", action="store_true", help="print the maximal typing")
     validate_parser.add_argument(
+        "--delta", metavar="FILE", default=None,
+        help="JSON {\"add\": [[s,a,t],...], \"remove\": [...]} edit: validate, "
+        "apply it, and revalidate incrementally",
+    )
+    validate_parser.add_argument(
         "--connect", metavar="ADDR", default=None,
         help="route through a shex-serve daemon (socket path or HOST:PORT)",
     )
@@ -272,6 +374,14 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persist results to DIR (content-fingerprint keyed; shared across runs)",
+    )
+    batch_parser.add_argument(
+        "--cache-max-mb", type=float, default=None, metavar="MB",
+        help="bound the --cache-dir size; oldest entries are evicted past it",
+    )
+    batch_parser.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="expire --cache-dir entries older than this many seconds",
     )
     batch_parser.add_argument(
         "--show-untyped", action="store_true", help="list untyped nodes of invalid graphs"

@@ -23,7 +23,7 @@ certificate-or-unknown answers whose cost grows quickly outside it.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.containment.counterexample import CounterexampleSearch, find_counterexample

@@ -28,7 +28,7 @@ paper).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, Tuple
 
 from repro.core.intervals import ONE, OPT, STAR
 from repro.errors import SchemaClassError

@@ -9,12 +9,12 @@ Since embeddings between shape graphs are decided in polynomial time
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Tuple, Union
 
 from repro.embedding.simulation import EmbeddingResult, maximal_simulation
 from repro.errors import SchemaClassError
 from repro.graphs.graph import Graph
-from repro.graphs.shape import detshex0_minus_violations, is_detshex0_minus_graph
+from repro.graphs.shape import detshex0_minus_violations
 from repro.schema.convert import schema_to_shape_graph
 from repro.schema.shex import ShExSchema
 

@@ -15,7 +15,7 @@ Embeddings are the engine of the containment results: ``G ≼ H`` implies
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Optional, Set, Tuple
+from typing import Dict, Hashable, Set, Tuple
 
 from repro.embedding.witness import Witness, find_witness
 from repro.graphs.graph import Graph

@@ -24,11 +24,11 @@ Two engines are provided:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.core.intervals import Interval, ONE, OPT, PLUS, STAR, ZERO, interval_sum
+from repro.core.intervals import Interval, interval_sum
 from repro.errors import ReproError
-from repro.graphs.graph import Edge, Graph
+from repro.graphs.graph import Edge
 from repro.util.assignment import feasible_assignment
 
 NodeId = Hashable

@@ -41,10 +41,20 @@ from repro.engine.executors import (
     ThreadExecutor,
     get_executor,
 )
-from repro.engine.fixpoint import FixpointStats, maximal_typing_fixpoint
+from repro.engine.fixpoint import (
+    FixpointStats,
+    affected_region,
+    maximal_typing_fixpoint,
+    maximal_typing_store,
+    retype_incremental,
+)
 from repro.engine.jobs import ContainmentJob, EngineReport, JobResult, ValidationJob
 from repro.engine.manifest import ManifestEntry, load_jobs, load_manifest, parse_manifest
-from repro.engine.validation import ValidationEngine, maximal_typing_chunked
+from repro.engine.validation import (
+    RevalidationOutcome,
+    ValidationEngine,
+    maximal_typing_chunked,
+)
 
 __all__ = [
     "BACKENDS",
@@ -60,10 +70,12 @@ __all__ = [
     "LRUCache",
     "ManifestEntry",
     "ProcessExecutor",
+    "RevalidationOutcome",
     "SerialExecutor",
     "ThreadExecutor",
     "ValidationEngine",
     "ValidationJob",
+    "affected_region",
     "compile_schema",
     "get_executor",
     "graph_fingerprint",
@@ -71,6 +83,8 @@ __all__ = [
     "load_manifest",
     "maximal_typing_chunked",
     "maximal_typing_fixpoint",
+    "maximal_typing_store",
     "parse_manifest",
+    "retype_incremental",
     "schema_fingerprint",
 ]

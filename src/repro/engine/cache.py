@@ -22,9 +22,10 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, Tuple
+from typing import Any, Hashable, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -123,8 +124,18 @@ class DiskResultCache:
 
     * a bounded in-memory LRU front (``memory_size`` entries) absorbing the
       hot keys of the current process;
-    * the directory, unbounded, shared by every process pointed at it and
-      surviving restarts.
+    * the directory, shared by every process pointed at it and surviving
+      restarts, kept in check by two optional hygiene bounds.
+
+    ``max_bytes`` caps the directory's total persisted size: when a write
+    pushes past the bound, the oldest entries (by modification time) are
+    evicted until it fits again.  ``ttl_seconds`` expires entries by age: an
+    expired file is deleted on lookup (counted as a miss) and swept at
+    start-up.  Both are *space hygiene*, not invalidation — keys are content
+    fingerprints, so entries never go semantically stale; the in-memory front
+    is unaffected.  Configure them with ``cache_max_mb`` / ``cache_ttl`` on
+    the engines and the daemon, or ``--cache-max-mb`` / ``--cache-ttl`` on the
+    ``shex-containment batch`` and ``shex-serve start`` CLIs.
 
     Entries are written atomically (temp file + ``os.replace``), so
     concurrent writers — parallel CLI runs, a daemon plus a batch job — can
@@ -137,36 +148,128 @@ class DiskResultCache:
 
     _SUFFIX = ".result.pkl"
 
-    def __init__(self, directory: str, memory_size: int = 1024):
+    def __init__(
+        self,
+        directory: str,
+        memory_size: int = 1024,
+        max_bytes: Optional[int] = None,
+        ttl_seconds: Optional[float] = None,
+    ):
         self.directory = directory
+        self.max_bytes = max_bytes
+        self.ttl_seconds = ttl_seconds
         os.makedirs(directory, exist_ok=True)
         self._memory = LRUCache(memory_size)
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
-        # Entry count, maintained incrementally: stats() runs on every batch
-        # report and daemon status request, so it must not rescan the
-        # directory.  The count is exact for this process and approximate
-        # when other processes write the same directory concurrently.
-        self._disk_entries = self._scan_disk()
+        self._evictions_disk = 0
+        if ttl_seconds is not None:
+            self._sweep_expired()
+        # Entry and byte counts, maintained incrementally: stats() runs on
+        # every batch report and daemon status request, so it must not rescan
+        # the directory.  The counts are exact for this process and
+        # approximate when other processes write the same directory
+        # concurrently.
+        self._disk_entries, self._disk_bytes = self._scan_disk()
+        if self.max_bytes is not None:
+            self._evict_over_budget()
 
-    def _scan_disk(self) -> int:
-        return sum(
-            1 for name in os.listdir(self.directory) if name.endswith(self._SUFFIX)
-        )
+    def _entry_paths(self):
+        for name in os.listdir(self.directory):
+            if name.endswith(self._SUFFIX):
+                yield os.path.join(self.directory, name)
+
+    def _scan_disk(self) -> Tuple[int, int]:
+        entries = 0
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += os.stat(path).st_size
+            except OSError:
+                continue
+            entries += 1
+        return entries, total
+
+    def _unlink_entry(self, path: str) -> None:
+        """Delete one persisted entry, keeping the incremental counts honest."""
+        try:
+            size = os.stat(path).st_size
+            os.unlink(path)
+        except OSError:
+            return
+        with self._lock:
+            self._disk_entries = max(self._disk_entries - 1, 0)
+            self._disk_bytes = max(self._disk_bytes - size, 0)
+
+    def _expired(self, path: str) -> bool:
+        if self.ttl_seconds is None:
+            return False
+        try:
+            return time.time() - os.stat(path).st_mtime > self.ttl_seconds
+        except OSError:
+            return False
+
+    def _sweep_expired(self) -> int:
+        """Delete every entry older than the TTL; returns how many went."""
+        swept = 0
+        for path in list(self._entry_paths()):
+            if self._expired(path):
+                try:
+                    os.unlink(path)
+                    swept += 1
+                except OSError:
+                    pass
+        return swept
+
+    def _evict_over_budget(self) -> int:
+        """Evict oldest-first until the directory fits ``max_bytes``."""
+        if self.max_bytes is None:
+            return 0
+        with self._lock:
+            over = self._disk_bytes > self.max_bytes
+        if not over:
+            return 0
+        aged = []
+        for path in self._entry_paths():
+            try:
+                status = os.stat(path)
+            except OSError:
+                continue
+            aged.append((status.st_mtime, status.st_size, path))
+        aged.sort()
+        evicted = 0
+        for _mtime, _size, path in aged:
+            with self._lock:
+                if self._disk_bytes <= self.max_bytes:
+                    break
+            self._unlink_entry(path)
+            evicted += 1
+        with self._lock:
+            self._evictions_disk += evicted
+        return evicted
 
     def _path(self, key: Hashable) -> str:
         digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
         return os.path.join(self.directory, digest + self._SUFFIX)
 
     def get(self, key: Hashable) -> Tuple[bool, Any]:
-        """``(found, value)``; disk hits are promoted into the memory front."""
+        """``(found, value)``; disk hits are promoted into the memory front.
+
+        With a TTL configured, an entry past its age is deleted and reported
+        as a miss instead of being served.
+        """
         found, value = self._memory.get(key)
         if found:
             with self._lock:
                 self._hits += 1
             return True, value
         path = self._path(key)
+        if self._expired(path):
+            self._unlink_entry(path)
+            with self._lock:
+                self._misses += 1
+            return False, None
         try:
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
@@ -176,12 +279,7 @@ class DiskResultCache:
             return False, None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
             # A torn or stale entry: drop it and recompute.
-            try:
-                os.unlink(path)
-                with self._lock:
-                    self._disk_entries = max(self._disk_entries - 1, 0)
-            except OSError:
-                pass
+            self._unlink_entry(path)
             with self._lock:
                 self._misses += 1
             return False, None
@@ -206,12 +304,19 @@ class DiskResultCache:
         try:
             with handle:
                 pickle.dump(value, handle)
-            existed = os.path.exists(path)
+            try:
+                previous = os.stat(path).st_size
+            except OSError:
+                previous = None
+            written = os.stat(handle.name).st_size
             os.replace(handle.name, path)
             persisted = True
-            if not existed:
-                with self._lock:
+            with self._lock:
+                if previous is None:
                     self._disk_entries += 1
+                    self._disk_bytes += written
+                else:
+                    self._disk_bytes += written - previous
         except (OSError, pickle.PicklingError, TypeError):
             pass
         finally:
@@ -220,6 +325,8 @@ class DiskResultCache:
                     os.unlink(handle.name)
                 except OSError:
                     pass
+        if persisted and self.max_bytes is not None:
+            self._evict_over_budget()
 
     def clear(self) -> None:
         """Drop the memory front and delete every persisted entry (and any
@@ -233,11 +340,17 @@ class DiskResultCache:
                     except OSError:
                         pass
             self._disk_entries = 0
+            self._disk_bytes = 0
 
     def __len__(self) -> int:
         """The number of entries persisted on disk (exact: rescans the
         directory; use ``stats().size`` for the cheap tracked count)."""
-        return self._scan_disk()
+        return self._scan_disk()[0]
+
+    def disk_bytes(self) -> int:
+        """The tracked total size of persisted entries, in bytes."""
+        with self._lock:
+            return self._disk_bytes
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._memory or os.path.exists(self._path(key))
@@ -254,7 +367,7 @@ class DiskResultCache:
             return CacheStats(
                 hits=self._hits,
                 misses=self._misses,
-                evictions=memory.evictions,
+                evictions=memory.evictions + self._evictions_disk,
                 size=self._disk_entries,
                 max_size=memory.max_size,
             )

@@ -21,6 +21,9 @@ as the sequential worklist because removals are monotone).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.engine.base import BatchEngine
@@ -31,8 +34,14 @@ from repro.engine.compiled import (
     schema_fingerprint,
 )
 from repro.engine.executors import SerialExecutor, chunked
-from repro.engine.jobs import ValidationJob
+from repro.engine.fixpoint import (
+    FixpointStats,
+    maximal_typing_store,
+    retype_incremental,
+)
+from repro.engine.jobs import JobResult, Stopwatch, ValidationJob
 from repro.graphs.graph import Graph
+from repro.graphs.store import GraphStore
 from repro.schema.shex import ShExSchema
 from repro.schema.typing import Typing, predecessor_map, satisfies_type
 from repro.schema.validation import (
@@ -44,30 +53,58 @@ from repro.schema.validation import (
 JobLike = Union[ValidationJob, Tuple[Graph, ShExSchema]]
 
 
-def _validation_payload(job: ValidationJob, compiled: CompiledSchema) -> Tuple[str, Dict]:
-    """Run one job to a deterministic (verdict, payload) pair."""
-    if job.compressed:
-        typing = maximal_typing_compressed(job.graph, job.schema, compiled=compiled)
-        untyped = tuple(
-            sorted(
-                (node for node in job.graph.nodes if not typing.types_of(node)),
-                key=repr,
-            )
+def _payload_from_typing(
+    graph: Graph, typing: Typing, compressed: bool
+) -> Tuple[str, Dict]:
+    """The deterministic (verdict, payload) pair for a computed typing.
+
+    Shared by the batch path and the store-revalidation path, so both produce
+    byte-identical cache entries for the same (graph, schema, semantics).
+    """
+    untyped = tuple(
+        sorted(
+            (node for node in graph.nodes if not typing.types_of(node)),
+            key=repr,
         )
-    else:
-        report = validate(job.graph, job.schema, compiled=compiled)
-        typing = report.typing
-        untyped = report.untyped_nodes
+    )
     verdict = "valid" if not untyped else "invalid"
     payload = {
         "untyped_nodes": tuple(repr(node) for node in untyped),
         "typing": tuple(
             (repr(node), tuple(sorted(typing.types_of(node))))
-            for node in sorted(job.graph.nodes, key=repr)
+            for node in sorted(graph.nodes, key=repr)
         ),
-        "compressed": job.compressed,
+        "compressed": compressed,
     }
     return verdict, payload
+
+
+def _validation_payload(job: ValidationJob, compiled: CompiledSchema) -> Tuple[str, Dict]:
+    """Run one job to a deterministic (verdict, payload) pair."""
+    if job.compressed:
+        typing = maximal_typing_compressed(job.graph, job.schema, compiled=compiled)
+    else:
+        typing = validate(job.graph, job.schema, compiled=compiled).typing
+    return _payload_from_typing(job.graph, typing, job.compressed)
+
+
+@dataclass(frozen=True)
+class RevalidationOutcome:
+    """The outcome of one store revalidation.
+
+    ``result`` is the usual deterministic :class:`repro.engine.jobs.JobResult`
+    (cache-compatible with the batch path); the extra fields describe *how*
+    the typing was obtained: ``version`` is the store version validated,
+    ``mode`` one of ``cached`` / ``unchanged`` / ``incremental`` / ``full`` /
+    ``kinds``, and for incremental runs ``frontier`` / ``affected`` are the
+    delta-touched node count and the size of the retyped region.
+    """
+
+    result: JobResult
+    version: int
+    mode: str
+    frontier: int = 0
+    affected: int = 0
 
 
 def _process_worker(job: ValidationJob) -> Tuple[str, Dict]:
@@ -95,15 +132,36 @@ class ValidationEngine(BatchEngine):
 
     kind = "validation"
 
+    #: How many (schema, store) typing snapshots to retain for incremental
+    #: revalidation; least-recently refreshed snapshots are dropped first.
+    TYPING_SNAPSHOTS = 64
+
     def __init__(
         self,
         backend: str = "serial",
         max_workers: Optional[int] = None,
         cache_size: int = 1024,
         cache_dir: Optional[str] = None,
+        cache_max_mb: Optional[float] = None,
+        cache_ttl: Optional[float] = None,
     ):
-        super().__init__(backend, max_workers, cache_size, cache_dir)
+        super().__init__(
+            backend, max_workers, cache_size, cache_dir, cache_max_mb, cache_ttl
+        )
         self._compiled: Dict[str, CompiledSchema] = {}
+        # (schema fingerprint, store id, compressed) -> (version, Typing):
+        # the prior fixpoints that seed incremental revalidation.
+        self._typings: "OrderedDict[Tuple, Tuple[int, Typing]]" = OrderedDict()
+        # schema fingerprint -> persistent (type, signature) -> verdict memo;
+        # a verdict is a pure function of its key, so carrying the memo
+        # across revalidations of the same schema is sound and makes repeated
+        # small-delta checks answer almost entirely from memory.
+        self._signature_memos: Dict[str, Dict[Tuple, bool]] = {}
+        # The short-held lock guards the bookkeeping dicts; the per-token
+        # locks serialise computation per (schema, store, semantics) so
+        # revalidations of unrelated stores run concurrently.
+        self._revalidate_lock = threading.Lock()
+        self._token_locks: Dict[Tuple, threading.Lock] = {}
 
     # ------------------------------------------------------------------ #
     # Compilation
@@ -136,6 +194,98 @@ class ValidationEngine(BatchEngine):
             ValidationJob(graph=graph, schema=compiled.schema, compressed=compressed, label=label)
         )
         return len(self._pending) - 1
+
+    # ------------------------------------------------------------------ #
+    # Store revalidation (incremental path)
+    # ------------------------------------------------------------------ #
+    def revalidate(
+        self,
+        store: GraphStore,
+        schema: Union[ShExSchema, CompiledSchema],
+        compressed: bool = False,
+        label: str = "",
+    ) -> RevalidationOutcome:
+        """Validate the current version of a :class:`repro.graphs.store.GraphStore`.
+
+        The engine keeps, per (schema, store), the typing of the last version
+        it validated.  A later call diffs the store against that version and
+        re-derives only the delta's affected region
+        (:func:`repro.engine.fixpoint.retype_incremental`); first encounters
+        run a full typing through the store's automatic kind-compression view
+        (:func:`repro.engine.fixpoint.maximal_typing_store`).  Results are
+        also pushed through the regular fingerprint-keyed result cache, so a
+        store whose content matches an earlier job — any store, any version —
+        is answered without computing at all (``mode="cached"``).
+
+        Revalidation always computes in the calling thread (a typing snapshot
+        cannot usefully cross an executor boundary); the configured backend
+        still applies to ``run_batch``.  Concurrent revalidations of the
+        *same* (schema, store, semantics) serialise on a per-token lock;
+        unrelated stores and schemas proceed in parallel.  The caller must
+        not mutate ``store`` while its revalidation runs (the daemon holds a
+        per-store lock across ``update_graph``/``revalidate`` for this).
+        """
+        compiled = self.compile(schema)
+        token = (compiled.fingerprint, store.store_id, compressed)
+        with self._revalidate_lock:
+            token_lock = self._token_locks.setdefault(token, threading.Lock())
+            if len(self._token_locks) > 4 * self.TYPING_SNAPSHOTS:
+                # Locks are tiny; prune strays for abandoned stores.
+                self._token_locks = {token: token_lock}
+        with token_lock:
+            key = ("validation", compiled.fingerprint, store.fingerprint(), compressed)
+            found, value = self.cache.get(key)
+            if found:
+                verdict, payload = value
+                return RevalidationOutcome(
+                    result=JobResult(
+                        index=0, kind=self.kind, label=label, key=key,
+                        verdict=verdict, payload=payload, seconds=0.0, cached=True,
+                    ),
+                    version=store.version,
+                    mode="cached",
+                )
+            with self._revalidate_lock:
+                snapshot = self._typings.get(token)
+                memo = self._signature_memos.setdefault(compiled.fingerprint, {})
+                if len(memo) > 65536:  # a runaway-signature backstop, not an LRU
+                    memo.clear()
+            stats = FixpointStats()
+            with Stopwatch() as clock:
+                if snapshot is not None and snapshot[0] <= store.version:
+                    version, prior = snapshot
+                    if version == store.version:
+                        typing = prior
+                        stats.mode = "unchanged"
+                    else:
+                        typing = retype_incremental(
+                            store, prior, store.diff(version, store.version),
+                            compiled=compiled, compressed=compressed, stats=stats,
+                            signature_memo=memo,
+                        )
+                else:
+                    typing = maximal_typing_store(
+                        store, compiled=compiled, compressed=compressed, stats=stats,
+                        signature_memo=memo,
+                    )
+                verdict, payload = _payload_from_typing(store.graph, typing, compressed)
+            with self._revalidate_lock:
+                self._typings[token] = (store.version, typing)
+                self._typings.move_to_end(token)
+                while len(self._typings) > self.TYPING_SNAPSHOTS:
+                    self._typings.popitem(last=False)
+            self.cache.put(key, (verdict, payload))
+            return RevalidationOutcome(
+                result=JobResult(
+                    index=0, kind=self.kind, label=label, key=key,
+                    verdict=verdict, payload=payload, seconds=clock.seconds,
+                    cached=False,
+                ),
+                version=store.version,
+                mode=stats.mode,
+                frontier=stats.frontier,
+                affected=stats.affected,
+            )
 
     # ------------------------------------------------------------------ #
     # BatchEngine hooks

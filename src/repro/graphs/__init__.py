@@ -11,10 +11,22 @@ from repro.graphs.shape import (
 )
 from repro.graphs.compressed import CompressedGraph, pack_simple_graph
 from repro.graphs.scc import condensation_order, strongly_connected_components
+from repro.graphs.store import (
+    Delta,
+    GraphStore,
+    KindView,
+    kind_compress,
+    kind_partition,
+)
 
 __all__ = [
+    "Delta",
     "Edge",
     "Graph",
+    "GraphStore",
+    "KindView",
+    "kind_compress",
+    "kind_partition",
     "condensation_order",
     "strongly_connected_components",
     "simple_graph_from_triples",

@@ -13,7 +13,7 @@ this blow-up.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
 from repro.core.intervals import Interval, ONE
 from repro.errors import GraphError

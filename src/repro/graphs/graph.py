@@ -20,20 +20,8 @@ of a node, grouped by label.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import (
-    Dict,
-    Hashable,
-    Iterable,
-    Iterator,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Set,
-    Tuple,
-)
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.intervals import Interval, ONE
 from repro.errors import GraphError
@@ -69,8 +57,11 @@ class Graph:
         self.name = name
         self._nodes: Set[NodeId] = set()
         self._edges: Dict[int, Edge] = {}
-        self._out: Dict[NodeId, List[int]] = {}
-        self._in: Dict[NodeId, List[int]] = {}
+        # Adjacency is an indexed set per node — a dict keyed by edge id —
+        # so edge removal is O(1) instead of a list scan, while iteration
+        # stays deterministic (insertion order).
+        self._out: Dict[NodeId, Dict[int, None]] = {}
+        self._in: Dict[NodeId, Dict[int, None]] = {}
         self._next_edge_id = 0
 
     # ------------------------------------------------------------------ #
@@ -80,8 +71,8 @@ class Graph:
         """Add a node (idempotent) and return it."""
         if node not in self._nodes:
             self._nodes.add(node)
-            self._out[node] = []
-            self._in[node] = []
+            self._out[node] = {}
+            self._in[node] = {}
         return node
 
     def add_nodes(self, nodes: Iterable[NodeId]) -> None:
@@ -105,8 +96,8 @@ class Graph:
         self.add_node(target)
         edge = Edge(self._next_edge_id, source, target, label, interval)
         self._edges[edge.edge_id] = edge
-        self._out[source].append(edge.edge_id)
-        self._in[target].append(edge.edge_id)
+        self._out[source][edge.edge_id] = None
+        self._in[target][edge.edge_id] = None
         self._next_edge_id += 1
         return edge
 
@@ -116,12 +107,19 @@ class Graph:
             self.add_edge(source, label, target)
 
     def remove_edge(self, edge: Edge) -> None:
-        """Remove an edge previously returned by :meth:`add_edge`."""
-        if edge.edge_id not in self._edges:
+        """Remove an edge previously returned by :meth:`add_edge`.
+
+        The stored edge must be the one passed: an :class:`Edge` from a
+        *different* graph whose id happens to coincide raises
+        :class:`repro.errors.GraphError` instead of silently deleting an
+        unrelated edge.
+        """
+        stored = self._edges.get(edge.edge_id)
+        if stored is None or stored != edge:
             raise GraphError(f"edge {edge} is not part of this graph")
         del self._edges[edge.edge_id]
-        self._out[edge.source].remove(edge.edge_id)
-        self._in[edge.target].remove(edge.edge_id)
+        del self._out[edge.source][edge.edge_id]
+        del self._in[edge.target][edge.edge_id]
 
     def remove_node(self, node: NodeId) -> None:
         """Remove a node together with all its incident edges."""

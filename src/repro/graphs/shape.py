@@ -20,11 +20,11 @@ A reference (incoming edge) ``e`` to a type is *\\*-closed* when its interval is
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Set
+from typing import Dict, Hashable, List
 
-from repro.core.intervals import Interval, OPT, PLUS, STAR
+from repro.core.intervals import OPT, PLUS, STAR
 from repro.errors import GraphError
-from repro.graphs.graph import Edge, Graph
+from repro.graphs.graph import Graph
 
 NodeId = Hashable
 

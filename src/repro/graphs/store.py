@@ -1,0 +1,493 @@
+"""A versioned graph store: mutable graphs with a delta log and change-aware views.
+
+The maximal-typing semantics is a greatest fixpoint, so when a graph changes by
+a small edge delta only the typings of nodes that can *reach* the touched edges
+can change (a node's types depend solely on its out-reachable subgraph).  Every
+layer that wants to exploit this — the incremental fixpoint
+(:func:`repro.engine.fixpoint.retype_incremental`), the engines' revalidation
+path, the daemon's ``update_graph``/``revalidate`` ops — needs the same
+substrate: a graph that knows *what changed between which versions*.
+
+:class:`GraphStore` provides exactly that:
+
+* it wraps a mutable :class:`repro.graphs.graph.Graph` (taking ownership: all
+  mutation must go through the store);
+* every mutation is a :class:`Delta` — a batch of edge insertions and
+  removals — and bumps a monotonically increasing integer *version*;
+* the delta log makes ``diff(v1, v2)`` exact for any two recorded versions,
+  in either direction (backward diffs are inverses);
+* content fingerprints (:func:`repro.engine.compiled.graph_fingerprint`) are
+  memoised per version, so engines can key result caches by
+  ``(schema fingerprint, graph version)`` without rehashing unchanged graphs;
+* node and label identifiers are interned into small integer ids
+  (:meth:`GraphStore.node_id` / :meth:`GraphStore.label_id`), the currency of
+  the kind-compression signatures below;
+* :meth:`GraphStore.typing_view` exposes an optional *kind-compression* view
+  (the Section 6.1 quotient by neighbourhood signature), chosen automatically
+  by a size heuristic: graphs with many structurally identical nodes are typed
+  once per kind on the compressed quotient instead of once per node.
+
+Kind compression here is the *counting* refinement of the neighbourhood
+signatures the fixpoint kernel already memoises: two nodes share a kind when
+they have the same multiset of ``(label, kind of target)`` over their out-edges,
+iterated to the coarsest fixed partition.  Kind-mates then provably receive the
+same types under the plain semantics, and the quotient — one node per kind,
+edge multiplicities as counts — is a compressed graph whose Section 6.1 typing
+restricted to kinds equals the per-node typing (asserted by the delta-parity
+suite).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.core.intervals import Interval, ONE
+from repro.errors import GraphError
+from repro.graphs.compressed import CompressedGraph
+from repro.graphs.graph import Edge, Graph, Label
+
+NodeId = Hashable
+
+#: One delta edge: ``(source, label, target, occurrence interval)``.
+DeltaEdge = Tuple[NodeId, Label, NodeId, Interval]
+
+#: Size heuristic defaults for the automatic kind-compression view: graphs
+#: smaller than ``KIND_COMPRESS_MIN_NODES`` are never compressed, and the
+#: quotient must shrink the node count by at least ``KIND_COMPRESS_MIN_RATIO``
+#: for the view to be preferred over plain per-node typing.
+KIND_COMPRESS_MIN_NODES = 64
+KIND_COMPRESS_MIN_RATIO = 4.0
+
+
+def _normalise_edges(entries: Iterable) -> Tuple[DeltaEdge, ...]:
+    """Coerce ``(s, a, t)`` / ``(s, a, t, occur)`` entries into delta edges."""
+    edges: List[DeltaEdge] = []
+    for entry in entries:
+        if len(entry) == 3:
+            source, label, target = entry
+            occur = ONE
+        elif len(entry) == 4:
+            source, label, target, occur = entry
+            occur = ONE if occur is None else Interval.of(occur)
+        else:
+            raise GraphError(
+                f"delta edge must be (source, label, target[, occur]), got {entry!r}"
+            )
+        edges.append((source, label, target, occur))
+    return tuple(edges)
+
+
+@dataclass(frozen=True)
+class Delta:
+    """A batch of edge changes: insertions in ``added``, deletions in ``removed``.
+
+    Deltas are *descriptions*, not references: edges are named by their
+    ``(source, label, target, occur)`` content, so a delta built on one side of
+    a socket applies on the other.  Build them with :meth:`Delta.of` (which
+    accepts 3-tuples defaulting the interval to ``1``) and compose them with
+    :meth:`then`; :meth:`inverse` swaps the two sides, which is what makes
+    backward :meth:`GraphStore.diff` exact.
+    """
+
+    added: Tuple[DeltaEdge, ...] = ()
+    removed: Tuple[DeltaEdge, ...] = ()
+
+    @classmethod
+    def of(cls, add: Iterable = (), remove: Iterable = ()) -> "Delta":
+        """Build a delta from ``(source, label, target[, occur])`` entries."""
+        return cls(added=_normalise_edges(add), removed=_normalise_edges(remove))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.removed)
+
+    def inverse(self) -> "Delta":
+        """The delta undoing this one (insertions and deletions swapped)."""
+        return Delta(added=self.removed, removed=self.added)
+
+    def then(self, other: "Delta") -> "Delta":
+        """Sequential composition: this delta followed by ``other``.
+
+        A removal in ``other`` of an edge this delta *added* cancels against
+        it (multiset semantics, exact content match), so an edge added and
+        later removed within a span contributes nothing — the composition of
+        a store's log entries is always applicable to the span's starting
+        content.  (Store log entries carry *resolved* removal intervals, which
+        is what makes the exact match complete; see :meth:`GraphStore.apply`.)
+        """
+        pending: Dict[DeltaEdge, int] = {}
+        for entry in self.added:
+            pending[entry] = pending.get(entry, 0) + 1
+        surviving_removals: List[DeltaEdge] = []
+        for entry in other.removed:
+            count = pending.get(entry, 0)
+            if count:
+                pending[entry] = count - 1
+            else:
+                surviving_removals.append(entry)
+        surviving_added: List[DeltaEdge] = []
+        for entry in self.added:
+            count = pending.get(entry, 0)
+            if count:
+                pending[entry] = count - 1
+                surviving_added.append(entry)
+        return Delta(
+            added=tuple(surviving_added) + other.added,
+            removed=self.removed + tuple(surviving_removals),
+        )
+
+    def touched_nodes(self) -> Set[NodeId]:
+        """Every node occurring in the delta (sources and targets, both sides)."""
+        nodes: Set[NodeId] = set()
+        for source, _label, target, _occur in self.added + self.removed:
+            nodes.add(source)
+            nodes.add(target)
+        return nodes
+
+    def touched_sources(self) -> Set[NodeId]:
+        """The sources of changed edges — the nodes whose neighbourhood changed."""
+        return {source for source, _l, _t, _o in self.added + self.removed}
+
+    # ------------------------------------------------------------------ #
+    # Wire format (docs/protocol.md, the CLI --delta files)
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> Dict[str, List[List[object]]]:
+        """Render as the protocol's ``{"add": [...], "remove": [...]}`` object.
+
+        Each entry is ``[source, label, target]``, or
+        ``[source, label, target, k]`` for a singleton interval ``[k;k]``;
+        non-singleton intervals use their string form (``"[1;3]"``, ``"*"``).
+        """
+
+        def entry(edge: DeltaEdge) -> List[object]:
+            source, label, target, occur = edge
+            if occur == ONE:
+                return [source, label, target]
+            if occur.is_singleton:
+                return [source, label, target, occur.lower]
+            return [source, label, target, str(occur)]
+
+        return {
+            "add": [entry(edge) for edge in self.added],
+            "remove": [entry(edge) for edge in self.removed],
+        }
+
+    @classmethod
+    def from_json(cls, payload) -> "Delta":
+        """Parse the ``{"add": [...], "remove": [...]}`` wire object."""
+        if not isinstance(payload, dict):
+            raise GraphError("a delta must be an object with 'add'/'remove' lists")
+        for field in ("add", "remove"):
+            if field in payload and not isinstance(payload[field], list):
+                raise GraphError(f"delta field {field!r} must be a list")
+        unknown = set(payload) - {"add", "remove"}
+        if unknown:
+            raise GraphError(f"unknown delta field(s): {sorted(unknown)}")
+        try:
+            return cls.of(
+                add=payload.get("add", ()), remove=payload.get("remove", ())
+            )
+        except (TypeError, ValueError) as exc:
+            raise GraphError(f"malformed delta entry: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class KindView:
+    """The kind-compression view of a graph at one store version.
+
+    ``compressed`` is the quotient: one node per kind (small integer ids), one
+    edge per ``(kind, label, kind)`` with the member-wise edge count as its
+    singleton multiplicity.  ``kind_of`` maps every original node to its kind;
+    ``members`` lists each kind's nodes.  Typing the quotient under the
+    compressed semantics and reading each node's types off its kind equals the
+    per-node plain typing.
+    """
+
+    compressed: CompressedGraph
+    kind_of: Dict[NodeId, int]
+    members: Dict[int, Tuple[NodeId, ...]]
+
+    @property
+    def kind_count(self) -> int:
+        return len(self.members)
+
+
+def kind_partition(graph: Graph) -> Dict[NodeId, int]:
+    """The coarsest counting-bisimulation partition of ``graph``'s nodes.
+
+    Two nodes share a kind iff they have identical *multisets* of
+    ``(label, kind of target)`` over their out-edges — the neighbourhood
+    signature the fixpoint kernel memoises, iterated to a fixed point.  The
+    refinement starts from one block and splits by signature until stable
+    (at most ``|N|`` rounds; each round is one pass over the edges).
+    """
+    order = sorted(graph.nodes, key=repr)
+    kind_of: Dict[NodeId, int] = {node: 0 for node in order}
+    while True:
+        fresh: Dict[Tuple, int] = {}
+        next_kind: Dict[NodeId, int] = {}
+        # Deterministic kind numbering: first appearance in repr order.
+        for node in order:
+            counts: Dict[Tuple[Label, int], int] = {}
+            for edge in graph.out_edges(node):
+                key = (edge.label, kind_of[edge.target])
+                counts[key] = counts.get(key, 0) + 1
+            signature = (kind_of[node], tuple(sorted(counts.items())))
+            kind = fresh.get(signature)
+            if kind is None:
+                kind = len(fresh)
+                fresh[signature] = kind
+            next_kind[node] = kind
+        if next_kind == kind_of:
+            return kind_of
+        kind_of = next_kind
+
+
+def kind_compress(graph: Graph, name: str = "") -> KindView:
+    """Quotient ``graph`` by :func:`kind_partition` into a compressed graph.
+
+    Edge multiplicities of the quotient are the per-member counts: kind ``K``
+    has an edge ``a[k]`` to kind ``K'`` when every member of ``K`` has exactly
+    ``k`` out-edges labelled ``a`` into members of ``K'`` (the partition
+    guarantees the count is member-independent).  Occurrence intervals of the
+    input are ignored — the view serves the *plain* semantics, where each edge
+    counts once.
+    """
+    kind_of = kind_partition(graph)
+    members: Dict[int, List[NodeId]] = {}
+    for node, kind in kind_of.items():
+        members.setdefault(kind, []).append(node)
+    quotient = CompressedGraph(name or f"kinds({graph.name})")
+    quotient.add_nodes(members)
+    for kind, nodes in members.items():
+        representative = min(nodes, key=repr)
+        counts: Dict[Tuple[Label, int], int] = {}
+        for edge in graph.out_edges(representative):
+            key = (edge.label, kind_of[edge.target])
+            counts[key] = counts.get(key, 0) + 1
+        for (label, target_kind), count in sorted(counts.items(), key=repr):
+            quotient.add_edge(kind, label, target_kind, Interval.singleton(count))
+    return KindView(
+        compressed=quotient,
+        kind_of=kind_of,
+        members={kind: tuple(sorted(nodes, key=repr)) for kind, nodes in members.items()},
+    )
+
+
+_STORE_IDS = itertools.count(1)
+
+
+class GraphStore:
+    """A versioned wrapper around a mutable graph, with a delta log.
+
+    The store takes ownership of ``graph``: mutate only through
+    :meth:`apply` / :meth:`add_edge` / :meth:`remove_edge` so the version
+    counter and the log stay truthful.  Versions start at 0 (the wrapped
+    graph's initial state) and increase by one per applied delta.
+
+    ``store_id`` is a process-unique small integer — engines use it (together
+    with the version) to key *typing snapshots*, which unlike result-cache
+    entries are identity-bound: a typing belongs to one store's timeline.
+    """
+
+    def __init__(self, graph: Optional[Graph] = None, name: str = ""):
+        self._graph = graph if graph is not None else Graph(name)
+        if name:
+            self._graph.name = name
+        self.store_id: int = next(_STORE_IDS)
+        self._version = 0
+        self._log: List[Delta] = []  # _log[i] transforms version i into i+1
+        self._fingerprint: Optional[Tuple[int, str]] = None
+        self._view: Optional[Tuple[int, Optional[KindView]]] = None
+        self._node_ids: Dict[NodeId, int] = {}
+        self._label_ids: Dict[Label, int] = {}
+        for node in self._graph.nodes:
+            self.node_id(node)
+        for label in sorted(self._graph.labels()):
+            self.label_id(label)
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> Graph:
+        """The current graph (read-only by convention: mutate via the store)."""
+        return self._graph
+
+    @property
+    def name(self) -> str:
+        return self._graph.name
+
+    @property
+    def version(self) -> int:
+        """The monotonically increasing version of the wrapped graph."""
+        return self._version
+
+    def node_id(self, node: NodeId) -> int:
+        """The interned small-integer id of ``node`` (allocated on first use)."""
+        interned = self._node_ids.get(node)
+        if interned is None:
+            interned = len(self._node_ids)
+            self._node_ids[node] = interned
+        return interned
+
+    def label_id(self, label: Label) -> int:
+        """The interned small-integer id of ``label`` (allocated on first use)."""
+        interned = self._label_ids.get(label)
+        if interned is None:
+            interned = len(self._label_ids)
+            self._label_ids[label] = interned
+        return interned
+
+    def fingerprint(self) -> str:
+        """The content fingerprint of the current graph, memoised per version."""
+        memo = self._fingerprint
+        if memo is not None and memo[0] == self._version:
+            return memo[1]
+        from repro.engine.compiled import graph_fingerprint
+
+        digest = graph_fingerprint(self._graph)
+        self._fingerprint = (self._version, digest)
+        return digest
+
+    def typing_view(
+        self,
+        min_nodes: int = KIND_COMPRESS_MIN_NODES,
+        min_ratio: float = KIND_COMPRESS_MIN_RATIO,
+    ) -> Optional[KindView]:
+        """The kind-compression view, or ``None`` when it would not pay.
+
+        The heuristic refuses graphs below ``min_nodes`` outright (the quotient
+        could not amortise its construction) and otherwise builds the partition
+        and keeps the view only when it shrinks the node count by at least
+        ``min_ratio``.  The decision is memoised per version with the default
+        thresholds; custom thresholds bypass the memo.
+        """
+        defaults = min_nodes == KIND_COMPRESS_MIN_NODES and min_ratio == KIND_COMPRESS_MIN_RATIO
+        if defaults and self._view is not None and self._view[0] == self._version:
+            return self._view[1]
+        view: Optional[KindView] = None
+        if self._graph.node_count >= min_nodes:
+            candidate = kind_compress(self._graph, name=f"kinds({self.name})@v{self._version}")
+            if candidate.kind_count * min_ratio <= self._graph.node_count:
+                view = candidate
+        if defaults:
+            self._view = (self._version, view)
+        return view
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def apply(self, delta: Delta) -> int:
+        """Apply one delta atomically; returns the new version.
+
+        Removals are resolved first (by edge content, one stored edge per
+        entry), then insertions.  A removal that matches no stored edge raises
+        :class:`repro.errors.GraphError` *before* anything is mutated, so a
+        failed apply leaves the store at its prior version.
+
+        The *logged* delta carries each removal's resolved interval (a plain
+        ``(s, a, t)`` entry matches an edge of any interval), so log entries
+        are exact edit scripts: :meth:`diff` compositions always apply, and
+        :meth:`Delta.inverse` restores removed edges with their true
+        intervals.
+        """
+        if isinstance(delta, dict):
+            delta = Delta.from_json(delta)
+        elif not isinstance(delta, Delta):
+            raise GraphError(f"apply() expects a Delta, got {type(delta).__name__}")
+        doomed: List[Edge] = []
+        matched: Set[int] = set()
+        for source, label, target, occur in delta.removed:
+            edge = self._find_edge(source, label, target, occur, exclude=matched)
+            if edge is None:
+                raise GraphError(
+                    f"delta removes absent edge {source!r} -{label}-> {target!r}"
+                    f"{'' if occur == ONE else f' [{occur}]'}"
+                )
+            matched.add(edge.edge_id)
+            doomed.append(edge)
+        for edge in doomed:
+            self._graph.remove_edge(edge)
+        for source, label, target, occur in delta.added:
+            self._graph.add_edge(source, label, target, occur)
+            self.node_id(source)
+            self.node_id(target)
+            self.label_id(label)
+        resolved = Delta(
+            added=delta.added,
+            removed=tuple(
+                (edge.source, edge.label, edge.target, edge.occur) for edge in doomed
+            ),
+        )
+        self._log.append(resolved)
+        self._version += 1
+        return self._version
+
+    def _find_edge(
+        self,
+        source: NodeId,
+        label: Label,
+        target: NodeId,
+        occur: Interval,
+        exclude: Set[int],
+    ) -> Optional[Edge]:
+        """One stored edge matching the description (interval ``1`` matches any
+        edge of the triple, so plain deltas need not know stored intervals)."""
+        if not self._graph.has_node(source):
+            return None
+        for edge in self._graph.out_edges(source):
+            if edge.edge_id in exclude:
+                continue
+            if edge.label != label or edge.target != target:
+                continue
+            if occur == ONE or edge.occur == occur:
+                return edge
+        return None
+
+    def add_edge(self, source: NodeId, label: Label, target: NodeId, occur=None) -> int:
+        """Insert one edge (as a single-entry delta); returns the new version."""
+        entry = (source, label, target) if occur is None else (source, label, target, occur)
+        return self.apply(Delta.of(add=[entry]))
+
+    def remove_edge(self, source: NodeId, label: Label, target: NodeId, occur=None) -> int:
+        """Remove one matching edge (single-entry delta); returns the new version."""
+        entry = (source, label, target) if occur is None else (source, label, target, occur)
+        return self.apply(Delta.of(remove=[entry]))
+
+    # ------------------------------------------------------------------ #
+    # History
+    # ------------------------------------------------------------------ #
+    def diff(self, v1: int, v2: int) -> Delta:
+        """The delta transforming version ``v1`` into version ``v2``.
+
+        Forward diffs concatenate the log; backward diffs are the inverse of
+        the forward direction.  Both versions must lie in ``[0, version]``.
+        """
+        for version in (v1, v2):
+            if not 0 <= version <= self._version:
+                raise GraphError(
+                    f"version {version} is outside this store's history "
+                    f"[0, {self._version}]"
+                )
+        if v1 == v2:
+            return Delta()
+        if v1 < v2:
+            span = self._log[v1:v2]
+        else:
+            span = [delta.inverse() for delta in reversed(self._log[v2:v1])]
+        combined = span[0]
+        for delta in span[1:]:
+            combined = combined.then(delta)
+        return combined
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GraphStore #{self.store_id} {self.name!r} v{self._version} "
+            f"|N|={self._graph.node_count} |E|={self._graph.edge_count}>"
+        )

@@ -23,14 +23,11 @@ tests against the direct membership procedure of :mod:`repro.rbe.membership`.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional
 
 from repro.core.bags import Bag
-from repro.core.intervals import Interval
 from repro.errors import PresburgerError
 from repro.presburger.formula import (
-    And,
-    Comparison,
     Exists,
     Formula,
     LinearTerm,

@@ -21,8 +21,8 @@ feasibility problem.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple, Union
 
 from repro.errors import PresburgerError
 

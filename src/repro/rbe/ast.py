@@ -23,9 +23,8 @@ pairs — the helper :func:`repro.rbe.ast.atom` builds either form.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, Hashable, Iterable, Iterator, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Hashable, Iterator, Optional, Tuple
 
 from repro.core.intervals import Interval, ONE, ZERO
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.bags import Bag
 from repro.core.intervals import Interval

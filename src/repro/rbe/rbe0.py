@@ -18,10 +18,10 @@ contiguous interval, so a per-symbol inclusion check suffices.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.core.bags import Bag
-from repro.core.intervals import Interval, ONE, ZERO, interval_sum
+from repro.core.intervals import Interval, ONE, ZERO
 from repro.rbe.ast import (
     RBE,
     Concatenation,

@@ -10,8 +10,8 @@ convenience accessors.  Conversion to the graph model lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Union
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ Two entry points are provided:
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import RDFSyntaxError
 from repro.rdf.model import IRI, BlankNode, Literal, RDFGraph, Term, Triple

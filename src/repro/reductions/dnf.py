@@ -25,7 +25,7 @@ proof of Theorem 4.5 shows these are the only counter-example candidates.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.graphs.graph import Graph
 from repro.reductions.logic import DNFFormula

@@ -28,7 +28,7 @@ witness engine, which is exactly the hardness message of the theorem.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.intervals import Interval
 from repro.embedding.simulation import embeds, maximal_simulation

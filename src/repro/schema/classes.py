@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import Counter
 from enum import Enum
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Set
 
 from repro.rbe.rbe0 import as_rbe0
 from repro.rbe.sorbe import is_sorbe

@@ -10,9 +10,9 @@ round-trip tests check.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+from typing import Dict, Optional
 
-from repro.core.intervals import ONE, Interval
+from repro.core.intervals import ONE
 from repro.errors import SchemaClassError
 from repro.graphs.graph import Graph
 from repro.rbe.ast import EPSILON, RBE, Repetition, SymbolAtom, concat

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
 
 from repro.errors import SchemaSyntaxError
-from repro.rbe.ast import EPSILON, RBE, SymbolAtom
+from repro.rbe.ast import EPSILON, RBE
 from repro.rbe.rbe0 import RBE0Profile, as_rbe0
 
 TypeName = str

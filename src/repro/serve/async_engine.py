@@ -24,6 +24,7 @@ the long-lived daemon (:mod:`repro.serve.daemon`) runs on.
 from __future__ import annotations
 
 import asyncio
+import functools
 from concurrent.futures import ThreadPoolExecutor
 from typing import AsyncIterator, Dict, Iterable, List, Optional, Tuple
 
@@ -239,6 +240,22 @@ class AsyncValidationEngine(AsyncBatchEngine):
             graph=graph, schema=compiled.schema, compressed=compressed, label=label
         )
         return await self._run_job(job)
+
+    async def revalidate(self, store, schema, compressed: bool = False, label: str = ""):
+        """Revalidate a :class:`repro.graphs.store.GraphStore` off the event loop.
+
+        Delegates to :meth:`repro.engine.validation.ValidationEngine.revalidate`
+        (incremental when the engine holds a prior typing for the store) on the
+        loop's default thread pool — never the process backend, since typing
+        snapshots cannot usefully cross a process boundary — keeping the loop
+        responsive; the wrapped engine's own lock serialises concurrent
+        revalidations of the same store.  Returns a
+        :class:`repro.engine.validation.RevalidationOutcome`.
+        """
+        call = functools.partial(
+            self.engine.revalidate, store, schema, compressed=compressed, label=label
+        )
+        return await asyncio.get_running_loop().run_in_executor(None, call)
 
 
 class AsyncContainmentEngine(AsyncBatchEngine):

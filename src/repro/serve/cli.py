@@ -13,6 +13,11 @@ Usage examples (after ``pip install -e .``)::
     shex-serve flush  --connect /tmp/shex.sock
     shex-serve stop   --connect /tmp/shex.sock
 
+    # Keep a versioned graph store on the daemon and revalidate incrementally
+    shex-serve update     --connect /tmp/shex.sock --name bugs --data bugs.ttl
+    shex-serve update     --connect /tmp/shex.sock --name bugs --delta edit.json
+    shex-serve revalidate --connect /tmp/shex.sock --name bugs --schema s.shex
+
 ``start`` blocks until ``stop`` (or Ctrl-C); run it under ``&``, tmux, or a
 service manager for background operation.  Requests are served through the
 persistent engines of :mod:`repro.serve.daemon`, so schema compilation and
@@ -51,6 +56,8 @@ def _daemon_from_args(args: argparse.Namespace) -> ValidationDaemon:
         max_workers=args.jobs,
         cache_size=args.cache_size,
         cache_dir=args.cache_dir,
+        cache_max_mb=args.cache_max_mb,
+        cache_ttl=args.cache_ttl,
         **endpoint,
     )
 
@@ -98,6 +105,52 @@ def _cmd_stop(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_file(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    """``shex-serve update``: register a graph or apply a ``--delta`` file."""
+    if bool(args.data) == bool(args.delta):
+        raise ReproError("pass exactly one of --data FILE or --delta FILE")
+    with _client(args) as client:
+        if args.data:
+            data_format = "ntriples" if args.data.endswith(".nt") else "turtle"
+            result = client.update_graph(
+                args.name, data_text=_read_file(args.data), data_format=data_format
+            )
+        else:
+            try:
+                delta = json.loads(_read_file(args.delta))
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"--delta file {args.delta}: {exc}") from exc
+            result = client.update_graph(args.name, delta=delta)
+    print(
+        f"graph {result['name']!r} at version {result['version']}: "
+        f"{result['nodes']} nodes, {result['edges']} edges"
+    )
+    return 0
+
+
+def _cmd_revalidate(args: argparse.Namespace) -> int:
+    """``shex-serve revalidate``: validate the current version of a graph."""
+    with _client(args) as client:
+        answer = client.revalidate(
+            args.name,
+            {"text": _read_file(args.schema), "name": args.schema},
+            compressed=args.compressed,
+        )
+    verdict = answer["verdict"].upper()
+    print(
+        f"{verdict}: graph {args.name!r} v{answer['version']} against "
+        f"{args.schema} [{answer['mode']}]"
+    )
+    for node in answer["untyped_nodes"]:
+        print(f"  untyped: {node}")
+    return 0 if answer["verdict"] == "valid" else 1
+
+
 def _cmd_flush(args: argparse.Namespace) -> int:
     with _client(args) as client:
         flushed = client.flush_cache()["flushed"]
@@ -132,12 +185,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="persist results to DIR (content-fingerprint keyed; survives restarts)",
     )
+    start_parser.add_argument(
+        "--cache-max-mb", type=float, default=None, metavar="MB",
+        help="bound the --cache-dir size; oldest entries are evicted past it",
+    )
+    start_parser.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="expire --cache-dir entries older than this many seconds",
+    )
     start_parser.set_defaults(handler=_cmd_start)
 
     for name, helper, handler in (
         ("status", "show daemon status and cache statistics", _cmd_status),
         ("stop", "ask a running daemon to shut down", _cmd_stop),
         ("flush", "flush the daemon's result and parse caches", _cmd_flush),
+        ("update", "register a graph store or apply an edge delta to it", _cmd_update),
+        ("revalidate", "validate the current version of a graph store", _cmd_revalidate),
     ):
         sub = subparsers.add_parser(name, help=helper)
         sub.add_argument(
@@ -148,6 +211,20 @@ def build_parser() -> argparse.ArgumentParser:
         )
         if name == "status":
             sub.add_argument("--json", action="store_true", help="print raw JSON status")
+        if name in ("update", "revalidate"):
+            sub.add_argument("--name", required=True, help="graph store name on the daemon")
+        if name == "update":
+            sub.add_argument("--data", help="RDF document registering the graph (v0)")
+            sub.add_argument(
+                "--delta", metavar="FILE",
+                help="JSON {\"add\": [[s,a,t],...], \"remove\": [...]} edit to apply",
+            )
+        if name == "revalidate":
+            sub.add_argument("--schema", required=True, help="schema rule file")
+            sub.add_argument(
+                "--compressed", action="store_true",
+                help="use the compressed-graph semantics",
+            )
         sub.set_defaults(handler=handler)
     return parser
 

@@ -177,6 +177,47 @@ class DaemonClient:
             if on_result is not None:
                 on_result(result)
 
+    def update_graph(
+        self,
+        name: str,
+        data_text: Optional[str] = None,
+        data_path: Optional[str] = None,
+        data_format: Optional[str] = None,
+        delta: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Register a named graph store on the daemon, or apply a delta to it.
+
+        Pass exactly one of a data document (``data_text`` / ``data_path``,
+        registering version 0) or ``delta`` — an
+        ``{"add": [[source, label, target], ...], "remove": [...]}`` object
+        (see :meth:`repro.graphs.store.Delta.to_json`) advancing the version.
+        Returns ``{"name", "version", "nodes", "edges"}``.
+        """
+        has_data = data_text is not None or data_path is not None
+        if has_data == (delta is not None):
+            raise ValueError("pass exactly one of data_text/data_path or delta")
+        if delta is not None:
+            return self.request("update_graph", name=name, delta=delta)
+        data = self._data_reference(data_text, data_path, data_format)
+        return self.request("update_graph", name=name, data=data)
+
+    def revalidate(
+        self,
+        name: str,
+        schema: Any,
+        compressed: bool = False,
+        label: str = "",
+    ) -> Dict[str, Any]:
+        """Validate the current version of the named graph store.
+
+        ``schema`` is a registered name or ``{"text"/"path"}``.  The response
+        carries the usual validation fields plus ``version`` and ``mode``
+        (``cached`` / ``unchanged`` / ``incremental`` / ``full`` / ``kinds``).
+        """
+        return self.request(
+            "revalidate", name=name, schema=schema, compressed=compressed, label=label
+        )
+
     def status(self) -> Dict[str, Any]:
         """Daemon status: uptime, request counters, schemas, cache statistics."""
         return self.request("status")

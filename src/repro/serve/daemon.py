@@ -29,13 +29,14 @@ import os
 import socket
 import threading
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional
 
 import repro
 from repro.engine.cache import CacheStats, LRUCache
 from repro.engine.compiled import CompiledSchema
 from repro.engine.jobs import JobResult, ValidationJob
-from repro.errors import ProtocolError, ReproError
+from repro.errors import GraphError, ProtocolError, ReproError
+from repro.graphs.store import Delta, GraphStore
 from repro.rdf.convert import rdf_to_simple_graph
 from repro.rdf.parser import parse_ntriples, parse_turtle_lite
 from repro.schema.parser import parse_schema
@@ -80,6 +81,8 @@ class ValidationDaemon:
         max_workers: Optional[int] = None,
         cache_size: int = 4096,
         cache_dir: Optional[str] = None,
+        cache_max_mb: Optional[float] = None,
+        cache_ttl: Optional[float] = None,
     ):
         if (socket_path is None) == (host is None):
             raise ValueError("pass exactly one of socket_path or host/port")
@@ -87,15 +90,23 @@ class ValidationDaemon:
         self.host = host
         self.port = port
         self.cache_dir = cache_dir
+        self.cache_max_mb = cache_max_mb
+        self.cache_ttl = cache_ttl
         self.validation = AsyncValidationEngine(
             backend=backend, max_workers=max_workers, cache_size=cache_size,
-            cache_dir=cache_dir,
+            cache_dir=cache_dir, cache_max_mb=cache_max_mb, cache_ttl=cache_ttl,
         )
         self.containment = AsyncContainmentEngine(
             backend=backend, max_workers=max_workers, cache_size=cache_size,
-            cache_dir=cache_dir,
+            cache_dir=cache_dir, cache_max_mb=cache_max_mb, cache_ttl=cache_ttl,
         )
         self._schemas: Dict[str, CompiledSchema] = {}
+        self._stores: Dict[str, GraphStore] = {}
+        # One lock per graph name: a delta must never land while a
+        # revalidation is reading the same store (the fixpoint iterates live
+        # adjacency), and the recorded (version, typing) snapshot must match
+        # the graph it was computed from.  Different graphs proceed freely.
+        self._store_locks: Dict[str, asyncio.Lock] = {}
         self._parsed = LRUCache(max_size=256)  # content-hash -> parsed document
         self._requests: Dict[str, int] = {}
         self._connections = 0
@@ -505,6 +516,100 @@ class ValidationDaemon:
             summary["results"] = [collected[index] for index in range(len(jobs))]
             writer.write(protocol.encode(protocol.ok_response(request_id, summary)))
 
+    def _store_lock(self, name: str) -> asyncio.Lock:
+        lock = self._store_locks.get(name)
+        if lock is None:
+            lock = self._store_locks[name] = asyncio.Lock()
+        return lock
+
+    def _resolve_store(self, name: str) -> GraphStore:
+        store = self._stores.get(name)
+        if store is None:
+            raise ProtocolError(
+                f"graph {name!r} has not been registered "
+                f"(known: {sorted(self._stores) or 'none'})",
+                protocol.E_UNKNOWN_GRAPH,
+            )
+        return store
+
+    @staticmethod
+    def _store_summary(name: str, store: GraphStore) -> Dict[str, Any]:
+        return {
+            "name": name,
+            "version": store.version,
+            "nodes": store.graph.node_count,
+            "edges": store.graph.edge_count,
+        }
+
+    async def _op_update_graph(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Register a named graph store, or apply an edge delta to one.
+
+        With ``data`` the document becomes a fresh store (version 0),
+        replacing any previous graph of that name; with ``delta`` the
+        ``{"add": [...], "remove": [...]}`` edit is applied to the existing
+        store and bumps its version.  Node and label names in a delta are the
+        *converted* graph identifiers (IRIs, ``literal:...`` forms, shortened
+        predicate names) — see docs/protocol.md.
+        """
+        name = protocol.require(message, "name", str)
+        has_data = "data" in message
+        has_delta = "delta" in message
+        if has_data == has_delta:
+            raise ProtocolError(
+                "op 'update_graph' needs exactly one of 'data' or 'delta'",
+                protocol.E_BAD_REQUEST,
+            )
+        async with self._store_lock(name):
+            if has_data:
+                graph = await self._offload(self._resolve_data, message["data"])
+                # The parse memo may hand back a graph another store owns;
+                # stores take ownership of their graph, so wrap a private copy.
+                store = GraphStore(graph.copy(name=name or graph.name))
+                self._stores[name] = store
+                return self._store_summary(name, store)
+            store = self._resolve_store(name)
+            delta = protocol.require(message, "delta", dict)
+            try:
+                parsed = Delta.from_json(delta)
+                await self._offload(store.apply, parsed)
+            except GraphError as exc:
+                raise ProtocolError(str(exc), protocol.E_BAD_REQUEST) from exc
+            result = self._store_summary(name, store)
+            result["applied"] = len(parsed)
+            return result
+
+    async def _op_revalidate(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate the current version of a registered graph store.
+
+        Incremental when the engine holds the typing of an earlier version —
+        the response's ``mode`` field reports which path answered
+        (``cached`` / ``unchanged`` / ``incremental`` / ``full`` / ``kinds``).
+        """
+        name = protocol.require(message, "name", str)
+        compiled = await self._offload(
+            self._resolve_schema, protocol.require(message, "schema")
+        )
+        compressed = message.get("compressed", False)
+        if not isinstance(compressed, bool):
+            raise ProtocolError("'compressed' must be a boolean", protocol.E_BAD_REQUEST)
+        async with self._store_lock(name):
+            store = self._resolve_store(name)
+            outcome = await self.validation.revalidate(
+                store, compiled, compressed=compressed,
+                label=str(message.get("label", "")),
+            )
+        response = self._validation_result(outcome.result)
+        response.update(
+            {
+                "graph": name,
+                "version": outcome.version,
+                "mode": outcome.mode,
+                "frontier": outcome.frontier,
+                "affected": outcome.affected,
+            }
+        )
+        return response
+
     async def _op_status(self, message: Dict[str, Any]) -> Dict[str, Any]:
         return {
             "version": repro.__version__,
@@ -519,6 +624,10 @@ class ValidationDaemon:
             "schemas": {
                 name: compiled.fingerprint
                 for name, compiled in sorted(self._schemas.items())
+            },
+            "graphs": {
+                name: self._store_summary(name, store)
+                for name, store in sorted(self._stores.items())
             },
             "validation_cache": _stats_dict(self.validation.engine.cache.stats()),
             "containment_cache": _stats_dict(self.containment.engine.cache.stats()),

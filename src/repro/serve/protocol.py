@@ -35,6 +35,8 @@ OPS = (
     "validate",
     "contains",
     "batch",
+    "update_graph",
+    "revalidate",
     "status",
     "flush_cache",
     "shutdown",
@@ -51,6 +53,8 @@ E_UNKNOWN_OP = "unknown-op"
 E_PARSE = "parse-error"
 #: A ``schema`` reference names a schema that was never loaded.
 E_UNKNOWN_SCHEMA = "unknown-schema"
+#: A ``name`` references a graph store that was never registered.
+E_UNKNOWN_GRAPH = "unknown-graph"
 #: The daemon hit an unexpected exception; the connection stays usable.
 E_INTERNAL = "internal-error"
 
@@ -60,6 +64,7 @@ ERROR_CODES = (
     E_UNKNOWN_OP,
     E_PARSE,
     E_UNKNOWN_SCHEMA,
+    E_UNKNOWN_GRAPH,
     E_INTERNAL,
 )
 

@@ -1,6 +1,5 @@
 """Integration tests reproducing the paper's figures end-to-end (experiments E1–E3)."""
 
-import pytest
 
 from repro.containment.api import Verdict, contains
 from repro.containment.detshex import contains_detshex0_minus
@@ -142,7 +141,6 @@ class TestFigure4:
 
     def test_languages_coincide_on_small_instances(self):
         """Enumerate all simple b-labelled graphs with up to 3 nodes and compare."""
-        import itertools
 
         graph_g, graph_h = figure4_graph_g(), figure4_graph_h()
         schema_g = shape_graph_to_schema(graph_g)

@@ -21,7 +21,6 @@ from repro.containment.characterizing import characterizing_graph_for_schema
 from repro.containment.kinds import fuse_by_kinds
 from repro.embedding.simulation import embeds, maximal_simulation
 from repro.embedding.witness import find_witness_backtracking, find_witness_flow, verify_witness
-from repro.graphs.graph import Graph
 from repro.schema.convert import schema_to_shape_graph
 from repro.schema.validation import satisfies, satisfies_compressed
 from repro.workloads.generators import (

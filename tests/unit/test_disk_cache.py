@@ -55,6 +55,57 @@ class TestDiskResultCache:
         assert another.get(("key",)) == (False, None)
         assert not os.path.exists(path)  # torn entry removed
 
+    def test_ttl_expires_entries_on_lookup(self, tmp_path):
+        cache = DiskResultCache(str(tmp_path), ttl_seconds=60.0)
+        cache.put(("old",), "value")
+        (path,) = [
+            os.path.join(str(tmp_path), name)
+            for name in os.listdir(str(tmp_path))
+            if name.endswith(".result.pkl")
+        ]
+        ancient = os.stat(path).st_mtime - 3600
+        os.utime(path, (ancient, ancient))
+        fresh = DiskResultCache(str(tmp_path), ttl_seconds=60.0)  # swept at init
+        assert fresh.get(("old",)) == (False, None)
+        assert not os.path.exists(path)
+
+    def test_ttl_sweep_only_removes_expired(self, tmp_path):
+        first = DiskResultCache(str(tmp_path), ttl_seconds=3600.0)
+        first.put(("young",), 1)
+        first.put(("old",), 2)
+        old_path = first._path(("old",))
+        ancient = os.stat(old_path).st_mtime - 7200
+        os.utime(old_path, (ancient, ancient))
+        second = DiskResultCache(str(tmp_path), ttl_seconds=3600.0)
+        assert second.get(("young",)) == (True, 1)
+        assert second.get(("old",)) == (False, None)
+
+    def test_max_bytes_evicts_oldest_first(self, tmp_path):
+        cache = DiskResultCache(
+            str(tmp_path), memory_size=0, max_bytes=0  # nothing may persist
+        )
+        cache.put(("a",), "x" * 100)
+        assert len(cache) == 0  # evicted straight away
+        roomy = DiskResultCache(str(tmp_path / "b"), memory_size=0, max_bytes=10_000)
+        for index in range(8):
+            path = roomy._path((index,))
+            roomy.put((index,), "x" * 2000)
+            stale = os.stat(path).st_mtime - (100 - index)
+            os.utime(path, (stale, stale))
+        roomy.put(("last",), "x" * 2000)
+        assert roomy.disk_bytes() <= 10_000
+        # The newest entry survives; the oldest were evicted.
+        assert roomy.get(("last",))[0]
+        assert roomy.get((0,)) == (False, None)
+        assert roomy.stats().evictions > 0
+
+    def test_engine_accepts_cache_bounds(self, tmp_path):
+        with ValidationEngine(
+            cache_dir=str(tmp_path), cache_max_mb=1.0, cache_ttl=3600.0
+        ) as engine:
+            assert engine.cache.max_bytes == 1024 * 1024
+            assert engine.cache.ttl_seconds == 3600.0
+
     def test_clear_removes_files(self, tmp_path):
         cache = DiskResultCache(str(tmp_path))
         cache.put(("a",), 1)

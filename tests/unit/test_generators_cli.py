@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import main
-from repro.schema.classes import is_detshex0_minus, is_shex0, schema_class
+from repro.schema.classes import is_detshex0_minus, is_shex0
 from repro.schema.convert import schema_to_shape_graph
 from repro.schema.validation import satisfies
 from repro.workloads.bugtracker import BUG_TRACKER_TURTLE

@@ -1,0 +1,228 @@
+"""Unit tests for the versioned graph store, deltas, and the kind-compression view."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.engine.fixpoint import affected_region
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.store import Delta, GraphStore, kind_compress, kind_partition
+from repro.workloads.bugtracker import bug_tracker_graph
+
+
+def _chain(*labels) -> Graph:
+    graph = Graph("chain")
+    for index, label in enumerate(labels):
+        graph.add_edge(f"n{index}", label, f"n{index + 1}")
+    return graph
+
+
+class TestDelta:
+    def test_of_normalises_intervals(self):
+        delta = Delta.of(add=[("x", "a", "y"), ("x", "b", "z", (2, 2))])
+        assert delta.added[0][3] == Interval.of(1)
+        assert delta.added[1][3] == Interval.singleton(2)
+        assert len(delta) == 2 and not delta.is_empty
+
+    def test_inverse_and_composition(self):
+        first = Delta.of(add=[("x", "a", "y")])
+        second = Delta.of(remove=[("y", "b", "z")])
+        both = first.then(second)
+        assert both.added == first.added and both.removed == second.removed
+        assert both.inverse().added == second.removed
+
+    def test_touched_nodes_and_sources(self):
+        delta = Delta.of(add=[("x", "a", "y")], remove=[("u", "b", "v")])
+        assert delta.touched_nodes() == {"x", "y", "u", "v"}
+        assert delta.touched_sources() == {"x", "u"}
+
+    def test_json_round_trip(self):
+        delta = Delta.of(add=[("x", "a", "y", (3, 3))], remove=[("u", "b", "v")])
+        wire = json.loads(json.dumps(delta.to_json()))
+        assert Delta.from_json(wire) == delta
+
+    def test_from_json_rejects_malformed(self):
+        with pytest.raises(GraphError):
+            Delta.from_json(["not", "an", "object"])
+        with pytest.raises(GraphError):
+            Delta.from_json({"add": [["too", "short"]]})
+        with pytest.raises(GraphError):
+            Delta.from_json({"insert": []})
+
+
+class TestGraphStore:
+    def test_versions_are_monotone(self):
+        store = GraphStore(_chain("a", "b"))
+        assert store.version == 0
+        assert store.add_edge("n0", "c", "n2") == 1
+        assert store.remove_edge("n0", "c", "n2") == 2
+        assert store.version == 2
+
+    def test_apply_is_atomic_on_bad_removal(self):
+        store = GraphStore(_chain("a"))
+        bad = Delta.of(add=[("n0", "x", "n9")], remove=[("ghost", "a", "n1")])
+        with pytest.raises(GraphError):
+            store.apply(bad)
+        assert store.version == 0
+        assert not store.graph.has_node("n9")
+
+    def test_removal_matches_interval_when_given(self):
+        graph = Graph()
+        graph.add_edge("x", "a", "y", (2, 2))
+        store = GraphStore(graph)
+        with pytest.raises(GraphError):
+            store.remove_edge("x", "a", "y", (3, 3))
+        store.remove_edge("x", "a", "y", (2, 2))
+        assert store.graph.edge_count == 0
+
+    def test_diff_forward_and_backward(self):
+        store = GraphStore(_chain("a"))
+        store.add_edge("n1", "b", "n2")
+        store.add_edge("n2", "c", "n3")
+        forward = store.diff(0, 2)
+        assert [entry[1] for entry in forward.added] == ["b", "c"]
+        backward = store.diff(2, 0)
+        assert [entry[1] for entry in backward.removed] == ["c", "b"]
+        assert store.diff(1, 1).is_empty
+        with pytest.raises(GraphError):
+            store.diff(0, 99)
+
+    def test_diff_cancels_add_then_remove_spans(self):
+        # An edge added and later removed within the span must vanish from
+        # the composed diff, which is then applicable to the span's start.
+        store = GraphStore(_chain("a"))
+        store.add_edge("n0", "x", "n9")
+        store.remove_edge("n0", "x", "n9")
+        assert store.diff(0, 2).is_empty
+        replay = GraphStore(_chain("a"))
+        replay.apply(store.diff(0, 2))  # no-op, applies cleanly
+        assert replay.graph.edge_count == 1
+
+    def test_log_resolves_wildcard_removal_intervals(self):
+        graph = Graph()
+        graph.add_edge("x", "a", "y", (3, 3))
+        store = GraphStore(graph)
+        store.remove_edge("x", "a", "y")  # plain entry matches any interval
+        backward = store.diff(1, 0)
+        assert backward.added == ((("x"), "a", ("y"), Interval.singleton(3)),)
+        store.apply(backward)  # round-trips with the true interval
+        assert store.graph.edges[0].occur == Interval.singleton(3)
+
+    def test_fingerprint_tracks_content(self):
+        store = GraphStore(_chain("a"))
+        before = store.fingerprint()
+        assert store.fingerprint() == before  # memoised per version
+        store.add_edge("n0", "z", "n1")
+        changed = store.fingerprint()
+        assert changed != before
+        store.remove_edge("n0", "z", "n1")
+        assert store.fingerprint() == before  # content round-trips
+
+    def test_interned_ids_are_stable(self):
+        store = GraphStore(_chain("a"))
+        n0 = store.node_id("n0")
+        assert store.node_id("n0") == n0
+        assert store.node_id("n1") != n0
+        a = store.label_id("a")
+        store.add_edge("n1", "b", "brand-new")
+        assert store.label_id("a") == a
+        assert store.label_id("b") != a
+
+    def test_store_ids_are_unique(self):
+        assert GraphStore(Graph()).store_id != GraphStore(Graph()).store_id
+
+
+class TestKindCompression:
+    def test_partition_separates_structurally_distinct_nodes(self):
+        graph = Graph()
+        graph.add_edge("x1", "a", "sink")
+        graph.add_edge("x2", "a", "sink")
+        graph.add_edge("y", "a", "sink")
+        graph.add_edge("y", "a", "sink")  # two parallel a-edges: its own kind
+        kinds = kind_partition(graph)
+        assert kinds["x1"] == kinds["x2"]
+        assert kinds["y"] != kinds["x1"]
+        assert kinds["sink"] != kinds["x1"]
+
+    def test_quotient_counts_multiplicities(self):
+        graph = Graph()
+        graph.add_edge("y", "a", "s1")
+        graph.add_edge("y", "a", "s2")
+        view = kind_compress(graph)
+        y_kind = view.kind_of["y"]
+        (edge,) = view.compressed.out_edges(y_kind)
+        assert edge.occur == Interval.singleton(2)
+
+    def test_clone_graph_collapses(self):
+        base = bug_tracker_graph()
+        graph = Graph("clones")
+        for copy_index in range(6):
+            for edge in base.edges:
+                graph.add_edge(
+                    (copy_index, edge.source), edge.label, (copy_index, edge.target)
+                )
+        view = kind_compress(graph)
+        assert view.kind_count <= base.node_count
+        assert sum(len(members) for members in view.members.values()) == graph.node_count
+
+    def test_typing_view_heuristic(self):
+        store = GraphStore(_chain("a", "b"))
+        assert store.typing_view() is None  # far below the node floor
+        assert store.typing_view(min_nodes=1, min_ratio=1.0) is not None
+
+
+class TestAffectedRegion:
+    def test_backward_closure(self):
+        graph = _chain("a", "b", "c")  # n0 -> n1 -> n2 -> n3
+        assert affected_region(graph, ["n2"]) == {"n0", "n1", "n2"}
+        assert affected_region(graph, ["n0"]) == {"n0"}
+        assert affected_region(graph, ["ghost"]) == set()
+
+
+class TestCliDelta:
+    SCHEMA = "Bug -> descr :: Lit, related :: Bug*\nLit -> eps\n"
+    TURTLE = (
+        "@prefix ex: <http://example.org/> .\n"
+        "ex:b1 ex:descr ex:l1 ; ex:related ex:b2 .\n"
+        "ex:b2 ex:descr ex:l2 .\n"
+        "ex:b3 ex:descr ex:l3 .\n"
+        "ex:b4 ex:descr ex:l4 .\n"
+        "ex:b5 ex:descr ex:l5 .\n"
+    )
+
+    def _files(self, tmp_path, delta):
+        schema = tmp_path / "s.shex"
+        schema.write_text(self.SCHEMA)
+        data = tmp_path / "g.ttl"
+        data.write_text(self.TURTLE)
+        path = tmp_path / "d.json"
+        path.write_text(json.dumps(delta))
+        return str(schema), str(data), str(path)
+
+    def test_validate_delta_revalidates_incrementally(self, tmp_path, capsys):
+        from repro.cli import main
+
+        schema, data, delta = self._files(
+            tmp_path,
+            {"remove": [["http://example.org/b2", "descr", "http://example.org/l2"]]},
+        )
+        status = main(["validate", "--schema", schema, "--data", data, "--delta", delta])
+        out = capsys.readouterr().out
+        assert status == 1  # post-delta verdict drives the exit code
+        assert "base     v0: VALID" in out
+        assert "delta    v1: INVALID [incremental" in out
+        assert "untyped: 'http://example.org/b1'" in out
+
+    def test_validate_delta_rejects_bad_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        schema, data, delta = self._files(tmp_path, {})
+        with open(delta, "w", encoding="utf-8") as handle:
+            handle.write("{broken")
+        status = main(["validate", "--schema", schema, "--data", data, "--delta", delta])
+        assert status == 2
+        assert "error" in capsys.readouterr().err

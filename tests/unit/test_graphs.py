@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.intervals import Interval, ONE, OPT, PLUS, STAR
+from repro.core.intervals import Interval, ONE
 from repro.errors import GraphError, NotSimpleGraphError
 from repro.graphs.compressed import CompressedGraph, pack_simple_graph
 from repro.graphs.graph import Graph
@@ -44,6 +44,27 @@ class TestGraphBasics:
         graph.add_edge("x", "a", "z")
         grouped = graph.out_edges_by_label("x")
         assert len(grouped["a"]) == 2
+
+    def test_remove_edge_rejects_foreign_edge_with_coinciding_id(self):
+        # Regression: an Edge from a different graph whose small-integer id
+        # happens to coincide must not silently delete an unrelated edge.
+        ours = Graph("ours")
+        kept = ours.add_edge("x", "a", "y")
+        other = Graph("other")
+        foreign = other.add_edge("p", "b", "q")
+        assert foreign.edge_id == kept.edge_id  # ids restart per graph
+        with pytest.raises(GraphError):
+            ours.remove_edge(foreign)
+        assert ours.edge_count == 1 and ours.out_edges("x") == [kept]
+        ours.remove_edge(kept)  # the genuine edge still removes fine
+        assert ours.edge_count == 0
+
+    def test_remove_edge_twice_raises(self):
+        graph = Graph()
+        edge = graph.add_edge("x", "a", "y")
+        graph.remove_edge(edge)
+        with pytest.raises(GraphError):
+            graph.remove_edge(edge)
 
     def test_parallel_edges_allowed(self):
         graph = Graph()

@@ -18,7 +18,6 @@ from repro.presburger.formula import (
     Exists,
     FALSE,
     LinearTerm,
-    Or,
     TRUE,
     conjunction,
     const,

@@ -3,13 +3,12 @@
 import pytest
 
 from repro.core.bags import Bag
-from repro.core.intervals import Interval, ONE, OPT, STAR
+from repro.core.intervals import Interval, OPT, STAR
 from repro.errors import RBESyntaxError
 from repro.rbe.ast import (
     EPSILON,
     Concatenation,
     Disjunction,
-    Epsilon,
     Intersection,
     Repetition,
     SymbolAtom,

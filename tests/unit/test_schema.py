@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.intervals import Interval, STAR
+from repro.core.intervals import Interval
 from repro.errors import SchemaClassError, SchemaSyntaxError
 from repro.rbe.ast import EPSILON
 from repro.rbe.parser import parse_rbe

@@ -126,6 +126,85 @@ class TestRoundTrip:
         assert not (tmp_path / "down.sock").exists()  # socket file removed
 
 
+LARGE_TURTLE = GOOD_TURTLE + "".join(
+    f"ex:c{i} ex:descr ex:m{i} .\n" for i in range(8)
+)
+
+
+class TestGraphStoreOps:
+    def test_update_graph_registers_and_applies_deltas(self, client):
+        registered = client.update_graph("bugs", data_text=GOOD_TURTLE)
+        assert registered == {"name": "bugs", "version": 0, "nodes": 4, "edges": 3}
+        advanced = client.update_graph(
+            "bugs",
+            delta={"add": [["http://example.org/b2", "related", "http://example.org/b1"]]},
+        )
+        assert advanced["version"] == 1 and advanced["edges"] == 4
+        assert advanced["applied"] == 1
+        status = client.status()
+        assert status["graphs"]["bugs"]["version"] == 1
+
+    def test_revalidate_tracks_versions_and_modes(self, client):
+        client.load_schema("bug", text=SCHEMA_TEXT)
+        client.update_graph("bugs", data_text=LARGE_TURTLE)
+        first = client.revalidate("bugs", "bug")
+        assert first["verdict"] == "valid" and first["mode"] in ("full", "kinds")
+        assert first["version"] == 0
+        # Stripping b2's descr demotes it to Lit, which breaks b1's
+        # related :: Bug reference — but only nodes reaching b2 are retyped.
+        client.update_graph(
+            "bugs",
+            delta={"remove": [["http://example.org/b2", "descr", "http://example.org/l2"]]},
+        )
+        second = client.revalidate("bugs", "bug")
+        assert second["verdict"] == "invalid"
+        assert second["mode"] == "incremental"
+        assert second["version"] == 1
+        assert second["untyped_nodes"] == ["'http://example.org/b1'"]
+        third = client.revalidate("bugs", "bug")
+        assert third["mode"] in ("cached", "unchanged")
+
+    def test_update_graph_requires_exactly_one_input(self, client):
+        with pytest.raises(DaemonError) as caught:
+            client.request("update_graph", name="g")
+        assert caught.value.code == "bad-request"
+        with pytest.raises(DaemonError) as caught:
+            client.request(
+                "update_graph", name="g", data={"text": GOOD_TURTLE}, delta={"add": []}
+            )
+        assert caught.value.code == "bad-request"
+
+    def test_revalidate_unknown_graph(self, client):
+        with pytest.raises(DaemonError) as caught:
+            client.revalidate("ghost", {"text": SCHEMA_TEXT})
+        assert caught.value.code == "unknown-graph"
+
+    def test_delta_against_unregistered_graph(self, client):
+        with pytest.raises(DaemonError) as caught:
+            client.update_graph("ghost", delta={"add": [["x", "a", "y"]]})
+        assert caught.value.code == "unknown-graph"
+
+    def test_malformed_delta_is_bad_request(self, client):
+        client.update_graph("bugs", data_text=GOOD_TURTLE)
+        with pytest.raises(DaemonError) as caught:
+            client.update_graph("bugs", delta={"add": [["too", "short"]]})
+        assert caught.value.code == "bad-request"
+        with pytest.raises(DaemonError) as caught:
+            client.update_graph("bugs", delta={"remove": [["ghost", "a", "ghost2"]]})
+        assert caught.value.code == "bad-request"  # removal of an absent edge
+
+    def test_registering_same_document_twice_is_independent(self, client):
+        client.update_graph("one", data_text=GOOD_TURTLE)
+        client.update_graph("two", data_text=GOOD_TURTLE)  # parse memo shared
+        client.update_graph(
+            "one",
+            delta={"add": [["http://example.org/b2", "related", "http://example.org/b1"]]},
+        )
+        status = client.status()["graphs"]
+        assert status["one"]["edges"] == 4
+        assert status["two"]["edges"] == 3  # untouched by one's delta
+
+
 class TestErrorHandling:
     def test_malformed_json_is_a_structured_error_not_a_crash(self, daemon):
         with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as raw:
@@ -217,6 +296,76 @@ class TestCliConnectMode:
         assert len(lines) == 3  # stdout: exactly one line per job, in order
         assert "VALID" in lines[0] and "INVALID" in lines[1]
         assert "via daemon" in captured.err and "job(s)" in captured.err
+
+    def test_validate_connect_delta_round_trip(self, daemon, workspace, capsys):
+        delta = workspace / "delta.json"
+        delta.write_text(
+            json.dumps(
+                {"remove": [["http://example.org/b2", "descr", "http://example.org/l2"]]}
+            )
+        )
+        code = containment_main(
+            [
+                "validate",
+                "--connect", daemon.daemon.socket_path,
+                "--schema", str(workspace / "schema.shex"),
+                "--data", str(workspace / "good.ttl"),
+                "--delta", str(delta),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "base     v0: VALID" in out
+        assert "delta    v1: INVALID" in out
+
+    def test_shex_serve_update_and_revalidate(self, daemon, workspace, capsys):
+        address = daemon.daemon.socket_path
+        code = serve_main(
+            [
+                "update", "--connect", address,
+                "--name", "bugs", "--data", str(workspace / "good.ttl"),
+            ]
+        )
+        assert code == 0
+        assert "version 0" in capsys.readouterr().out
+        code = serve_main(
+            [
+                "revalidate", "--connect", address,
+                "--name", "bugs", "--schema", str(workspace / "schema.shex"),
+            ]
+        )
+        assert code == 0
+        assert "VALID" in capsys.readouterr().out
+        delta = workspace / "delta.json"
+        delta.write_text(
+            json.dumps(
+                {"remove": [["http://example.org/b2", "descr", "http://example.org/l2"]]}
+            )
+        )
+        code = serve_main(
+            [
+                "update", "--connect", address,
+                "--name", "bugs", "--delta", str(delta),
+            ]
+        )
+        assert code == 0
+        assert "version 1" in capsys.readouterr().out
+        code = serve_main(
+            [
+                "revalidate", "--connect", address,
+                "--name", "bugs", "--schema", str(workspace / "schema.shex"),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out and "untyped" in out
+
+    def test_shex_serve_update_requires_one_input(self, daemon, capsys):
+        code = serve_main(
+            ["update", "--connect", daemon.daemon.socket_path, "--name", "g"]
+        )
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
 
     def test_shex_serve_status_and_flush_and_stop(self, daemon, capsys):
         address = daemon.daemon.socket_path

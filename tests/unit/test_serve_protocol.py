@@ -67,6 +67,7 @@ class TestResponses:
             "unknown-op",
             "parse-error",
             "unknown-schema",
+            "unknown-graph",
             "internal-error",
         }
 
