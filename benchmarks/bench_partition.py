@@ -1,0 +1,205 @@
+"""Incremental kind-partition maintenance: acceptance + regression benchmark (ISSUE 5).
+
+Quantifies :class:`repro.graphs.partition.PartitionMaintainer` against a
+from-scratch :func:`repro.graphs.store.kind_compress` on the cloned
+bug-tracker workload: a ×32 clone instance takes a sequence of ≤1%-of-edges
+deltas confined to single copies (each edit applied and then reverted, so
+splits *and* merges are exercised), and per version the maintained update
+must
+
+* agree with a fresh ``kind_partition`` block-for-block (parity);
+* keep the affected region confined to the touched copy — the
+  machine-independent gate (``affected ≤ nodes / copies``);
+* beat re-running ``kind_compress`` by at least ``MIN_SPEEDUP``× wall clock
+  in total over the sequence.
+
+Results are written to ``BENCH_partition.json`` and compared against the
+committed ``benchmarks/baseline_partition.json``: the run fails when the
+speedup ratio falls more than 25% below its committed baseline, extending
+the CI regression gates to the compressed path's partition maintenance.
+
+Run directly (``python benchmarks/bench_partition.py``) or via pytest
+(``pytest benchmarks/bench_partition.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.graphs.graph import Graph
+from repro.graphs.store import Delta, GraphStore, kind_compress, kind_partition
+from repro.workloads.bugtracker import bug_tracker_graph
+
+COPIES = 32
+#: Acceptance floor (ISSUE 5) and the tolerated slide against the baseline.
+MIN_SPEEDUP = 10.0
+REGRESSION_TOLERANCE = 0.25
+#: Whole-sequence repeats; each side takes its best total (noise-stripped —
+#: a single maintained update is ~100µs, well inside scheduler jitter).
+PASSES = 5
+
+HERE = pathlib.Path(__file__).resolve().parent
+BASELINE_PATH = HERE / "baseline_partition.json"
+REPORT_PATH = pathlib.Path("BENCH_partition.json")
+
+PREFIX = "http://example.org/bugs#"
+
+
+def _cloned_store(copies: int) -> GraphStore:
+    base = bug_tracker_graph()
+    graph = Graph(f"bugs-x{copies}")
+    for copy_index in range(copies):
+        for edge in base.edges:
+            graph.add_edge(
+                (copy_index, edge.source), edge.label, (copy_index, edge.target)
+            )
+    return GraphStore(graph)
+
+
+def _small_delta(copy_index: int) -> Delta:
+    """A ≤1%-of-edges edit confined to one clone copy (3 ops on ~860 edges)."""
+    bug3 = (copy_index, f"{PREFIX}bug3")
+    bug4 = (copy_index, f"{PREFIX}bug4")
+    bug1 = (copy_index, f"{PREFIX}bug1")
+    return Delta.of(
+        remove=[
+            (bug3, "descr", (copy_index, "literal:Kabang!||")),
+            ((copy_index, f"{PREFIX}bug2"), "related", bug3),
+        ],
+        add=[(bug4, "related", bug1)],
+    )
+
+
+def _blocks(kind_of) -> frozenset:
+    inverse: dict = {}
+    for node, kind in kind_of.items():
+        inverse.setdefault(kind, set()).add(node)
+    return frozenset(frozenset(members) for members in inverse.values())
+
+
+def _delta_sequence():
+    """Per-copy edits, each applied and then reverted, so the maintainer
+    splits kinds out and merges them back while the graph stays a
+    ≤1%-per-version moving target."""
+    deltas = []
+    for copy_index in (3, 9, 17, 25, 30, 12):
+        delta = _small_delta(copy_index)
+        deltas.append(delta)
+        deltas.append(delta.inverse())
+    return deltas
+
+
+def _one_pass(check_parity: bool) -> dict:
+    """One full delta sequence; returns both sides' totals and the counters."""
+    store = _cloned_store(COPIES)
+    graph = store.graph
+    assert store.typing_view() is not None, (
+        "the x32 clone must select the compression view"
+    )
+    maintainer = store._maintainer
+    incremental_seconds = 0.0
+    full_seconds = 0.0
+    max_affected = 0
+    for delta in _delta_sequence():
+        share = len(delta) / graph.edge_count
+        assert share <= 0.01, f"delta is {share:.2%} of edges, not ≤1%"
+        store.apply(delta)
+        start = time.perf_counter()
+        assert store.typing_view() is not None  # syncs the maintained partition
+        incremental_seconds += time.perf_counter() - start
+        assert maintainer.stats.mode == "incremental", maintainer.stats.mode
+        max_affected = max(max_affected, maintainer.stats.affected)
+
+        start = time.perf_counter()  # the contender: compress from scratch
+        fresh = kind_compress(graph)
+        full_seconds += time.perf_counter() - start
+        if check_parity:
+            assert _blocks(maintainer.kind_of) == _blocks(fresh.kind_of), (
+                "maintained partition diverged from kind_compress"
+            )
+    if check_parity:
+        assert _blocks(maintainer.kind_of) == _blocks(kind_partition(graph))
+    return {
+        "nodes": graph.node_count,
+        "edges": graph.edge_count,
+        "versions": len(_delta_sequence()),
+        "max_affected": max_affected,
+        "kinds": maintainer.kind_count,
+        "merges": maintainer.stats.merges,
+        "incremental_seconds": incremental_seconds,
+        "full_seconds": full_seconds,
+    }
+
+
+def measure_partition_speedup() -> dict:
+    passes = [_one_pass(check_parity=(index == 0)) for index in range(PASSES)]
+    best = dict(passes[0])
+    best["incremental_seconds"] = min(p["incremental_seconds"] for p in passes)
+    best["full_seconds"] = min(p["full_seconds"] for p in passes)
+
+    # Machine-independent gate: clones are disjoint, so the affected region
+    # of a single-copy edit cannot leak past that copy.
+    per_copy = best["nodes"] // COPIES + 1
+    assert best["max_affected"] <= per_copy, (
+        f"affected region leaked: {best['max_affected']} nodes re-partitioned "
+        f"on a delta confined to one ~{per_copy}-node copy"
+    )
+    return {
+        "copies": COPIES,
+        "nodes": best["nodes"],
+        "edges": best["edges"],
+        "versions": best["versions"],
+        "max_affected": best["max_affected"],
+        "kinds": best["kinds"],
+        "merges": best["merges"],
+        "full_seconds": round(best["full_seconds"], 6),
+        "incremental_seconds": round(best["incremental_seconds"], 6),
+        "speedup": round(best["full_seconds"] / best["incremental_seconds"], 2),
+    }
+
+
+def _load_baseline() -> dict:
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _write_report(report: dict) -> None:
+    with open(REPORT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_partition_maintenance_acceptance():
+    report = measure_partition_speedup()
+    _write_report(report)
+
+    print(
+        f"\n  ×{report['copies']} clone ({report['nodes']} nodes, "
+        f"{report['edges']} edges), {report['versions']} versions of "
+        f"≤1%-edge deltas:"
+    )
+    print(f"    full kind_compress/version:  {report['full_seconds'] * 1000:8.2f} ms total")
+    print(
+        f"    maintained partition:        {report['incremental_seconds'] * 1000:8.2f} ms total  "
+        f"({report['speedup']}x, ≤{report['max_affected']} of {report['nodes']} "
+        f"nodes re-partitioned per version)"
+    )
+
+    assert report["speedup"] >= MIN_SPEEDUP, (
+        f"partition maintenance speedup {report['speedup']}x below the "
+        f"{MIN_SPEEDUP}x acceptance floor"
+    )
+
+    baseline = _load_baseline()
+    floor = baseline["partition_speedup"] * (1.0 - REGRESSION_TOLERANCE)
+    assert report["speedup"] >= floor, (
+        f"partition maintenance regressed: speedup {report['speedup']}x vs "
+        f"committed baseline {baseline['partition_speedup']}x (floor {floor:.1f}x)"
+    )
+
+
+if __name__ == "__main__":
+    test_partition_maintenance_acceptance()
+    print("  incremental partition maintenance acceptance + regression gate ✓")

@@ -52,7 +52,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.engine.compiled import CompiledSchema, compile_schema
 from repro.graphs.graph import Graph
-from repro.graphs.scc import strongly_connected_components
+from repro.graphs.scc import backward_closure, strongly_connected_components
 from repro.presburger.solver import solve_problems
 from repro.schema.shex import ShExSchema, TypeName
 from repro.schema.typing import Typing, satisfies_type_groups
@@ -80,10 +80,11 @@ class FixpointStats:
 
     ``mode`` records which schedule produced the typing: ``"full"`` (the plain
     kernel), ``"kinds"`` (full typing through the kind-compression quotient),
-    ``"incremental"`` (delta-seeded), or ``"unchanged"`` (empty effective
-    delta).  For incremental runs ``frontier`` is the number of delta-touched
-    nodes and ``affected`` the size of their backward closure — the region
-    actually retyped.
+    ``"incremental"`` (delta-seeded), ``"kinds-incremental"`` (view-delta-seeded
+    retyping of the quotient), or ``"unchanged"`` (empty effective delta).
+    For incremental runs ``frontier`` is the number of delta-touched nodes
+    (kinds, on the quotient) and ``affected`` the size of their backward
+    closure — the region actually retyped.
     """
 
     components: int = 0
@@ -186,23 +187,44 @@ def maximal_typing_store(
     if not compressed:
         view = store.typing_view()
         if view is not None:
-            # Quotient signatures carry multiplicities (compressed shape), so
-            # they coexist with plain-shaped entries in a shared memo.
-            kind_typing = maximal_typing_fixpoint(
-                view.compressed, compiled=compiled, compressed=True, stats=stats,
-                signature_memo=signature_memo,
+            kind_typing = kind_typing_for_view(
+                view, compiled, stats=stats, signature_memo=signature_memo
             )
-            stats.mode = "kinds"
-            return Typing(
-                {
-                    node: kind_typing.types_of(kind)
-                    for node, kind in view.kind_of.items()
-                }
-            )
+            return expand_kind_typing(view, kind_typing)
     stats.mode = "full"
     return maximal_typing_fixpoint(
         store.graph, compiled=compiled, compressed=compressed, stats=stats,
         signature_memo=signature_memo,
+    )
+
+
+def kind_typing_for_view(
+    view,
+    compiled: CompiledSchema,
+    stats: Optional[FixpointStats] = None,
+    signature_memo: Optional[Dict[Tuple, bool]] = None,
+) -> Typing:
+    """Full typing of a kind-compression quotient, one entry per *kind*.
+
+    The quotient is typed under the compressed semantics (member-wise edge
+    counts as multiplicities); quotient signatures carry multiplicities, so
+    they coexist with plain-shaped entries in a shared ``signature_memo``.
+    Sets ``stats.mode`` to ``"kinds"``.
+    """
+    if stats is None:
+        stats = FixpointStats()
+    kind_typing = maximal_typing_fixpoint(
+        view.compressed, compiled=compiled, compressed=True, stats=stats,
+        signature_memo=signature_memo,
+    )
+    stats.mode = "kinds"
+    return kind_typing
+
+
+def expand_kind_typing(view, kind_typing: Typing) -> Typing:
+    """The per-node typing induced by a kind-level typing of the quotient."""
+    return Typing(
+        {node: kind_typing.types_of(kind) for node, kind in view.kind_of.items()}
     )
 
 
@@ -214,18 +236,13 @@ def affected_region(graph: Graph, seeds) -> Set[NodeId]:
 
     A node's types depend only on its out-reachable subgraph, so after an edge
     delta the typing can change exactly for the nodes from which some touched
-    node is reachable — the region this BFS (over ``in_edges``) collects.
-    Seeds absent from the graph are ignored.
+    node is reachable — the region :func:`repro.graphs.scc.backward_closure`
+    collects (a BFS over ``in_edges``; the partition maintainer seeds the
+    same closure).  Seeds absent from the graph are ignored.
     """
-    closure: Set[NodeId] = {node for node in seeds if graph.has_node(node)}
-    frontier: List[NodeId] = list(closure)
-    while frontier:
-        node = frontier.pop()
-        for edge in graph.in_edges(node):
-            if edge.source not in closure:
-                closure.add(edge.source)
-                frontier.append(edge.source)
-    return closure
+    return backward_closure(
+        graph, (node for node in seeds if graph.has_node(node))
+    )
 
 
 def _induced_subgraph(graph: Graph, nodes: Set[NodeId]) -> Graph:
@@ -341,6 +358,86 @@ def retype_incremental(
             type_order, artifacts, watchers, signature_memo, stats,
         )
     stats.mode = "incremental"
+    return Typing(current)
+
+
+def retype_kinds_incremental(
+    view,
+    prior_kind_typing: Typing,
+    view_delta,
+    compiled: Optional[CompiledSchema] = None,
+    schema: Optional[Union[ShExSchema, CompiledSchema]] = None,
+    stats: Optional[FixpointStats] = None,
+    max_affected_fraction: float = 0.5,
+    signature_memo: Optional[Dict[Tuple, bool]] = None,
+) -> Typing:
+    """Kind-level typing of a maintained quotient, re-deriving only what changed.
+
+    The compressed-path analogue of :func:`retype_incremental`: ``view`` is a
+    store's *maintained* kind-compression view
+    (:meth:`repro.graphs.store.GraphStore.typing_view`) already at the new
+    version, ``prior_kind_typing`` the quotient typing of an earlier version,
+    and ``view_delta`` the composed :class:`repro.graphs.partition.ViewDelta`
+    between them (:meth:`repro.graphs.store.GraphStore.view_delta`) — kind
+    ids must be comparable, i.e. the epoch must not have changed.
+
+    ``view_delta.changed`` — the kinds that are new or whose quotient
+    out-edge rows changed — is exactly the set of quotient nodes whose
+    out-reachable subgraph may differ, so its backward closure is reseeded
+    with ``Γ`` and stabilised under the compressed semantics while every
+    other kind keeps its prior types verbatim (retired kinds simply drop
+    out).  The result equals a from-scratch quotient typing pair-for-pair;
+    past ``max_affected_fraction`` the kernel falls back to one
+    (``stats.mode`` then reports ``"kinds"`` instead of
+    ``"kinds-incremental"``).
+    """
+    if compiled is None:
+        if schema is None:
+            raise ValueError("pass a schema or a compiled schema")
+        compiled = compile_schema(schema)
+    else:
+        compiled = compile_schema(compiled)
+    if stats is None:
+        stats = FixpointStats()
+
+    quotient = view.compressed
+    seeds = [kind for kind in view_delta.changed if quotient.has_node(kind)]
+    stats.frontier = len(seeds)
+    if not seeds:
+        stats.mode = "unchanged"
+        return Typing(
+            {kind: prior_kind_typing.types_of(kind) for kind in quotient.nodes}
+        )
+
+    affected = affected_region(quotient, seeds)
+    stats.affected = len(affected)
+    if len(affected) > max_affected_fraction * quotient.node_count:
+        return kind_typing_for_view(
+            view, compiled, stats=stats, signature_memo=signature_memo
+        )
+
+    type_order = compiled.type_order
+    artifacts = {
+        type_name: compiled.type_artifact(type_name) for type_name in type_order
+    }
+    watchers = compiled.symbol_watchers()
+    current: Dict[NodeId, Set[TypeName]] = {}
+    for kind in quotient.nodes:
+        if kind in affected:
+            current[kind] = set(type_order)
+        else:
+            current[kind] = prior_kind_typing.types_of(kind)
+
+    components = strongly_connected_components(_induced_subgraph(quotient, affected))
+    stats.components = len(components)
+    if signature_memo is None:
+        signature_memo = {}
+    for component in components:
+        _stabilise_compressed(
+            quotient, component, set(component), current,
+            type_order, artifacts, watchers, signature_memo, stats,
+        )
+    stats.mode = "kinds-incremental"
     return Typing(current)
 
 

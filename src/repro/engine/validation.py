@@ -36,8 +36,11 @@ from repro.engine.compiled import (
 from repro.engine.executors import SerialExecutor, chunked
 from repro.engine.fixpoint import (
     FixpointStats,
+    expand_kind_typing,
+    kind_typing_for_view,
     maximal_typing_store,
     retype_incremental,
+    retype_kinds_incremental,
 )
 from repro.engine.jobs import JobResult, Stopwatch, ValidationJob
 from repro.graphs.graph import Graph
@@ -95,9 +98,10 @@ class RevalidationOutcome:
     ``result`` is the usual deterministic :class:`repro.engine.jobs.JobResult`
     (cache-compatible with the batch path); the extra fields describe *how*
     the typing was obtained: ``version`` is the store version validated,
-    ``mode`` one of ``cached`` / ``unchanged`` / ``incremental`` / ``full`` /
-    ``kinds``, and for incremental runs ``frontier`` / ``affected`` are the
-    delta-touched node count and the size of the retyped region.
+    ``mode`` one of ``cached`` / ``unchanged`` / ``incremental`` /
+    ``kinds-incremental`` / ``full`` / ``kinds``, and for incremental runs
+    ``frontier`` / ``affected`` are the delta-touched node (or kind) count
+    and the size of the retyped region.
     """
 
     result: JobResult
@@ -149,9 +153,14 @@ class ValidationEngine(BatchEngine):
             backend, max_workers, cache_size, cache_dir, cache_max_mb, cache_ttl
         )
         self._compiled: Dict[str, CompiledSchema] = {}
-        # (schema fingerprint, store id, compressed) -> (version, Typing):
-        # the prior fixpoints that seed incremental revalidation.
-        self._typings: "OrderedDict[Tuple, Tuple[int, Typing]]" = OrderedDict()
+        # (schema fingerprint, store id, compressed) ->
+        # (version, node Typing, kind Typing or None, view epoch):
+        # the prior fixpoints that seed incremental revalidation.  The kind
+        # typing (quotient-level, stable kind ids) is what makes the
+        # compressed path incremental; the view epoch guards id reuse.
+        self._typings: "OrderedDict[Tuple, Tuple[int, Typing, Optional[Typing], int]]" = (
+            OrderedDict()
+        )
         # schema fingerprint -> persistent (type, signature) -> verdict memo;
         # a verdict is a pure function of its key, so carrying the memo
         # across revalidations of the same schema is sound and makes repeated
@@ -208,10 +217,15 @@ class ValidationEngine(BatchEngine):
         """Validate the current version of a :class:`repro.graphs.store.GraphStore`.
 
         The engine keeps, per (schema, store), the typing of the last version
-        it validated.  A later call diffs the store against that version and
-        re-derives only the delta's affected region
-        (:func:`repro.engine.fixpoint.retype_incremental`); first encounters
-        run a full typing through the store's automatic kind-compression view
+        it validated — node-level, plus the quotient's kind-level typing when
+        the store's kind-compression view is active.  A later call re-derives
+        only what the change can touch: with an active view, the composed
+        :meth:`repro.graphs.store.GraphStore.view_delta` seeds
+        :func:`repro.engine.fixpoint.retype_kinds_incremental` and only kinds
+        reaching a changed quotient row are retyped (``mode
+        "kinds-incremental"``); otherwise the edge delta seeds
+        :func:`repro.engine.fixpoint.retype_incremental` on the plain graph.
+        First encounters run a full typing through the view when present
         (:func:`repro.engine.fixpoint.maximal_typing_store`).  Results are
         also pushed through the regular fingerprint-keyed result cache, so a
         store whose content matches an earlier job — any store, any version —
@@ -252,17 +266,42 @@ class ValidationEngine(BatchEngine):
                     memo.clear()
             stats = FixpointStats()
             with Stopwatch() as clock:
-                if snapshot is not None and snapshot[0] <= store.version:
-                    version, prior = snapshot
-                    if version == store.version:
-                        typing = prior
-                        stats.mode = "unchanged"
-                    else:
-                        typing = retype_incremental(
-                            store, prior, store.diff(version, store.version),
-                            compiled=compiled, compressed=compressed, stats=stats,
-                            signature_memo=memo,
+                # Syncing the view also maintains the kind partition under
+                # the delta (the store's cost, paid once per version); the
+                # view serves the plain semantics only.
+                view = store.typing_view() if not compressed else None
+                kind_typing: Optional[Typing] = None
+                if snapshot is not None and snapshot[0] == store.version:
+                    typing = snapshot[1]
+                    kind_typing = snapshot[2]
+                    stats.mode = "unchanged"
+                elif view is not None:
+                    view_delta = None
+                    if (
+                        snapshot is not None
+                        and snapshot[0] <= store.version
+                        and snapshot[2] is not None
+                        and snapshot[3] == store.view_epoch
+                    ):
+                        view_delta = store.view_delta(snapshot[0], store.version)
+                    if view_delta is not None:
+                        # The compressed path, end-to-end incremental: only
+                        # kinds reaching a changed quotient row are retyped.
+                        kind_typing = retype_kinds_incremental(
+                            view, snapshot[2], view_delta, compiled=compiled,
+                            stats=stats, signature_memo=memo,
                         )
+                    else:
+                        kind_typing = kind_typing_for_view(
+                            view, compiled, stats=stats, signature_memo=memo
+                        )
+                    typing = expand_kind_typing(view, kind_typing)
+                elif snapshot is not None and snapshot[0] <= store.version:
+                    typing = retype_incremental(
+                        store, snapshot[1], store.diff(snapshot[0], store.version),
+                        compiled=compiled, compressed=compressed, stats=stats,
+                        signature_memo=memo,
+                    )
                 else:
                     typing = maximal_typing_store(
                         store, compiled=compiled, compressed=compressed, stats=stats,
@@ -270,7 +309,9 @@ class ValidationEngine(BatchEngine):
                     )
                 verdict, payload = _payload_from_typing(store.graph, typing, compressed)
             with self._revalidate_lock:
-                self._typings[token] = (store.version, typing)
+                self._typings[token] = (
+                    store.version, typing, kind_typing, store.view_epoch
+                )
                 self._typings.move_to_end(token)
                 while len(self._typings) > self.TYPING_SNAPSHOTS:
                     self._typings.popitem(last=False)

@@ -10,7 +10,12 @@ from repro.graphs.shape import (
     is_detshex0_minus_graph,
 )
 from repro.graphs.compressed import CompressedGraph, pack_simple_graph
-from repro.graphs.scc import condensation_order, strongly_connected_components
+from repro.graphs.partition import PartitionMaintainer, PartitionStats, ViewDelta
+from repro.graphs.scc import (
+    backward_closure,
+    condensation_order,
+    strongly_connected_components,
+)
 from repro.graphs.store import (
     Delta,
     GraphStore,
@@ -25,8 +30,12 @@ __all__ = [
     "Graph",
     "GraphStore",
     "KindView",
+    "PartitionMaintainer",
+    "PartitionStats",
+    "ViewDelta",
     "kind_compress",
     "kind_partition",
+    "backward_closure",
     "condensation_order",
     "strongly_connected_components",
     "simple_graph_from_triples",

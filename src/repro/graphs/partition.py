@@ -1,0 +1,378 @@
+"""Incremental maintenance of the kind partition (Section 6.1 compression).
+
+:func:`repro.graphs.store.kind_partition` computes the coarsest
+counting-bisimulation partition from scratch — ``O(rounds × edges)`` — which
+is exactly the cost :class:`repro.graphs.store.GraphStore` paid per version to
+keep its compression view fresh.  This module maintains the partition under an
+edge :class:`repro.graphs.store.Delta` instead, so the graphs where
+compression wins (clone-heavy, millions of structurally identical nodes) can
+absorb small writes at delta cost.
+
+The update is a three-phase restriction of the global refinement:
+
+1. **Affected region.**  A node's kind depends only on its *out-reachable*
+   subgraph, so after an edge delta the kinds can change exactly for the
+   backward closure of the delta's touched nodes (the same region
+   :func:`repro.engine.fixpoint.retype_incremental` retypes).  Nodes outside
+   it provably keep their kinds.
+2. **Local split refinement.**  The affected nodes are re-partitioned from a
+   single block by signature refinement, where signatures reference frozen
+   kinds across the region boundary — splits propagate along reverse edges
+   inside the region only.  The result is a *stable* partition (a counting
+   bisimulation), possibly finer than the coarsest one: an affected node
+   whose subtree became isomorphic to an unaffected node's still sits in a
+   separate block.
+3. **Quotient-level merge.**  Every stable partition refines bisimilarity, so
+   the coarsest partition is recovered by one counting refinement over the
+   *quotient* (kinds as nodes, summed multiplicities as weights) — a graph
+   smaller by the compression ratio.  Classes holding several kinds are
+   merged (cascades included, since the quotient refinement runs to its own
+   fixed point).
+
+The quotient :class:`repro.graphs.compressed.CompressedGraph` is then patched
+in place — retired kinds removed, new kinds added, only changed out-edge rows
+rewritten — and the update is summarised as a :class:`ViewDelta`: the kinds
+whose quotient out-rows changed (the sound seed set for incremental typing of
+the quotient) and the kinds that disappeared.  Deltas touching more than
+``max_affected_fraction`` of the nodes fall back to a full rebuild and bump
+the maintainer's *epoch*, invalidating cross-version kind-id comparisons.
+
+``tests/property/test_partition_parity.py`` asserts that after arbitrary
+delta sequences the maintained partition and patched quotient equal a fresh
+``kind_partition`` / ``kind_compress`` run (up to kind renaming).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.core.intervals import Interval
+from repro.graphs.compressed import CompressedGraph
+from repro.graphs.graph import Graph, Label
+from repro.graphs.scc import backward_closure
+
+NodeId = Hashable
+
+#: A quotient out-edge row: ``(label, target kind) -> per-member edge count``.
+Row = Dict[Tuple[Label, int], int]
+
+#: Fraction of the graph the affected region may reach before the maintainer
+#: gives up on locality and rebuilds the partition from scratch (mirroring
+#: ``retype_incremental``'s fallback).
+MAX_AFFECTED_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class ViewDelta:
+    """What one partition update did to the quotient, in stable kind ids.
+
+    ``changed`` holds every kind that is new or whose quotient out-edge row
+    differs from the previous version — exactly the nodes of the quotient
+    whose out-reachable subgraph may have changed, hence the sound seed set
+    for delta-driven retyping of the quotient.  ``retired`` holds kinds that
+    no longer exist (emptied by re-kinding or merged into a survivor).
+    Retired ids are never reused within an epoch, which is what makes
+    composition with :meth:`then` exact.
+    """
+
+    changed: FrozenSet[int] = frozenset()
+    retired: FrozenSet[int] = frozenset()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.changed and not self.retired
+
+    def then(self, other: "ViewDelta") -> "ViewDelta":
+        """Sequential composition: this update followed by ``other``."""
+        return ViewDelta(
+            changed=(self.changed - other.retired) | other.changed,
+            retired=self.retired | other.retired,
+        )
+
+
+@dataclass
+class PartitionStats:
+    """Counters describing the maintainer's history (observability).
+
+    ``mode`` is the last update's schedule: ``"full"`` (initial build or
+    fallback rebuild), ``"incremental"``, or ``"unchanged"``.  ``affected`` is
+    the last incremental update's region size; ``splits`` / ``merges`` count
+    kinds created by phase 2 and collapsed by phase 3 over the maintainer's
+    lifetime; ``full_builds`` / ``incremental_updates`` count schedules taken.
+    """
+
+    mode: str = "full"
+    affected: int = 0
+    rounds: int = 0
+    splits: int = 0
+    merges: int = 0
+    full_builds: int = 0
+    incremental_updates: int = 0
+
+
+class PartitionMaintainer:
+    """The kind partition of one graph, maintained under edge deltas.
+
+    The maintainer owns the partition bookkeeping — ``kind_of`` (node →
+    kind), ``members`` (kind → node set), per-kind quotient ``rows`` — and
+    the quotient :class:`CompressedGraph` itself, patched in place by
+    :meth:`update`.  Kind ids are stable across incremental updates: a kind
+    untouched by a delta keeps its id, so consumers may key per-kind state
+    (typings, caches) by ``(epoch, kind id)``.  A full rebuild bumps
+    :attr:`epoch` and invalidates all such keys.
+    """
+
+    def __init__(self, graph: Graph, name: str = ""):
+        self.epoch = 0
+        self.stats = PartitionStats()
+        self.kind_of: Dict[NodeId, int] = {}
+        self.members: Dict[int, Set[NodeId]] = {}
+        self.rows: Dict[int, Row] = {}
+        self.quotient = CompressedGraph(name or f"kinds({graph.name})")
+        self._next_kind = 0
+        self._rebuild(graph)
+        self.stats.full_builds = 1  # the initial build is not a fallback
+
+    @property
+    def kind_count(self) -> int:
+        return len(self.members)
+
+    # ------------------------------------------------------------------ #
+    # Full build
+    # ------------------------------------------------------------------ #
+    def _rebuild(self, graph: Graph) -> None:
+        """Recompute everything from scratch (initial build and fallback)."""
+        from repro.graphs.store import kind_partition
+
+        self.kind_of = kind_partition(graph)
+        self.members = {}
+        for node, kind in self.kind_of.items():
+            self.members.setdefault(kind, set()).add(node)
+        self.rows = {
+            kind: self._row_of(graph, min(nodes, key=repr))
+            for kind, nodes in self.members.items()
+        }
+        self._next_kind = max(self.members, default=-1) + 1
+        quotient = CompressedGraph(self.quotient.name)
+        quotient.add_nodes(self.members)
+        for kind in sorted(self.rows):
+            self._write_row(quotient, kind, self.rows[kind])
+        self.quotient = quotient
+        self.stats.mode = "full"
+        self.stats.full_builds += 1
+
+    def _row_of(self, graph: Graph, representative: NodeId) -> Row:
+        """The quotient out-edge row of a kind, read off one member.
+
+        The partition guarantees the counts are member-independent; intervals
+        are ignored, as the view serves the plain semantics.
+        """
+        row: Row = {}
+        for edge in graph.out_edges(representative):
+            key = (edge.label, self.kind_of[edge.target])
+            row[key] = row.get(key, 0) + 1
+        return row
+
+    @staticmethod
+    def _write_row(quotient: CompressedGraph, kind: int, row: Row) -> None:
+        for (label, target), count in sorted(row.items(), key=repr):
+            quotient.add_edge(kind, label, target, Interval.singleton(count))
+
+    # ------------------------------------------------------------------ #
+    # Incremental update
+    # ------------------------------------------------------------------ #
+    def update(
+        self,
+        graph: Graph,
+        delta,
+        max_affected_fraction: float = MAX_AFFECTED_FRACTION,
+    ) -> Optional[ViewDelta]:
+        """Bring the partition up to date with ``graph`` after ``delta``.
+
+        ``graph`` must already be in its post-delta state.  Returns the
+        :class:`ViewDelta` of the update, or ``None`` when the affected
+        region forced a full rebuild (the epoch is bumped and kind ids are
+        not comparable across the boundary).
+        """
+        touched = [node for node in delta.touched_nodes() if graph.has_node(node)]
+        if not touched:
+            self.stats.mode = "unchanged"
+            return ViewDelta()
+
+        affected = backward_closure(graph, touched)
+        if len(affected) > max_affected_fraction * graph.node_count:
+            self.epoch += 1
+            self._rebuild(graph)
+            return None
+
+        self.stats.mode = "incremental"
+        self.stats.affected = len(affected)
+        self.stats.incremental_updates += 1
+        old_rows = {kind: dict(row) for kind, row in self.rows.items()}
+
+        blocks = self._refine_affected(graph, affected)
+        self._assign_kinds(graph, affected, blocks)
+        self._merge_equivalent_kinds()
+        return self._patch_quotient(old_rows)
+
+    def _refine_affected(
+        self, graph: Graph, affected: Set[NodeId]
+    ) -> List[List[NodeId]]:
+        """Phase 2: re-partition the affected region from a single block.
+
+        Signatures count ``(label, colour of target)`` where affected targets
+        carry the refining colour and boundary targets their frozen kind —
+        sound because nodes outside the region provably keep their kinds
+        (their out-reachable subgraphs are untouched, and the old partition
+        restricted to them stays both stable and coarsest).
+        """
+        order = sorted(affected, key=repr)
+        colour: Dict[NodeId, int] = {node: -1 for node in order}
+        while True:
+            fresh: Dict[Tuple, int] = {}
+            next_colour: Dict[NodeId, int] = {}
+            for node in order:
+                counts: Dict[Tuple, int] = {}
+                for edge in graph.out_edges(node):
+                    target = edge.target
+                    reference = (
+                        ("f", colour[target])
+                        if target in affected
+                        else ("b", self.kind_of[target])
+                    )
+                    key = (edge.label, reference)
+                    counts[key] = counts.get(key, 0) + 1
+                signature = (colour[node], tuple(sorted(counts.items())))
+                bucket = fresh.get(signature)
+                if bucket is None:
+                    bucket = len(fresh)
+                    fresh[signature] = bucket
+                next_colour[node] = bucket
+            self.stats.rounds += 1
+            if next_colour == colour:
+                break
+            colour = next_colour
+        blocks: Dict[int, List[NodeId]] = {}
+        for node in order:
+            blocks.setdefault(colour[node], []).append(node)
+        return [blocks[bucket] for bucket in sorted(blocks)]
+
+    def _assign_kinds(
+        self, graph: Graph, affected: Set[NodeId], blocks: List[List[NodeId]]
+    ) -> None:
+        """Give each affected block a kind id and refresh the bookkeeping.
+
+        A block keeps its old id when it is exactly an old kind's full
+        membership (the common case: the delta did not actually re-kind the
+        node) — otherwise it gets a fresh id, never reusing a retired one.
+        Old kinds emptied by the re-assignment disappear; their ids retire.
+        """
+        # Pull affected nodes out of their old kinds first, so full-membership
+        # checks below see the boundary members only.
+        old_kind_of = {
+            node: self.kind_of[node] for node in affected if node in self.kind_of
+        }
+        for node, kind in old_kind_of.items():
+            survivors = self.members[kind]
+            survivors.discard(node)
+        for block in blocks:
+            reuse: Optional[int] = None
+            first = old_kind_of.get(block[0])
+            if (
+                first is not None
+                and not self.members.get(first)  # no boundary members kept it
+                and all(old_kind_of.get(node) == first for node in block)
+            ):
+                reuse = first
+            if reuse is None:
+                reuse = self._next_kind
+                self._next_kind += 1
+                self.stats.splits += 1
+            self.members[reuse] = set(block)
+            for node in block:
+                self.kind_of[node] = reuse
+        for kind in [kind for kind, nodes in self.members.items() if not nodes]:
+            del self.members[kind]
+            self.rows.pop(kind, None)
+        # Rows of every surviving kind that lost or gained members are
+        # recomputed below anyway; rows referencing re-kinded *targets* are
+        # exactly the rows of the affected nodes' predecessors — all inside
+        # the affected region, hence all recomputed here too.
+        for block in blocks:
+            self.rows[self.kind_of[block[0]]] = self._row_of(graph, block[0])
+
+    def _merge_equivalent_kinds(self) -> None:
+        """Phase 3: collapse kinds the local refinement could not see as equal.
+
+        One counting refinement over the weighted quotient (kinds as nodes,
+        row counts as weights) computes the coarsest stable coarsening of the
+        current partition — which is the coarsest partition of the base graph,
+        since the current one is already a bisimulation.  Classes with more
+        than one kind merge into the member-richest kind (ties to the smaller
+        id), so bulk re-labelling stays on the small side.
+        """
+        classes: Dict[int, int] = {kind: 0 for kind in self.rows}
+        while True:
+            fresh: Dict[Tuple, int] = {}
+            next_classes: Dict[int, int] = {}
+            for kind in sorted(self.rows):
+                counts: Dict[Tuple[Label, int], int] = {}
+                for (label, target), weight in self.rows[kind].items():
+                    key = (label, classes[target])
+                    counts[key] = counts.get(key, 0) + weight
+                signature = (classes[kind], tuple(sorted(counts.items())))
+                bucket = fresh.get(signature)
+                if bucket is None:
+                    bucket = len(fresh)
+                    fresh[signature] = bucket
+                next_classes[kind] = bucket
+            if next_classes == classes:
+                break
+            classes = next_classes
+        grouped: Dict[int, List[int]] = {}
+        for kind, bucket in classes.items():
+            grouped.setdefault(bucket, []).append(kind)
+        substitution: Dict[int, int] = {}
+        for kinds in grouped.values():
+            if len(kinds) < 2:
+                continue
+            survivor = max(kinds, key=lambda kind: (len(self.members[kind]), -kind))
+            for kind in kinds:
+                if kind != survivor:
+                    substitution[kind] = survivor
+        if not substitution:
+            return
+        self.stats.merges += len(substitution)
+        for retired, survivor in substitution.items():
+            for node in self.members[retired]:
+                self.kind_of[node] = survivor
+            self.members[survivor] |= self.members.pop(retired)
+            del self.rows[retired]
+        for kind, row in self.rows.items():
+            if not any(target in substitution for _label, target in row):
+                continue
+            rewritten: Row = {}
+            for (label, target), count in row.items():
+                key = (label, substitution.get(target, target))
+                rewritten[key] = rewritten.get(key, 0) + count
+            self.rows[kind] = rewritten
+
+    def _patch_quotient(self, old_rows: Dict[int, Row]) -> ViewDelta:
+        """Phase 4: apply the row diff to the quotient graph in place."""
+        retired = frozenset(old_rows) - frozenset(self.rows)
+        changed = frozenset(
+            kind
+            for kind, row in self.rows.items()
+            if kind not in old_rows or old_rows[kind] != row
+        )
+        for kind in sorted(retired):
+            self.quotient.remove_node(kind)
+        for kind in sorted(changed):
+            if kind in old_rows:
+                for edge in list(self.quotient.out_edges(kind)):
+                    self.quotient.remove_edge(edge)
+            else:
+                self.quotient.add_node(kind)
+            self._write_row(self.quotient, kind, self.rows[kind])
+        return ViewDelta(changed=changed, retired=retired)

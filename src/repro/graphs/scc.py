@@ -88,6 +88,26 @@ def strongly_connected_components(graph: Graph) -> List[Tuple[NodeId, ...]]:
     return components
 
 
+def backward_closure(graph: Graph, seeds) -> set:
+    """Every node that can reach a seed (BFS over ``in_edges``).
+
+    The dependency closure of the fixpoint's propagation direction: a node's
+    types — and its kind, under counting bisimulation — depend only on its
+    out-reachable subgraph, so after a change at the seeds this closure is
+    exactly the set of nodes whose derived state may differ.  Seeds are
+    included; seeds absent from the graph must be filtered by the caller.
+    """
+    closure = set(seeds)
+    frontier: List[NodeId] = list(closure)
+    while frontier:
+        node = frontier.pop()
+        for edge in graph.in_edges(node):
+            if edge.source not in closure:
+                closure.add(edge.source)
+                frontier.append(edge.source)
+    return closure
+
+
 def condensation_order(graph: Graph) -> Tuple[List[Tuple[NodeId, ...]], Dict[NodeId, int]]:
     """``(components, component_of)`` with components sinks-first.
 

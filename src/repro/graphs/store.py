@@ -40,6 +40,7 @@ suite).
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
@@ -47,6 +48,7 @@ from repro.core.intervals import Interval, ONE
 from repro.errors import GraphError
 from repro.graphs.compressed import CompressedGraph
 from repro.graphs.graph import Edge, Graph, Label
+from repro.graphs.partition import PartitionMaintainer, ViewDelta
 
 NodeId = Hashable
 
@@ -141,6 +143,44 @@ class Delta:
             removed=self.removed + tuple(surviving_removals),
         )
 
+    def compact(self) -> "Delta":
+        """Cancel insertions and removals of identical content (multiset).
+
+        An edge that appears in both ``added`` and ``removed`` with the same
+        ``(source, label, target, occur)`` is net-unchanged, so both entries
+        drop (each occurrence cancels one occurrence of the other side).
+        Exact on *resolved* deltas — store log entries and :meth:`GraphStore.diff`
+        results, where removal intervals name the stored edge precisely.  On
+        hand-written deltas a plain ``(s, a, t)`` removal acts as a wildcard
+        in :meth:`GraphStore.apply` (it matches any stored interval), so
+        cancelling it against an interval-``1`` insertion may change which
+        stored edge the remaining entries target.
+        """
+        cancel: Dict[DeltaEdge, int] = {}
+        removed_counts: Dict[DeltaEdge, int] = {}
+        for entry in self.removed:
+            removed_counts[entry] = removed_counts.get(entry, 0) + 1
+        for entry in self.added:
+            if removed_counts.get(entry, 0):
+                removed_counts[entry] -= 1
+                cancel[entry] = cancel.get(entry, 0) + 1
+        if not cancel:
+            return self
+        added_cancel = dict(cancel)
+        kept_added: List[DeltaEdge] = []
+        for entry in self.added:
+            if added_cancel.get(entry, 0):
+                added_cancel[entry] -= 1
+            else:
+                kept_added.append(entry)
+        kept_removed: List[DeltaEdge] = []
+        for entry in self.removed:
+            if cancel.get(entry, 0):
+                cancel[entry] -= 1
+            else:
+                kept_removed.append(entry)
+        return Delta(added=tuple(kept_added), removed=tuple(kept_removed))
+
     def touched_nodes(self) -> Set[NodeId]:
         """Every node occurring in the delta (sources and targets, both sides)."""
         nodes: Set[NodeId] = set()
@@ -206,11 +246,18 @@ class KindView:
     ``members`` lists each kind's nodes.  Typing the quotient under the
     compressed semantics and reading each node's types off its kind equals the
     per-node plain typing.
+
+    Views built by :func:`kind_compress` are snapshots (tuples, private
+    quotient).  Views handed out by :meth:`GraphStore.typing_view` are *live*:
+    they reference the store's incrementally maintained partition, whose
+    quotient is patched in place — ``members`` values are then sets, and the
+    view reflects the store's current version, not the version it was
+    requested at.
     """
 
     compressed: CompressedGraph
     kind_of: Dict[NodeId, int]
-    members: Dict[int, Tuple[NodeId, ...]]
+    members: Dict[int, Iterable[NodeId]]
 
     @property
     def kind_count(self) -> int:
@@ -302,8 +349,20 @@ class GraphStore:
         self.store_id: int = next(_STORE_IDS)
         self._version = 0
         self._log: List[Delta] = []  # _log[i] transforms version i into i+1
+        self._checkpoints: Dict[Tuple[int, int], Delta] = {}
+        self._checkpoint_every: Optional[int] = None
         self._fingerprint: Optional[Tuple[int, str]] = None
         self._view: Optional[Tuple[int, Optional[KindView]]] = None
+        self._maintainer: Optional[PartitionMaintainer] = None
+        self._maintainer_version = 0
+        # Chained spans of partition updates: (from_version, to_version,
+        # ViewDelta), all within the maintainer's current epoch.
+        self._view_log: List[Tuple[int, int, ViewDelta]] = []
+        # Guards the maintained-partition state: engines may revalidate one
+        # store against several schemas concurrently, and each revalidation
+        # syncs the partition through typing_view().  (Mutation vs. read
+        # safety is still the caller's job, as for the graph itself.)
+        self._view_lock = threading.Lock()
         self._node_ids: Dict[NodeId, int] = {}
         self._label_ids: Dict[Label, int] = {}
         for node in self._graph.nodes:
@@ -363,22 +422,135 @@ class GraphStore:
         """The kind-compression view, or ``None`` when it would not pay.
 
         The heuristic refuses graphs below ``min_nodes`` outright (the quotient
-        could not amortise its construction) and otherwise builds the partition
-        and keeps the view only when it shrinks the node count by at least
-        ``min_ratio``.  The decision is memoised per version with the default
-        thresholds; custom thresholds bypass the memo.
+        could not amortise its construction) and otherwise keeps the view only
+        when the partition shrinks the node count by at least ``min_ratio``.
+
+        With the default thresholds the partition is *maintained*: the first
+        call builds it in full, later calls bring it up to date under the
+        composed delta since the last call
+        (:class:`repro.graphs.partition.PartitionMaintainer`), so on small
+        writes the view costs the delta's affected region, not the graph.  The
+        returned view is live (see :class:`KindView`) and the per-version
+        updates are queryable through :meth:`view_delta`.  Custom thresholds
+        bypass the maintainer and compress from scratch.
         """
         defaults = min_nodes == KIND_COMPRESS_MIN_NODES and min_ratio == KIND_COMPRESS_MIN_RATIO
-        if defaults and self._view is not None and self._view[0] == self._version:
-            return self._view[1]
-        view: Optional[KindView] = None
-        if self._graph.node_count >= min_nodes:
+        if not defaults:
+            if self._graph.node_count < min_nodes:
+                return None
             candidate = kind_compress(self._graph, name=f"kinds({self.name})@v{self._version}")
             if candidate.kind_count * min_ratio <= self._graph.node_count:
-                view = candidate
-        if defaults:
+                return candidate
+            return None
+        with self._view_lock:
+            if self._view is not None and self._view[0] == self._version:
+                return self._view[1]
+            view: Optional[KindView] = None
+            if self._graph.node_count >= min_nodes:
+                maintainer = self._sync_partition()
+                if maintainer.kind_count * min_ratio <= self._graph.node_count:
+                    view = KindView(
+                        compressed=maintainer.quotient,
+                        kind_of=maintainer.kind_of,
+                        members=maintainer.members,
+                    )
             self._view = (self._version, view)
-        return view
+            return view
+
+    #: How many partition-update spans to retain for :meth:`view_delta`;
+    #: engines revalidating less often than this per store fall back to a
+    #: full quotient typing, never to wrong answers.
+    VIEW_LOG_LIMIT = 256
+
+    def _sync_partition(self) -> PartitionMaintainer:
+        """Bring the maintained kind partition up to the current version."""
+        if self._maintainer is None:
+            self._maintainer = PartitionMaintainer(
+                self._graph, name=f"kinds({self.name})"
+            )
+            self._maintainer_version = self._version
+            return self._maintainer
+        if self._maintainer_version != self._version:
+            delta = self.diff(self._maintainer_version, self._version)
+            update = self._maintainer.update(self._graph, delta)
+            if update is None:  # fallback rebuild; ids changed epoch
+                self._view_log.clear()
+            else:
+                self._view_log.append(
+                    (self._maintainer_version, self._version, update)
+                )
+                if len(self._view_log) > self.VIEW_LOG_LIMIT:
+                    del self._view_log[0]
+            self._maintainer_version = self._version
+        return self._maintainer
+
+    @property
+    def view_epoch(self) -> int:
+        """The maintained partition's epoch (-1 before the first build).
+
+        Kind ids are stable *within* an epoch; a full rebuild (first build,
+        or an update whose affected region was too large) bumps it, telling
+        consumers that per-kind state keyed on the previous epoch is stale.
+        """
+        return self._maintainer.epoch if self._maintainer is not None else -1
+
+    def view_delta(self, v1: int, v2: int) -> Optional[ViewDelta]:
+        """The composed partition update from version ``v1`` to ``v2``.
+
+        Returns ``None`` when the spans do not chain — the maintainer was
+        rebuilt in between (epoch bump), ``v1`` predates the retained log, or
+        ``v1``/``v2`` never coincided with a partition sync.  ``None`` means
+        "kind ids are not comparable"; consumers must fall back to a full
+        quotient typing.
+        """
+        if v1 == v2:
+            return ViewDelta()
+        if v1 > v2:
+            return None
+        composed: Optional[ViewDelta] = None
+        cursor = v1
+        with self._view_lock:
+            spans = list(self._view_log)
+        for start, end, update in spans:
+            if start != cursor:
+                continue
+            composed = update if composed is None else composed.then(update)
+            cursor = end
+            if cursor == v2:
+                return composed
+        return None
+
+    def view_stats(self) -> Dict[str, object]:
+        """Kind-view observability for ``status`` endpoints (never computes).
+
+        Reports the maintained partition's state — kind count, compression
+        ratio, epoch, last update mode, update counters — without triggering
+        a build or sync: a store that was never typed reports
+        ``{"active": False}``.
+        """
+        with self._view_lock:  # a sync may be mid-flight on an engine thread
+            maintainer = self._maintainer
+            if maintainer is None:
+                return {"active": False}
+            stats = maintainer.stats
+            active = (
+                self._view is not None
+                and self._view[0] == self._version
+                and self._view[1] is not None
+            )
+            nodes = self._graph.node_count
+            return {
+                "active": active,
+                "kinds": maintainer.kind_count,
+                "compression_ratio": round(nodes / max(maintainer.kind_count, 1), 2),
+                "epoch": maintainer.epoch,
+                "partition_version": self._maintainer_version,
+                "last_update": stats.mode,
+                "full_builds": stats.full_builds,
+                "incremental_updates": stats.incremental_updates,
+                "splits": stats.splits,
+                "merges": stats.merges,
+            }
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -468,6 +640,9 @@ class GraphStore:
 
         Forward diffs concatenate the log; backward diffs are the inverse of
         the forward direction.  Both versions must lie in ``[0, version]``.
+        After :meth:`compact_log`, spans crossing checkpoint boundaries jump
+        checkpoint-to-checkpoint instead of composing every entry, so diffs
+        across distant versions of a long-lived store stay cheap.
         """
         for version in (v1, v2):
             if not 0 <= version <= self._version:
@@ -478,13 +653,57 @@ class GraphStore:
         if v1 == v2:
             return Delta()
         if v1 < v2:
-            span = self._log[v1:v2]
+            span = self._span_deltas(v1, v2)
         else:
-            span = [delta.inverse() for delta in reversed(self._log[v2:v1])]
+            span = [delta.inverse() for delta in reversed(self._span_deltas(v2, v1))]
         combined = span[0]
         for delta in span[1:]:
             combined = combined.then(delta)
         return combined
+
+    def _span_deltas(self, v1: int, v2: int) -> List[Delta]:
+        """The log entries covering ``v1 < v2``, taking checkpoint shortcuts."""
+        every = self._checkpoint_every
+        deltas: List[Delta] = []
+        cursor = v1
+        while cursor < v2:
+            if (
+                every
+                and cursor % every == 0
+                and cursor + every <= v2
+                and (cursor, cursor + every) in self._checkpoints
+            ):
+                deltas.append(self._checkpoints[(cursor, cursor + every)])
+                cursor += every
+            else:
+                deltas.append(self._log[cursor])
+                cursor += 1
+        return deltas
+
+    def compact_log(self, every: int = 64) -> int:
+        """Build composed, compacted checkpoints over the delta log.
+
+        Every completed window of ``every`` versions is composed into one
+        :meth:`Delta.compact`-ed checkpoint (add/remove churn inside the
+        window cancels), which :meth:`diff` then uses to jump the window in
+        one composition step.  Safe to call repeatedly — e.g. periodically on
+        a long-lived store — as only windows completed since the last call
+        are composed.  Returns the number of checkpoints now held.
+        """
+        if every < 2:
+            raise GraphError(f"checkpoint interval must be at least 2, got {every}")
+        if self._checkpoint_every not in (None, every):
+            self._checkpoints = {}  # interval changed; old grid is useless
+        self._checkpoint_every = every
+        for start in range(0, self._version - every + 1, every):
+            window = (start, start + every)
+            if window in self._checkpoints:
+                continue
+            combined = self._log[start]
+            for delta in self._log[start + 1 : start + every]:
+                combined = combined.then(delta)
+            self._checkpoints[window] = combined.compact()
+        return len(self._checkpoints)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -245,16 +245,42 @@ class AsyncValidationEngine(AsyncBatchEngine):
         """Revalidate a :class:`repro.graphs.store.GraphStore` off the event loop.
 
         Delegates to :meth:`repro.engine.validation.ValidationEngine.revalidate`
-        (incremental when the engine holds a prior typing for the store) on the
-        loop's default thread pool — never the process backend, since typing
-        snapshots cannot usefully cross a process boundary — keeping the loop
-        responsive; the wrapped engine's own lock serialises concurrent
-        revalidations of the same store.  Returns a
+        (incremental when the engine holds a prior typing — via the store's
+        view delta on the compressed path, via the edge delta otherwise) on
+        the loop's default thread pool — never the process backend, since
+        typing snapshots cannot usefully cross a process boundary — keeping
+        the loop responsive; the wrapped engine's own lock serialises
+        concurrent revalidations of the same store.  Returns a
         :class:`repro.engine.validation.RevalidationOutcome`.
         """
         call = functools.partial(
             self.engine.revalidate, store, schema, compressed=compressed, label=label
         )
+        return await asyncio.get_running_loop().run_in_executor(None, call)
+
+    async def revalidate_many(
+        self, stores, schema, compressed: bool = False
+    ) -> List:
+        """Revalidate several stores against one schema in one executor hop.
+
+        ``stores`` is an iterable of :class:`repro.graphs.store.GraphStore`;
+        the whole batch runs as a single thread-pool call, so every store
+        after the first reuses the schema's already-warm persistent signature
+        memo (and the compiled schema) without bouncing through the event
+        loop per graph.  The caller must hold whatever locks protect the
+        stores from concurrent mutation for the duration (the daemon's
+        batched ``revalidate`` op does).  Returns the
+        :class:`repro.engine.validation.RevalidationOutcome` list in input
+        order.
+        """
+        batch = list(stores)
+
+        def call() -> List:
+            return [
+                self.engine.revalidate(store, schema, compressed=compressed)
+                for store in batch
+            ]
+
         return await asyncio.get_running_loop().run_in_executor(None, call)
 
 

@@ -13,10 +13,11 @@ Usage examples (after ``pip install -e .``)::
     shex-serve flush  --connect /tmp/shex.sock
     shex-serve stop   --connect /tmp/shex.sock
 
-    # Keep a versioned graph store on the daemon and revalidate incrementally
+    # Keep versioned graph stores on the daemon and revalidate incrementally
     shex-serve update     --connect /tmp/shex.sock --name bugs --data bugs.ttl
     shex-serve update     --connect /tmp/shex.sock --name bugs --delta edit.json
     shex-serve revalidate --connect /tmp/shex.sock --name bugs --schema s.shex
+    shex-serve revalidate --connect /tmp/shex.sock --all --schema s.shex
 
 ``start`` blocks until ``stop`` (or Ctrl-C); run it under ``&``, tmux, or a
 service manager for background operation.  Requests are served through the
@@ -95,6 +96,23 @@ def _cmd_status(args: argparse.Namespace) -> int:
             f"  {kind.replace('_', ' ')}: hits={cache['hits']} misses={cache['misses']} "
             f"size={cache['size']}/{cache['max_size']} hit-rate={cache['hit_rate']:.1%}"
         )
+    graphs = status.get("graphs", {})
+    if graphs:
+        print(f"  graphs registered: {len(graphs)}")
+    for name, entry in graphs.items():
+        line = (
+            f"    {name!r}: v{entry['version']}, {entry['nodes']} nodes, "
+            f"{entry['edges']} edges"
+        )
+        view = entry.get("view", {})
+        if view.get("active"):
+            line += (
+                f"; kinds={view['kinds']} ({view['compression_ratio']}x), "
+                f"last partition update: {view['last_update']}"
+            )
+        elif view:
+            line += "; kind view inactive"
+        print(line)
     return 0
 
 
@@ -134,21 +152,52 @@ def _cmd_update(args: argparse.Namespace) -> int:
 
 
 def _cmd_revalidate(args: argparse.Namespace) -> int:
-    """``shex-serve revalidate``: validate the current version of a graph."""
+    """``shex-serve revalidate``: validate graph stores (one, many, or all).
+
+    One ``--name`` keeps the original single-graph output; several ``--name``
+    flags or ``--all`` run one batched daemon op sharing the schema's warm
+    signature memo across graphs, printing one line per graph.  Unknown
+    graphs are reported per line without aborting the batch.
+    """
+    names = args.name or []
+    if bool(names) == args.all:
+        raise ReproError("pass --name (repeatable) or --all, not both")
+    schema_ref = {"text": _read_file(args.schema), "name": args.schema}
     with _client(args) as client:
-        answer = client.revalidate(
-            args.name,
-            {"text": _read_file(args.schema), "name": args.schema},
+        if len(names) == 1 and not args.all:
+            answer = client.revalidate(
+                names[0], schema_ref, compressed=args.compressed
+            )
+            verdict = answer["verdict"].upper()
+            print(
+                f"{verdict}: graph {names[0]!r} v{answer['version']} against "
+                f"{args.schema} [{answer['mode']}]"
+            )
+            for node in answer["untyped_nodes"]:
+                print(f"  untyped: {node}")
+            return 0 if answer["verdict"] == "valid" else 1
+        summary = client.revalidate_many(
+            schema_ref,
+            graphs=names or None,
+            all_graphs=args.all,
             compressed=args.compressed,
         )
-    verdict = answer["verdict"].upper()
+    for entry in summary["results"]:
+        if "error" in entry:
+            print(f"UNKNOWN: graph {entry['graph']!r} ({entry['error']['message']})")
+            continue
+        print(
+            f"{entry['verdict'].upper()}: graph {entry['graph']!r} "
+            f"v{entry['version']} [{entry['mode']}]"
+        )
+        for node in entry["untyped_nodes"]:
+            print(f"  untyped: {node}")
     print(
-        f"{verdict}: graph {args.name!r} v{answer['version']} against "
-        f"{args.schema} [{answer['mode']}]"
+        f"shex-serve: {summary['graphs']} graph(s): {summary['valid']} valid, "
+        f"{summary['invalid']} invalid, {summary['unknown']} unknown",
+        file=sys.stderr,
     )
-    for node in answer["untyped_nodes"]:
-        print(f"  untyped: {node}")
-    return 0 if answer["verdict"] == "valid" else 1
+    return 0 if summary["invalid"] == 0 and summary["unknown"] == 0 else 1
 
 
 def _cmd_flush(args: argparse.Namespace) -> int:
@@ -211,15 +260,22 @@ def build_parser() -> argparse.ArgumentParser:
         )
         if name == "status":
             sub.add_argument("--json", action="store_true", help="print raw JSON status")
-        if name in ("update", "revalidate"):
-            sub.add_argument("--name", required=True, help="graph store name on the daemon")
         if name == "update":
+            sub.add_argument("--name", required=True, help="graph store name on the daemon")
             sub.add_argument("--data", help="RDF document registering the graph (v0)")
             sub.add_argument(
                 "--delta", metavar="FILE",
                 help="JSON {\"add\": [[s,a,t],...], \"remove\": [...]} edit to apply",
             )
         if name == "revalidate":
+            sub.add_argument(
+                "--name", action="append",
+                help="graph store name on the daemon (repeatable for a batch)",
+            )
+            sub.add_argument(
+                "--all", action="store_true",
+                help="revalidate every graph store registered on the daemon",
+            )
             sub.add_argument("--schema", required=True, help="schema rule file")
             sub.add_argument(
                 "--compressed", action="store_true",

@@ -212,11 +212,37 @@ class DaemonClient:
 
         ``schema`` is a registered name or ``{"text"/"path"}``.  The response
         carries the usual validation fields plus ``version`` and ``mode``
-        (``cached`` / ``unchanged`` / ``incremental`` / ``full`` / ``kinds``).
+        (``cached`` / ``unchanged`` / ``incremental`` / ``kinds-incremental``
+        / ``full`` / ``kinds``).
         """
         return self.request(
             "revalidate", name=name, schema=schema, compressed=compressed, label=label
         )
+
+    def revalidate_many(
+        self,
+        schema: Any,
+        graphs: Optional[Iterable[str]] = None,
+        all_graphs: bool = False,
+        compressed: bool = False,
+    ) -> Dict[str, Any]:
+        """Revalidate many graph stores against one schema in one request.
+
+        Pass ``graphs`` (a list of registered names) or ``all_graphs=True``
+        (every store on the daemon).  The batch shares the schema's warm
+        signature memo across graphs; unknown names come back as per-entry
+        ``{"graph": ..., "error": {...}}`` objects without failing the
+        batch.  Returns ``{"graphs", "valid", "invalid", "unknown",
+        "results"}`` with results in request (or sorted, for ``all``) order.
+        """
+        if (graphs is None) == (not all_graphs):
+            raise ValueError("pass exactly one of graphs or all_graphs=True")
+        params: Dict[str, Any] = {"schema": schema, "compressed": compressed}
+        if all_graphs:
+            params["all"] = True
+        else:
+            params["graphs"] = list(graphs)
+        return self.request("revalidate", **params)
 
     def status(self) -> Dict[str, Any]:
         """Daemon status: uptime, request counters, schemas, cache statistics."""

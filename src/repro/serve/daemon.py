@@ -24,12 +24,13 @@ Run it in the foreground with ``shex-serve start``, drive it with
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import hashlib
 import os
 import socket
 import threading
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import repro
 from repro.engine.cache import CacheStats, LRUCache
@@ -541,6 +542,19 @@ class ValidationDaemon:
             "edges": store.graph.edge_count,
         }
 
+    @classmethod
+    def _store_status(cls, name: str, store: GraphStore) -> Dict[str, Any]:
+        """The ``status`` view of one store: summary plus kind-view stats.
+
+        ``view`` reports the maintained kind partition — kind count,
+        compression ratio, last update mode (``full`` vs ``incremental``) —
+        so operators can see when compression pays; ``{"active": false}``
+        for stores that were never typed (the report never computes).
+        """
+        summary = cls._store_summary(name, store)
+        summary["view"] = store.view_stats()
+        return summary
+
     async def _op_update_graph(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """Register a named graph store, or apply an edge delta to one.
 
@@ -579,27 +593,102 @@ class ValidationDaemon:
             return result
 
     async def _op_revalidate(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Validate the current version of a registered graph store.
+        """Validate the current version of one or many registered graph stores.
 
-        Incremental when the engine holds the typing of an earlier version —
-        the response's ``mode`` field reports which path answered
-        (``cached`` / ``unchanged`` / ``incremental`` / ``full`` / ``kinds``).
+        Addressing: exactly one of ``name`` (one graph, the original shape),
+        ``graphs`` (a list of names), or ``all: true`` (every registered
+        graph, sorted).  Incremental when the engine holds the typing of an
+        earlier version — the response's ``mode`` field reports which path
+        answered (``cached`` / ``unchanged`` / ``incremental`` /
+        ``kinds-incremental`` / ``full`` / ``kinds``).
+
+        Batched form: the whole batch is revalidated against one resolved
+        schema in a single engine hop, so every graph after the first reuses
+        the schema's warm signature memo.  Unknown names are reported per
+        entry (``{"graph": ..., "error": {...}}``) without failing the batch.
         """
-        name = protocol.require(message, "name", str)
+        name = message.get("name")
+        graphs = message.get("graphs")
+        all_graphs = message.get("all", False)
+        if not isinstance(all_graphs, bool):
+            raise ProtocolError("'all' must be a boolean", protocol.E_BAD_REQUEST)
+        given = sum((name is not None, graphs is not None, bool(all_graphs)))
+        if given != 1:
+            raise ProtocolError(
+                "op 'revalidate' needs exactly one of 'name', 'graphs', or 'all'",
+                protocol.E_BAD_REQUEST,
+            )
         compiled = await self._offload(
             self._resolve_schema, protocol.require(message, "schema")
         )
         compressed = message.get("compressed", False)
         if not isinstance(compressed, bool):
             raise ProtocolError("'compressed' must be a boolean", protocol.E_BAD_REQUEST)
-        async with self._store_lock(name):
-            store = self._resolve_store(name)
-            outcome = await self.validation.revalidate(
-                store, compiled, compressed=compressed,
-                label=str(message.get("label", "")),
+
+        if name is not None:
+            if not isinstance(name, str):
+                raise ProtocolError("'name' must be a string", protocol.E_BAD_REQUEST)
+            async with self._store_lock(name):
+                store = self._resolve_store(name)
+                outcome = await self.validation.revalidate(
+                    store, compiled, compressed=compressed,
+                    label=str(message.get("label", "")),
+                )
+            return self._revalidation_entry(name, outcome)
+
+        if all_graphs:
+            names = sorted(self._stores)
+        else:
+            if not isinstance(graphs, list) or not all(
+                isinstance(entry, str) for entry in graphs
+            ):
+                raise ProtocolError(
+                    "'graphs' must be a list of graph names", protocol.E_BAD_REQUEST
+                )
+            names = list(dict.fromkeys(graphs))  # dedup, keep request order
+        entries: Dict[str, Dict[str, Any]] = {}
+        # All per-store locks are taken (in sorted order, one acquisition
+        # site, hence no deadlock) before the names are even resolved: the
+        # whole batch then validates a consistent snapshot of every
+        # addressed store — a store replaced by a concurrent update_graph
+        # is seen in its post-replacement state, exactly like the
+        # single-name path which resolves under its lock.
+        async with contextlib.AsyncExitStack() as stack:
+            for graph_name in sorted(names):
+                await stack.enter_async_context(self._store_lock(graph_name))
+            known: List[Tuple[str, GraphStore]] = []
+            for graph_name in names:
+                store = self._stores.get(graph_name)
+                if store is None:
+                    entries[graph_name] = {
+                        "graph": graph_name,
+                        "error": {
+                            "code": protocol.E_UNKNOWN_GRAPH,
+                            "message": f"graph {graph_name!r} has not been registered",
+                        },
+                    }
+                else:
+                    known.append((graph_name, store))
+            outcomes = await self.validation.revalidate_many(
+                [store for _name, store in known], compiled, compressed=compressed
             )
-        response = self._validation_result(outcome.result)
-        response.update(
+            for (graph_name, _store), outcome in zip(known, outcomes):
+                entries[graph_name] = self._revalidation_entry(graph_name, outcome)
+        results = [entries[graph_name] for graph_name in names]
+        return {
+            "graphs": len(results),
+            "valid": sum(1 for entry in results if entry.get("verdict") == "valid"),
+            "invalid": sum(
+                1 for entry in results if entry.get("verdict") == "invalid"
+            ),
+            "unknown": sum(1 for entry in results if "error" in entry),
+            "results": results,
+        }
+
+    def _revalidation_entry(self, name: str, outcome) -> Dict[str, Any]:
+        """One graph's revalidation outcome as a response object."""
+        entry = self._validation_result(outcome.result)
+        entry.update(
             {
                 "graph": name,
                 "version": outcome.version,
@@ -608,7 +697,7 @@ class ValidationDaemon:
                 "affected": outcome.affected,
             }
         )
-        return response
+        return entry
 
     async def _op_status(self, message: Dict[str, Any]) -> Dict[str, Any]:
         return {
@@ -626,7 +715,7 @@ class ValidationDaemon:
                 for name, compiled in sorted(self._schemas.items())
             },
             "graphs": {
-                name: self._store_summary(name, store)
+                name: self._store_status(name, store)
                 for name, store in sorted(self._stores.items())
             },
             "validation_cache": _stats_dict(self.validation.engine.cache.stats()),

@@ -194,7 +194,7 @@ class TestEngineRevalidationParity:
             store.apply(_random_plain_delta(rng, store.graph, labels))
             outcome = engine.revalidate(store, schema)
             assert outcome.version == store.version
-            assert outcome.mode in ("incremental", "full", "kinds")
+            assert outcome.mode in ("incremental", "kinds-incremental", "full", "kinds")
             oracle = maximal_typing_fixpoint(store.graph, schema)
             expected = "valid" if all(
                 oracle.types_of(node) for node in store.graph.nodes

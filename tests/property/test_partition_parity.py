@@ -1,0 +1,337 @@
+"""Parity of the maintained kind partition against from-scratch compression.
+
+:class:`repro.graphs.partition.PartitionMaintainer` updates the counting
+bisimulation under edge deltas — local split refinement over the affected
+region, a quotient-level merge pass, in-place quotient patching.  After *any*
+delta sequence the maintained state must equal a fresh
+:func:`repro.graphs.store.kind_partition` / :func:`kind_compress` run, up to
+the kind renaming (maintained ids are stable; fresh ids are repr-ordered):
+
+* same partition *blocks* over the nodes;
+* isomorphic quotient under the member-induced kind bijection (same rows,
+  same multiplicities);
+* consistent bookkeeping (members partition the node set, quotient nodes are
+  exactly the kinds).
+
+On top of the structural parity, the store-path incremental typing — the
+``kinds-incremental`` mode of :meth:`ValidationEngine.revalidate`, seeded by
+composed view deltas — must equal a full from-scratch typing at every
+version, which is what makes the compressed path incremental *end-to-end*.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.fixpoint import (
+    FixpointStats,
+    expand_kind_typing,
+    kind_typing_for_view,
+    maximal_typing_fixpoint,
+    retype_kinds_incremental,
+)
+from repro.engine.validation import ValidationEngine, _payload_from_typing
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.partition import ViewDelta
+from repro.graphs.store import Delta, GraphStore, kind_compress, kind_partition
+from repro.workloads.bugtracker import bug_tracker_graph, bug_tracker_schema
+from repro.workloads.generators import DEFAULT_LABELS, random_shape_schema
+
+SEEDS = [3, 11, 27, 42, 58]
+STEPS = 10
+
+
+def _noise_graph(rng: random.Random, nodes: int, edges: int, labels) -> Graph:
+    graph = Graph(f"partition-noise-{nodes}x{edges}")
+    names = [f"n{i}" for i in range(nodes)]
+    graph.add_nodes(names)
+    for _ in range(edges):
+        graph.add_edge(rng.choice(names), rng.choice(labels), rng.choice(names))
+    return graph
+
+
+def _random_delta(rng: random.Random, graph: Graph, labels) -> Delta:
+    """A random edit batch; removals never name the same stored edge twice."""
+    add = []
+    remove = []
+    names = sorted(graph.nodes, key=repr)
+    chosen: set = set()
+    for _ in range(rng.randint(1, 3)):
+        candidates = [
+            edge
+            for edge in sorted(graph.edges, key=lambda e: e.edge_id)
+            if edge.edge_id not in chosen
+        ]
+        if candidates and rng.random() < 0.5:
+            edge = rng.choice(candidates)
+            chosen.add(edge.edge_id)
+            remove.append((edge.source, edge.label, edge.target))
+        else:
+            source = rng.choice(names)
+            target = (
+                f"fresh{rng.randint(0, 10 ** 6)}"
+                if rng.random() < 0.25
+                else rng.choice(names)
+            )
+            add.append((source, rng.choice(labels), target))
+    return Delta.of(add=add, remove=remove)
+
+
+def _blocks(kind_of) -> frozenset:
+    inverse = {}
+    for node, kind in kind_of.items():
+        inverse.setdefault(kind, set()).add(node)
+    return frozenset(frozenset(members) for members in inverse.values())
+
+
+def _assert_maintained_parity(maintainer, graph: Graph, context: str) -> None:
+    """Maintained partition/quotient == fresh compression, up to renaming."""
+    fresh_kinds = kind_partition(graph)
+    assert _blocks(maintainer.kind_of) == _blocks(fresh_kinds), (
+        f"{context}: maintained partition blocks diverged from kind_partition"
+    )
+    fresh = kind_compress(graph)
+    bijection = {}
+    for node in graph.nodes:
+        bijection.setdefault(maintainer.kind_of[node], fresh.kind_of[node])
+    maintained_rows = {
+        bijection[kind]: {
+            (edge.label, bijection[edge.target]): edge.occur.lower
+            for edge in maintainer.quotient.out_edges(kind)
+        }
+        for kind in maintainer.members
+    }
+    fresh_rows = {
+        kind: {
+            (edge.label, edge.target): edge.occur.lower
+            for edge in fresh.compressed.out_edges(kind)
+        }
+        for kind in fresh.members
+    }
+    assert maintained_rows == fresh_rows, (
+        f"{context}: patched quotient is not isomorphic to kind_compress"
+    )
+    # Bookkeeping invariants: members partition the nodes, quotient nodes
+    # are exactly the kinds, every row weight is positive.
+    assert sum(len(nodes) for nodes in maintainer.members.values()) == graph.node_count
+    assert set(maintainer.quotient.nodes) == set(maintainer.members)
+    assert all(
+        edge.occur.lower >= 1 for edge in maintainer.quotient.edges
+    ), f"{context}: zero-multiplicity quotient edge survived"
+
+
+class TestMaintainedPartitionParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_edit_sequences_match_fresh_compression(self, seed):
+        rng = random.Random(seed)
+        labels = list(DEFAULT_LABELS[:3])
+        store = GraphStore(_noise_graph(rng, 14, 24, labels))
+        maintainer = store._sync_partition()
+        _assert_maintained_parity(maintainer, store.graph, f"seed {seed} build")
+        for step in range(STEPS):
+            store.apply(_random_delta(rng, store.graph, labels))
+            maintainer = store._sync_partition()
+            _assert_maintained_parity(
+                maintainer, store.graph, f"seed {seed} step {step}"
+            )
+
+    def test_multi_version_sync_composes_deltas(self):
+        # The maintainer may lag several versions behind; one sync must
+        # absorb the composed delta exactly.
+        rng = random.Random(7)
+        labels = list(DEFAULT_LABELS[:3])
+        store = GraphStore(_noise_graph(rng, 12, 20, labels))
+        store._sync_partition()
+        for _ in range(4):  # four versions, no sync in between
+            store.apply(_random_delta(rng, store.graph, labels))
+        maintainer = store._sync_partition()
+        _assert_maintained_parity(maintainer, store.graph, "multi-version sync")
+
+    def test_clone_delta_splits_and_merges_back(self):
+        base = bug_tracker_graph()
+        graph = Graph("clones")
+        for copy_index in range(12):
+            for edge in base.edges:
+                graph.add_edge(
+                    (copy_index, edge.source), edge.label, (copy_index, edge.target)
+                )
+        store = GraphStore(graph)
+        assert store.typing_view() is not None
+        maintainer = store._maintainer
+        kinds_before = maintainer.kind_count
+        prefix = "http://example.org/bugs#"
+        delta = Delta.of(
+            remove=[((3, f"{prefix}bug3"), "descr", (3, "literal:Kabang!||"))]
+        )
+        store.apply(delta)
+        store.typing_view()
+        assert maintainer.stats.mode == "incremental"
+        assert maintainer.kind_count > kinds_before  # copy 3 split out
+        _assert_maintained_parity(maintainer, store.graph, "after split")
+        store.apply(delta.inverse())
+        store.typing_view()
+        assert maintainer.kind_count == kinds_before  # merged back
+        assert maintainer.stats.merges > 0
+        _assert_maintained_parity(maintainer, store.graph, "after merge")
+        # The composed view delta over the round trip is net-empty on the
+        # changed side: only the temporary kinds retire.
+        composed = store.view_delta(0, store.version)
+        assert composed is not None and not composed.changed
+
+    def test_large_delta_falls_back_to_a_rebuild(self):
+        rng = random.Random(5)
+        labels = list(DEFAULT_LABELS[:3])
+        store = GraphStore(_noise_graph(rng, 12, 18, labels))
+        maintainer = store._sync_partition()
+        epoch = maintainer.epoch
+        # Touch most sinks at once: the backward closure covers the graph.
+        add = [(f"n{i}", labels[0], f"n{(i + 1) % 12}") for i in range(10)]
+        store.apply(Delta.of(add=add))
+        store._sync_partition()
+        assert maintainer.epoch == epoch + 1
+        assert store.view_delta(0, store.version) is None  # chain broken
+        _assert_maintained_parity(maintainer, store.graph, "after rebuild")
+
+
+class TestViewDeltaComposition:
+    def test_then_composes_changed_and_retired(self):
+        first = ViewDelta(changed=frozenset({1, 2}), retired=frozenset({0}))
+        second = ViewDelta(changed=frozenset({3}), retired=frozenset({2}))
+        composed = first.then(second)
+        assert composed.changed == {1, 3}  # 2 retired later, dropped
+        assert composed.retired == {0, 2}
+        assert ViewDelta().is_empty
+
+    def test_store_records_chainable_spans(self):
+        rng = random.Random(23)
+        labels = list(DEFAULT_LABELS[:3])
+        store = GraphStore(_noise_graph(rng, 80, 60, labels))
+        store.typing_view(min_nodes=1, min_ratio=1.0)  # custom: no maintenance
+        store._sync_partition()
+        versions = [store.version]
+        for _ in range(3):
+            store.apply(_random_delta(rng, store.graph, labels))
+            store._sync_partition()
+            versions.append(store.version)
+        for old in versions[:-1]:
+            stepwise = store.view_delta(old, versions[-1])
+            if stepwise is None:  # a rebuild broke the chain; nothing to check
+                continue
+            assert isinstance(stepwise, ViewDelta)
+        assert store.view_delta(versions[-1], versions[-1]) == ViewDelta()
+        assert store.view_delta(versions[-1], versions[0]) is None  # backwards
+
+
+class TestStorePathTypingParity:
+    def test_kinds_incremental_typing_equals_full(self):
+        schema = bug_tracker_schema()
+        base = bug_tracker_graph()
+        graph = Graph("clones")
+        for copy_index in range(12):
+            for edge in base.edges:
+                graph.add_edge(
+                    (copy_index, edge.source), edge.label, (copy_index, edge.target)
+                )
+        store = GraphStore(graph)
+        engine = ValidationEngine(cache_size=0)  # force the computing paths
+        first = engine.revalidate(store, schema)
+        assert first.mode == "kinds"
+        prefix = "http://example.org/bugs#"
+        edits = [
+            Delta.of(remove=[((3, f"{prefix}bug3"), "descr", (3, "literal:Kabang!||"))]),
+            Delta.of(add=[((3, f"{prefix}bug4"), "related", (3, f"{prefix}bug1"))]),
+            Delta.of(add=[((5, f"{prefix}bug1"), "related", (5, f"{prefix}bug2"))]),
+        ]
+        saw_kinds_incremental = False
+        for step, delta in enumerate(edits):
+            store.apply(delta)
+            outcome = engine.revalidate(store, schema)
+            assert outcome.version == store.version
+            saw_kinds_incremental |= outcome.mode == "kinds-incremental"
+            oracle = maximal_typing_fixpoint(store.graph, schema)
+            _verdict, oracle_payload = _payload_from_typing(store.graph, oracle, False)
+            assert outcome.result.payload == oracle_payload, (
+                f"step {step}: kinds-path typing diverged from the oracle "
+                f"(mode {outcome.mode})"
+            )
+        assert saw_kinds_incremental, "the view-delta path was never taken"
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_random_sequences_on_a_view_active_store(self, seed):
+        rng = random.Random(seed)
+        schema = random_shape_schema(4, rng=rng, name=f"partition-typing-{seed}")
+        labels = sorted(schema.labels()) or list(DEFAULT_LABELS[:3])
+        base = _noise_graph(rng, 10, 16, labels)
+        graph = Graph("cloned-noise")
+        for copy_index in range(10):  # 100 nodes: above the view floor
+            for edge in base.edges:
+                graph.add_edge(
+                    (copy_index, edge.source), edge.label, (copy_index, edge.target)
+                )
+        store = GraphStore(graph)
+        engine = ValidationEngine(cache_size=0)
+        engine.revalidate(store, schema)
+        for step in range(4):
+            copy_index = rng.randrange(10)
+            local = _random_delta(rng, base, labels)
+            delta = Delta.of(
+                add=[
+                    ((copy_index, s), label, (copy_index, t))
+                    for s, label, t, _o in local.added
+                ],
+                remove=[
+                    ((copy_index, s), label, (copy_index, t))
+                    for s, label, t, _o in local.removed
+                ],
+            )
+            try:
+                store.apply(delta)
+            except GraphError:
+                continue  # the local edit named an edge a prior step removed
+            outcome = engine.revalidate(store, schema)
+            oracle = maximal_typing_fixpoint(store.graph, schema)
+            _verdict, oracle_payload = _payload_from_typing(store.graph, oracle, False)
+            assert outcome.result.payload == oracle_payload, (
+                f"seed {seed} step {step}: revalidation diverged "
+                f"(mode {outcome.mode})"
+            )
+
+    def test_retype_kinds_incremental_direct_parity(self):
+        # Drive the kernel helper directly: prior quotient typing + composed
+        # view delta must reproduce the fresh quotient typing.
+        schema = bug_tracker_schema()
+        base = bug_tracker_graph()
+        graph = Graph("clones")
+        for copy_index in range(12):
+            for edge in base.edges:
+                graph.add_edge(
+                    (copy_index, edge.source), edge.label, (copy_index, edge.target)
+                )
+        store = GraphStore(graph)
+        view = store.typing_view()
+        assert view is not None
+        from repro.engine.compiled import compile_schema
+
+        compiled = compile_schema(schema)
+        prior = kind_typing_for_view(view, compiled)
+        version = store.version
+        prefix = "http://example.org/bugs#"
+        store.apply(
+            Delta.of(remove=[((3, f"{prefix}bug3"), "descr", (3, "literal:Kabang!||"))])
+        )
+        view = store.typing_view()
+        view_delta = store.view_delta(version, store.version)
+        assert view_delta is not None and view_delta.changed
+        stats = FixpointStats()
+        incremental = retype_kinds_incremental(
+            view, prior, view_delta, compiled=compiled, stats=stats
+        )
+        assert stats.mode == "kinds-incremental"
+        assert incremental == kind_typing_for_view(view, compiled)
+        # Node-level expansion agrees with the plain kernel on the base graph.
+        assert expand_kind_typing(view, incremental) == maximal_typing_fixpoint(
+            store.graph, schema
+        )

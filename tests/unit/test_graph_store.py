@@ -136,6 +136,133 @@ class TestGraphStore:
         assert GraphStore(Graph()).store_id != GraphStore(Graph()).store_id
 
 
+class TestDeltaCompaction:
+    def test_compact_cancels_matching_pairs(self):
+        delta = Delta.of(
+            add=[("x", "a", "y"), ("u", "b", "v")],
+            remove=[("x", "a", "y"), ("p", "c", "q")],
+        )
+        compacted = delta.compact()
+        assert compacted.added == Delta.of(add=[("u", "b", "v")]).added
+        assert compacted.removed == Delta.of(remove=[("p", "c", "q")]).removed
+
+    def test_compact_is_multiset_exact(self):
+        # Two adds, one remove of the same content: exactly one pair cancels.
+        delta = Delta.of(
+            add=[("x", "a", "y"), ("x", "a", "y")], remove=[("x", "a", "y")]
+        )
+        compacted = delta.compact()
+        assert len(compacted.added) == 1 and not compacted.removed
+
+    def test_compact_respects_intervals(self):
+        # Different intervals are different content: nothing cancels.
+        delta = Delta.of(add=[("x", "a", "y", (2, 2))], remove=[("x", "a", "y")])
+        assert delta.compact() == delta
+
+    def test_compact_without_cancellation_returns_self(self):
+        delta = Delta.of(add=[("x", "a", "y")])
+        assert delta.compact() is delta
+
+
+class TestLogCompaction:
+    def _churny_store(self, steps: int) -> GraphStore:
+        # Pure add/remove churn over existing nodes (deltas describe edges,
+        # so targets must pre-exist for diffs to reproduce content exactly).
+        store = GraphStore(_chain("a", "b", "c"))
+        for index in range(steps):
+            store.add_edge("n0", "x", f"n{index % 3 + 1}")
+            store.remove_edge("n0", "x", f"n{index % 3 + 1}")
+        return store
+
+    def test_checkpointed_diff_equals_plain_diff(self):
+        store = self._churny_store(20)  # 40 versions of add/remove churn
+        plain = {
+            (v1, v2): store.diff(v1, v2)
+            for v1, v2 in [(0, 40), (3, 37), (40, 0), (37, 3), (8, 8)]
+        }
+        assert store.compact_log(every=8) == 5
+        for (v1, v2), expected in plain.items():
+            replay = GraphStore(_chain("a", "b", "c"))
+            # Checkpointed diffs may order entries differently; they must
+            # still describe the same edit (here: churn cancels to nothing).
+            checkpointed = store.diff(v1, v2)
+            assert checkpointed.compact().is_empty == expected.compact().is_empty
+            if v1 == 0:
+                replay.apply(checkpointed)
+                assert replay.fingerprint() == store.fingerprint()
+
+    def test_checkpoints_cancel_churn(self):
+        store = self._churny_store(16)
+        store.compact_log(every=8)
+        # Every full window is pure churn: its checkpoint must be empty.
+        assert all(delta.is_empty for delta in store._checkpoints.values())
+        assert store.diff(0, 32).is_empty
+
+    def test_compact_log_is_idempotent_and_incremental(self):
+        store = self._churny_store(8)
+        assert store.compact_log(every=4) == 4
+        assert store.compact_log(every=4) == 4  # nothing new to compose
+        store.add_edge("n0", "y", "n1")
+        store.remove_edge("n0", "y", "n1")
+        store.add_edge("n0", "y", "n2")
+        store.remove_edge("n0", "y", "n2")
+        assert store.compact_log(every=4) == 5  # one more completed window
+        with pytest.raises(GraphError):
+            store.compact_log(every=1)
+
+    def test_changing_the_interval_rebuilds_the_grid(self):
+        store = self._churny_store(8)
+        store.compact_log(every=4)
+        assert store.compact_log(every=8) == 2
+        assert all(end - start == 8 for start, end in store._checkpoints)
+
+    def test_mixed_span_uses_checkpoints_and_log_tail(self):
+        store = GraphStore(Graph("grow"))
+        for index in range(19):
+            store.add_edge(f"s{index}", "a", f"t{index}")
+        store.compact_log(every=8)
+        forward = store.diff(2, 19)  # log prefix, one checkpoint, log tail
+        replay = GraphStore(Graph("grow"))
+        replay.apply(store.diff(0, 2))
+        replay.apply(forward)
+        assert replay.fingerprint() == store.fingerprint()
+        backward = store.diff(19, 2)
+        replay.apply(backward)
+        assert replay.graph.edge_count == 2
+
+
+class TestMaintainedView:
+    def test_view_stats_are_passive(self):
+        store = GraphStore(bug_tracker_graph())
+        assert store.view_stats() == {"active": False}  # never typed
+        assert store.view_epoch == -1
+
+    def test_view_stats_report_the_maintained_partition(self):
+        base = bug_tracker_graph()
+        graph = Graph("clones")
+        for copy_index in range(12):
+            for edge in base.edges:
+                graph.add_edge(
+                    (copy_index, edge.source), edge.label, (copy_index, edge.target)
+                )
+        store = GraphStore(graph)
+        assert store.typing_view() is not None
+        stats = store.view_stats()
+        assert stats["active"] is True
+        assert stats["kinds"] * 4 <= graph.node_count
+        assert stats["last_update"] == "full"
+        assert stats["epoch"] == 0 and store.view_epoch == 0
+        store.add_edge((0, "fresh"), "descr", (0, "literal"))
+        assert store.typing_view() is not None
+        assert store.view_stats()["last_update"] == "incremental"
+        assert store.view_stats()["incremental_updates"] == 1
+
+    def test_custom_thresholds_bypass_the_maintainer(self):
+        store = GraphStore(_chain("a", "b"))
+        assert store.typing_view(min_nodes=1, min_ratio=1.0) is not None
+        assert store.view_stats() == {"active": False}  # no maintainer built
+
+
 class TestKindCompression:
     def test_partition_separates_structurally_distinct_nodes(self):
         graph = Graph()

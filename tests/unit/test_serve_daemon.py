@@ -193,6 +193,73 @@ class TestGraphStoreOps:
             client.update_graph("bugs", delta={"remove": [["ghost", "a", "ghost2"]]})
         assert caught.value.code == "bad-request"  # removal of an absent edge
 
+    def test_batched_revalidate_over_named_graphs(self, client):
+        client.load_schema("bug", text=SCHEMA_TEXT)
+        client.update_graph("good", data_text=GOOD_TURTLE)
+        client.update_graph("bad", data_text=BAD_TURTLE)
+        summary = client.revalidate_many("bug", graphs=["good", "bad", "ghost"])
+        assert summary["graphs"] == 3
+        assert summary["valid"] == 1 and summary["invalid"] == 1
+        assert summary["unknown"] == 1
+        by_graph = {entry["graph"]: entry for entry in summary["results"]}
+        assert by_graph["good"]["verdict"] == "valid"
+        assert by_graph["bad"]["untyped_nodes"] == ["'http://example.org/b1'"]
+        # unknown-graph is per entry, never fatal for the batch
+        assert by_graph["ghost"]["error"]["code"] == "unknown-graph"
+        # results preserve request order
+        assert [entry["graph"] for entry in summary["results"]] == [
+            "good", "bad", "ghost",
+        ]
+
+    def test_batched_revalidate_all_graphs(self, client):
+        client.load_schema("bug", text=SCHEMA_TEXT)
+        client.update_graph("one", data_text=GOOD_TURTLE)
+        client.update_graph("two", data_text=GOOD_TURTLE)
+        summary = client.revalidate_many("bug", all_graphs=True)
+        assert summary["graphs"] == 2 and summary["unknown"] == 0
+        assert [entry["graph"] for entry in summary["results"]] == ["one", "two"]
+        # A second pass answers without recomputation (cached/unchanged).
+        again = client.revalidate_many("bug", all_graphs=True)
+        assert all(
+            entry["mode"] in ("cached", "unchanged") for entry in again["results"]
+        )
+
+    def test_revalidate_rejects_ambiguous_addressing(self, client):
+        client.load_schema("bug", text=SCHEMA_TEXT)
+        with pytest.raises(DaemonError) as caught:
+            client.request(
+                "revalidate", schema="bug", name="g", graphs=["g"], all=False
+            )
+        assert caught.value.code == "bad-request"
+        with pytest.raises(DaemonError) as caught:
+            client.request("revalidate", schema="bug")
+        assert caught.value.code == "bad-request"
+        with pytest.raises(DaemonError) as caught:
+            client.request("revalidate", schema="bug", graphs="not-a-list")
+        assert caught.value.code == "bad-request"
+
+    def test_status_reports_kind_view_stats(self, client):
+        client.load_schema("bug", text=SCHEMA_TEXT)
+        client.update_graph("bugs", data_text=GOOD_TURTLE)
+        entry = client.status()["graphs"]["bugs"]
+        assert entry["view"] == {"active": False}  # small graph, never typed
+        clone_turtle = "@prefix ex: <http://example.org/> .\n" + "".join(
+            f"ex:b{i} ex:descr ex:l{i} .\n" for i in range(40)
+        )
+        client.update_graph("clones", data_text=clone_turtle)
+        client.revalidate("clones", "bug")
+        entry = client.status()["graphs"]["clones"]
+        assert entry["view"]["active"] is True
+        assert entry["view"]["kinds"] * 4 <= entry["nodes"]
+        assert entry["view"]["last_update"] == "full"
+        client.update_graph(
+            "clones", delta={"add": [["http://example.org/b0", "related",
+                                      "http://example.org/b1"]]}
+        )
+        client.revalidate("clones", "bug")
+        entry = client.status()["graphs"]["clones"]
+        assert entry["view"]["last_update"] == "incremental"
+
     def test_registering_same_document_twice_is_independent(self, client):
         client.update_graph("one", data_text=GOOD_TURTLE)
         client.update_graph("two", data_text=GOOD_TURTLE)  # parse memo shared
@@ -366,6 +433,41 @@ class TestCliConnectMode:
         )
         assert code == 2
         assert "exactly one" in capsys.readouterr().err
+
+    def test_shex_serve_revalidate_all(self, daemon, workspace, capsys):
+        address = daemon.daemon.socket_path
+        serve_main(["update", "--connect", address, "--name", "good",
+                    "--data", str(workspace / "good.ttl")])
+        serve_main(["update", "--connect", address, "--name", "bad",
+                    "--data", str(workspace / "bad.ttl")])
+        capsys.readouterr()
+        code = serve_main(["revalidate", "--connect", address, "--all",
+                           "--schema", str(workspace / "schema.shex")])
+        captured = capsys.readouterr()
+        assert code == 1  # one graph is invalid
+        lines = captured.out.strip().splitlines()
+        assert any(line.startswith("INVALID: graph 'bad'") for line in lines)
+        assert any(line.startswith("VALID: graph 'good'") for line in lines)
+        assert "2 graph(s): 1 valid, 1 invalid, 0 unknown" in captured.err
+
+    def test_shex_serve_revalidate_batch_reports_unknown(self, daemon, workspace, capsys):
+        address = daemon.daemon.socket_path
+        serve_main(["update", "--connect", address, "--name", "good",
+                    "--data", str(workspace / "good.ttl")])
+        capsys.readouterr()
+        code = serve_main(["revalidate", "--connect", address,
+                           "--name", "good", "--name", "ghost",
+                           "--schema", str(workspace / "schema.shex")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "UNKNOWN: graph 'ghost'" in captured.out
+        assert "1 valid, 0 invalid, 1 unknown" in captured.err
+
+    def test_shex_serve_revalidate_requires_name_or_all(self, daemon, capsys):
+        code = serve_main(["revalidate", "--connect", daemon.daemon.socket_path,
+                           "--schema", "missing.shex"])
+        assert code == 2
+        assert "--name" in capsys.readouterr().err
 
     def test_shex_serve_status_and_flush_and_stop(self, daemon, capsys):
         address = daemon.daemon.socket_path
