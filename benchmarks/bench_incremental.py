@@ -26,6 +26,7 @@ import json
 import pathlib
 import time
 
+from repro import obs
 from repro.engine.compiled import compile_schema
 from repro.engine.fixpoint import (
     FixpointStats,
@@ -153,7 +154,11 @@ def _write_report(report: dict) -> None:
 
 
 def test_incremental_revalidation_acceptance():
-    report = measure_incremental_speedup()
+    # Capture the run's span tree (fixpoint.full vs fixpoint.incremental
+    # timings nest under it) so BENCH_incremental.json localises regressions.
+    with obs.start_trace("bench.incremental", copies=COPIES) as root:
+        report = measure_incremental_speedup()
+    report["spans"] = root.to_dict()
     _write_report(report)
 
     print(

@@ -28,6 +28,7 @@ import json
 import pathlib
 import time
 
+from repro import obs
 from repro.graphs.graph import Graph
 from repro.graphs.store import Delta, GraphStore, kind_compress, kind_partition
 from repro.workloads.bugtracker import bug_tracker_graph
@@ -172,7 +173,12 @@ def _write_report(report: dict) -> None:
 
 
 def test_partition_maintenance_acceptance():
-    report = measure_partition_speedup()
+    # Record the run under a timed root span; per-update detail lives in the
+    # repro_partition_* counters (updates are ~100µs — a span per update
+    # would distort the very numbers being gated).
+    with obs.start_trace("bench.partition", copies=COPIES) as root:
+        report = measure_partition_speedup()
+    report["spans"] = root.to_dict()
     _write_report(report)
 
     print(

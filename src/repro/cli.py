@@ -36,6 +36,7 @@ the human summary (job count, cache hits, wall time) goes to stderr.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -238,17 +239,37 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"manifest {args.manifest} declares no jobs", file=sys.stderr)
         return 0
     if args.connect:
+        if args.metrics_json:
+            print(
+                "shex-containment: warning: --metrics-json is ignored with "
+                "--connect (use 'shex-serve metrics' against the daemon)",
+                file=sys.stderr,
+            )
         return _cmd_batch_connected(args, entries)
     jobs = load_jobs(entries)
-    with ValidationEngine(
-        backend=args.backend,
-        max_workers=args.jobs,
-        cache_size=args.cache_size,
-        cache_dir=args.cache_dir,
-        cache_max_mb=args.cache_max_mb,
-        cache_ttl=args.cache_ttl,
-    ) as engine:
-        report = engine.run_batch(jobs)
+    from repro import obs
+
+    with obs.start_trace("cli.batch", manifest=args.manifest, jobs=len(jobs)) as root:
+        with ValidationEngine(
+            backend=args.backend,
+            max_workers=args.jobs,
+            cache_size=args.cache_size,
+            cache_dir=args.cache_dir,
+            cache_max_mb=args.cache_max_mb,
+            cache_ttl=args.cache_ttl,
+        ) as engine:
+            report = engine.run_batch(jobs)
+    if args.metrics_json:
+        payload = {
+            "manifest": args.manifest,
+            "jobs": len(jobs),
+            "seconds": round(report.seconds, 6),
+            "spans": root.to_dict(),
+            "metrics": obs.get_registry().snapshot(),
+        }
+        with open(args.metrics_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     width = max(len(result.label) for result in report.results)
     for result in report.results:
         marker = "cache" if result.cached else f"{result.seconds * 1000:.1f}ms"
@@ -386,6 +407,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_parser.add_argument(
         "--show-untyped", action="store_true", help="list untyped nodes of invalid graphs"
+    )
+    batch_parser.add_argument(
+        "--metrics-json", metavar="FILE", default=None,
+        help="write the run's metrics snapshot and timed span tree to FILE",
     )
     batch_parser.add_argument(
         "--connect", metavar="ADDR", default=None,

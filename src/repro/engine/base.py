@@ -10,11 +10,41 @@ job-specific parts: coercion, key derivation, and miss execution.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.engine.cache import DiskResultCache, LRUCache
 from repro.engine.executors import get_executor
 from repro.engine.jobs import EngineReport, JobResult, Stopwatch
+from repro.obs import metrics as _obs_metrics
+from repro.obs import tracing as _obs_tracing
+
+_REGISTRY = _obs_metrics.get_registry()
+_M_BATCHES = _REGISTRY.counter(
+    "repro_engine_batches_total",
+    "run_batch invocations, by job kind and backend.",
+    labels=("kind", "backend"),
+)
+_M_BATCH_SECONDS = _REGISTRY.histogram(
+    "repro_engine_batch_seconds",
+    "Wall time of one run_batch call, by job kind and backend.",
+    labels=("kind", "backend"),
+)
+_M_JOBS = _REGISTRY.counter(
+    "repro_engine_jobs_total",
+    "Jobs answered, by kind and outcome (computed / cached / deduped).",
+    labels=("kind", "outcome"),
+)
+_M_QUEUE_WAIT = _REGISTRY.histogram(
+    "repro_engine_queue_wait_seconds",
+    "Dispatch-to-start wait of one miss in the executor, by backend.",
+    labels=("backend",),
+)
+_M_EXECUTE = _REGISTRY.histogram(
+    "repro_engine_execute_seconds",
+    "Pure execution time of one miss (queue wait excluded), by backend.",
+    labels=("backend",),
+)
 
 
 class BatchEngine:
@@ -90,12 +120,23 @@ class BatchEngine:
             with Stopwatch() as clock:
                 raw = self._executor.map_ordered(type(self)._job_worker, tasks)
             per_job = clock.seconds / max(len(misses), 1)
+            # Queue wait is invisible across the process boundary; the
+            # pool-averaged cost is the best per-job execute estimate.
+            execute_hist = _M_EXECUTE.labels(backend=self.backend)
+            for _ in misses:
+                execute_hist.observe(per_job)
             return [(verdict, payload, per_job) for verdict, payload in raw]
+
+        wait_hist = _M_QUEUE_WAIT.labels(backend=self.backend)
+        execute_hist = _M_EXECUTE.labels(backend=self.backend)
+        dispatched = time.perf_counter()
 
         def run_one(task) -> Tuple[str, Dict, float]:
             job, _key = task
+            wait_hist.observe(time.perf_counter() - dispatched)
             with Stopwatch() as clock:
                 verdict, payload = self._execute_single(job)
+            execute_hist.observe(clock.seconds)
             return verdict, payload, clock.seconds
 
         return self._executor.map_ordered(run_one, misses)
@@ -114,7 +155,9 @@ class BatchEngine:
         else:
             batch = [self._coerce_job(job) for job in jobs]
 
-        with Stopwatch() as clock:
+        with Stopwatch() as clock, _obs_tracing.span(
+            "engine.run_batch", kind=self.kind, backend=self.backend, jobs=len(batch)
+        ):
             memo: Dict = {}
             keyed = [(job, self._key_job(job, memo)) for job in batch]
 
@@ -158,6 +201,19 @@ class BatchEngine:
                             cached=position > 0,
                         )
 
+        if _obs_metrics.STATE.enabled and batch:
+            _M_BATCHES.labels(kind=self.kind, backend=self.backend).inc()
+            _M_BATCH_SECONDS.labels(kind=self.kind, backend=self.backend).observe(
+                clock.seconds
+            )
+            computed = len(misses)
+            deduped = sum(len(indices) - 1 for indices in miss_indices.values())
+            cached = len(batch) - computed - deduped
+            _M_JOBS.labels(kind=self.kind, outcome="computed").inc(computed)
+            if cached:
+                _M_JOBS.labels(kind=self.kind, outcome="cached").inc(cached)
+            if deduped:
+                _M_JOBS.labels(kind=self.kind, outcome="deduped").inc(deduped)
         return EngineReport(
             results=tuple(result for result in results if result is not None),
             backend=self.backend,

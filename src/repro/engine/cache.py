@@ -371,3 +371,49 @@ class DiskResultCache:
                 size=self._disk_entries,
                 max_size=memory.max_size,
             )
+
+
+def cache_collector(label: str, cache):
+    """A :mod:`repro.obs` collector exposing one cache as ``repro_cache_*``.
+
+    ``cache`` is anything with the ``stats() -> CacheStats`` contract
+    (:class:`LRUCache`, :class:`DiskResultCache`, or the parse cache's
+    wrapper); ``label`` becomes the ``cache`` label distinguishing families.
+    Register the returned callable with
+    :meth:`repro.obs.MetricsRegistry.add_collector` — and remove it when the
+    owning object shuts down.
+    """
+
+    def collect():
+        stats = cache.stats()
+        labels = {"cache": label}
+        families = [
+            (
+                "repro_cache_hits_total", "counter",
+                "Lookups answered from the cache.", [(labels, stats.hits)],
+            ),
+            (
+                "repro_cache_misses_total", "counter",
+                "Lookups the cache could not answer.", [(labels, stats.misses)],
+            ),
+            (
+                "repro_cache_evictions_total", "counter",
+                "Entries evicted (LRU overflow or disk budget).",
+                [(labels, stats.evictions)],
+            ),
+            (
+                "repro_cache_entries", "gauge",
+                "Entries currently held.", [(labels, stats.size)],
+            ),
+        ]
+        if hasattr(cache, "disk_bytes"):
+            families.append(
+                (
+                    "repro_cache_disk_bytes", "gauge",
+                    "Tracked bytes of persisted entries.",
+                    [(labels, cache.disk_bytes())],
+                )
+            )
+        return families
+
+    return collect

@@ -46,11 +46,15 @@ randomized instances.
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.engine.compiled import CompiledSchema, compile_schema
+from repro.obs import metrics as _obs_metrics
+from repro.obs import tracing as _obs_tracing
 from repro.graphs.graph import Graph
 from repro.graphs.scc import backward_closure, strongly_connected_components
 from repro.presburger.solver import solve_problems
@@ -104,6 +108,136 @@ class FixpointStats:
         return self.checks - self.signature_hits - self.shortcut_failures
 
 
+# --------------------------------------------------------------------------- #
+# Process-wide kernel metrics (repro.obs)
+# --------------------------------------------------------------------------- #
+_REGISTRY = _obs_metrics.get_registry()
+_M_RUNS = _REGISTRY.counter(
+    "repro_fixpoint_runs_total", "Kernel runs, by schedule mode.", labels=("mode",)
+)
+_M_RUN_SECONDS = _REGISTRY.histogram(
+    "repro_fixpoint_run_seconds",
+    "Wall time of one outermost kernel run, by schedule mode.",
+    labels=("mode",),
+)
+_M_COMPONENTS = _REGISTRY.counter(
+    "repro_fixpoint_components_total", "Strongly connected components scheduled."
+)
+_M_ROUNDS = _REGISTRY.counter(
+    "repro_fixpoint_rounds_total", "Refinement rounds across all components."
+)
+_M_CHECKS = _REGISTRY.counter(
+    "repro_fixpoint_checks_total", "(node, type) satisfaction checks asked."
+)
+_M_SIGNATURE_HITS = _REGISTRY.counter(
+    "repro_fixpoint_signature_hits_total",
+    "Checks answered from the neighbourhood-signature memo.",
+)
+_M_SHORTCUT_FAILURES = _REGISTRY.counter(
+    "repro_fixpoint_shortcut_failures_total",
+    "Checks failed outright (mandatory edge with no candidate target).",
+)
+_M_REMOVALS = _REGISTRY.counter(
+    "repro_fixpoint_removals_total", "(node, type) pairs dropped from the relation."
+)
+_M_SOLVER_PROBLEMS = _REGISTRY.counter(
+    "repro_fixpoint_solver_problems_total",
+    "Presburger systems handed to the batch solver.",
+)
+_M_FRONTIER = _REGISTRY.histogram(
+    "repro_fixpoint_frontier",
+    "Delta-touched nodes (kinds, on the quotient) seeding an incremental run.",
+)
+_M_AFFECTED = _REGISTRY.histogram(
+    "repro_fixpoint_affected", "Backward-closure size actually retyped."
+)
+
+_DEPTH = threading.local()
+
+#: Stats fields flushed as counter increments when an outermost run ends.
+_FLUSHED_FIELDS = (
+    ("components", _M_COMPONENTS),
+    ("rounds", _M_ROUNDS),
+    ("checks", _M_CHECKS),
+    ("signature_hits", _M_SIGNATURE_HITS),
+    ("shortcut_failures", _M_SHORTCUT_FAILURES),
+    ("removals", _M_REMOVALS),
+    ("solver_problems", _M_SOLVER_PROBLEMS),
+)
+
+
+class _KernelScope:
+    """Flush one *outermost* kernel run into the registry on exit.
+
+    The entry functions nest (``retype_incremental`` falls back to
+    ``maximal_typing_store``, which calls ``kind_typing_for_view``...), and
+    callers set ``stats.mode`` at different points, so per-function recording
+    would double count and mislabel.  A thread-local depth makes only the
+    outermost scope record — once, after the final ``mode`` is in place —
+    and it flushes *deltas* of the stats fields since entry, so a caller
+    reusing one ``FixpointStats`` across runs is counted correctly.
+    """
+
+    __slots__ = ("_stats", "_outermost", "_started", "_entry")
+
+    def __init__(self, stats: "FixpointStats"):
+        self._stats = stats
+
+    def __enter__(self) -> "_KernelScope":
+        depth = getattr(_DEPTH, "value", 0)
+        _DEPTH.value = depth + 1
+        self._outermost = depth == 0 and _obs_metrics.STATE.enabled
+        if self._outermost:
+            self._started = time.perf_counter()
+            self._entry = {
+                field: getattr(self._stats, field) for field, _ in _FLUSHED_FIELDS
+            }
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _DEPTH.value -= 1
+        if self._outermost and exc_type is None:
+            stats = self._stats
+            mode = stats.mode
+            _M_RUNS.labels(mode=mode).inc()
+            _M_RUN_SECONDS.labels(mode=mode).observe(
+                time.perf_counter() - self._started
+            )
+            for field, counter in _FLUSHED_FIELDS:
+                delta = getattr(stats, field) - self._entry[field]
+                if delta:
+                    counter.inc(delta)
+            if mode in ("incremental", "kinds-incremental", "unchanged"):
+                _M_FRONTIER.observe(stats.frontier)
+                _M_AFFECTED.observe(stats.affected)
+        return False
+
+
+def fixpoint_metrics_summary() -> Dict[str, object]:
+    """Point-in-time totals of the kernel's process-wide counters.
+
+    The daemon's ``metrics`` op embeds this; it is a convenience read over
+    the ``repro_fixpoint_*`` instruments, not a separate store.
+    """
+    runs_by_mode: Dict[str, float] = {}
+    runs = _REGISTRY.get("repro_fixpoint_runs_total")
+    if runs is not None:
+        runs_by_mode = {key[0]: child.value for key, child in runs._items()}
+    checks = _M_CHECKS.value
+    hits = _M_SIGNATURE_HITS.value
+    return {
+        "runs": runs_by_mode,
+        "components": _M_COMPONENTS.value,
+        "rounds": _M_ROUNDS.value,
+        "checks": checks,
+        "signature_hits": hits,
+        "signature_hit_rate": (hits / checks) if checks else 0.0,
+        "shortcut_failures": _M_SHORTCUT_FAILURES.value,
+        "removals": _M_REMOVALS.value,
+        "solver_problems": _M_SOLVER_PROBLEMS.value,
+    }
+
+
 def maximal_typing_fixpoint(
     graph: Graph,
     schema: Optional[Union[ShExSchema, CompiledSchema]] = None,
@@ -136,28 +270,31 @@ def maximal_typing_fixpoint(
     if stats is None:
         stats = FixpointStats()
 
-    type_order = compiled.type_order
-    artifacts = {
-        type_name: compiled.type_artifact(type_name) for type_name in type_order
-    }
-    watchers = compiled.symbol_watchers()
-    current: Dict[NodeId, Set[TypeName]] = {
-        node: set(type_order) for node in graph.nodes
-    }
-    components = strongly_connected_components(graph)
-    stats.components = len(components)
-    # (type, neighbourhood signature) -> verdict; shared across components so
-    # isomorphic nodes anywhere in the graph are checked once.
-    if signature_memo is None:
-        signature_memo = {}
+    with _KernelScope(stats), _obs_tracing.span(
+        "fixpoint.full", compressed=compressed, nodes=graph.node_count
+    ):
+        type_order = compiled.type_order
+        artifacts = {
+            type_name: compiled.type_artifact(type_name) for type_name in type_order
+        }
+        watchers = compiled.symbol_watchers()
+        current: Dict[NodeId, Set[TypeName]] = {
+            node: set(type_order) for node in graph.nodes
+        }
+        components = strongly_connected_components(graph)
+        stats.components = len(components)
+        # (type, neighbourhood signature) -> verdict; shared across components
+        # so isomorphic nodes anywhere in the graph are checked once.
+        if signature_memo is None:
+            signature_memo = {}
 
-    stabilise = _stabilise_compressed if compressed else _stabilise_plain
-    for component in components:
-        stabilise(
-            graph, component, set(component), current,
-            type_order, artifacts, watchers, signature_memo, stats,
-        )
-    return Typing(current)
+        stabilise = _stabilise_compressed if compressed else _stabilise_plain
+        for component in components:
+            stabilise(
+                graph, component, set(component), current,
+                type_order, artifacts, watchers, signature_memo, stats,
+            )
+        return Typing(current)
 
 
 def maximal_typing_store(
@@ -184,18 +321,19 @@ def maximal_typing_store(
         compiled = compile_schema(schema)
     if stats is None:
         stats = FixpointStats()
-    if not compressed:
-        view = store.typing_view()
-        if view is not None:
-            kind_typing = kind_typing_for_view(
-                view, compiled, stats=stats, signature_memo=signature_memo
-            )
-            return expand_kind_typing(view, kind_typing)
-    stats.mode = "full"
-    return maximal_typing_fixpoint(
-        store.graph, compiled=compiled, compressed=compressed, stats=stats,
-        signature_memo=signature_memo,
-    )
+    with _KernelScope(stats):
+        if not compressed:
+            view = store.typing_view()
+            if view is not None:
+                kind_typing = kind_typing_for_view(
+                    view, compiled, stats=stats, signature_memo=signature_memo
+                )
+                return expand_kind_typing(view, kind_typing)
+        stats.mode = "full"
+        return maximal_typing_fixpoint(
+            store.graph, compiled=compiled, compressed=compressed, stats=stats,
+            signature_memo=signature_memo,
+        )
 
 
 def kind_typing_for_view(
@@ -213,12 +351,13 @@ def kind_typing_for_view(
     """
     if stats is None:
         stats = FixpointStats()
-    kind_typing = maximal_typing_fixpoint(
-        view.compressed, compiled=compiled, compressed=True, stats=stats,
-        signature_memo=signature_memo,
-    )
-    stats.mode = "kinds"
-    return kind_typing
+    with _KernelScope(stats):
+        kind_typing = maximal_typing_fixpoint(
+            view.compressed, compiled=compiled, compressed=True, stats=stats,
+            signature_memo=signature_memo,
+        )
+        stats.mode = "kinds"
+        return kind_typing
 
 
 def expand_kind_typing(view, kind_typing: Typing) -> Typing:
@@ -312,53 +451,58 @@ def retype_incremental(
     if stats is None:
         stats = FixpointStats()
 
-    touched = [node for node in delta.touched_nodes() if graph.has_node(node)]
-    stats.frontier = len(touched)
-    if not touched:
-        stats.mode = "unchanged"
-        return Typing({node: prior_typing.types_of(node) for node in graph.nodes})
+    with _KernelScope(stats), _obs_tracing.span("fixpoint.incremental") as trace_span:
+        touched = [node for node in delta.touched_nodes() if graph.has_node(node)]
+        stats.frontier = len(touched)
+        if not touched:
+            stats.mode = "unchanged"
+            trace_span.annotate(mode="unchanged")
+            return Typing(
+                {node: prior_typing.types_of(node) for node in graph.nodes}
+            )
 
-    affected = affected_region(graph, touched)
-    stats.affected = len(affected)
-    if len(affected) > max_affected_fraction * graph.node_count:
-        if hasattr(store, "typing_view"):
-            return maximal_typing_store(
-                store, compiled=compiled, compressed=compressed, stats=stats,
+        affected = affected_region(graph, touched)
+        stats.affected = len(affected)
+        trace_span.annotate(frontier=stats.frontier, affected=stats.affected)
+        if len(affected) > max_affected_fraction * graph.node_count:
+            if hasattr(store, "typing_view"):
+                return maximal_typing_store(
+                    store, compiled=compiled, compressed=compressed, stats=stats,
+                    signature_memo=signature_memo,
+                )
+            stats.mode = "full"
+            return maximal_typing_fixpoint(
+                graph, compiled=compiled, compressed=compressed, stats=stats,
                 signature_memo=signature_memo,
             )
-        stats.mode = "full"
-        return maximal_typing_fixpoint(
-            graph, compiled=compiled, compressed=compressed, stats=stats,
-            signature_memo=signature_memo,
-        )
 
-    type_order = compiled.type_order
-    artifacts = {
-        type_name: compiled.type_artifact(type_name) for type_name in type_order
-    }
-    watchers = compiled.symbol_watchers()
-    # Affected nodes restart from the full type set; everything else keeps its
-    # prior (frozen, never-mutated) assignment and is read across the boundary
-    # exactly like an already-stabilised component.
-    current: Dict[NodeId, Set[TypeName]] = {}
-    for node in graph.nodes:
-        if node in affected:
-            current[node] = set(type_order)
-        else:
-            current[node] = prior_typing.types_of(node)
+        type_order = compiled.type_order
+        artifacts = {
+            type_name: compiled.type_artifact(type_name) for type_name in type_order
+        }
+        watchers = compiled.symbol_watchers()
+        # Affected nodes restart from the full type set; everything else keeps
+        # its prior (frozen, never-mutated) assignment and is read across the
+        # boundary exactly like an already-stabilised component.
+        current: Dict[NodeId, Set[TypeName]] = {}
+        for node in graph.nodes:
+            if node in affected:
+                current[node] = set(type_order)
+            else:
+                current[node] = prior_typing.types_of(node)
 
-    components = strongly_connected_components(_induced_subgraph(graph, affected))
-    stats.components = len(components)
-    if signature_memo is None:
-        signature_memo = {}
-    stabilise = _stabilise_compressed if compressed else _stabilise_plain
-    for component in components:
-        stabilise(
-            graph, component, set(component), current,
-            type_order, artifacts, watchers, signature_memo, stats,
-        )
-    stats.mode = "incremental"
-    return Typing(current)
+        components = strongly_connected_components(_induced_subgraph(graph, affected))
+        stats.components = len(components)
+        if signature_memo is None:
+            signature_memo = {}
+        stabilise = _stabilise_compressed if compressed else _stabilise_plain
+        for component in components:
+            stabilise(
+                graph, component, set(component), current,
+                type_order, artifacts, watchers, signature_memo, stats,
+            )
+        stats.mode = "incremental"
+        return Typing(current)
 
 
 def retype_kinds_incremental(
@@ -400,45 +544,50 @@ def retype_kinds_incremental(
     if stats is None:
         stats = FixpointStats()
 
-    quotient = view.compressed
-    seeds = [kind for kind in view_delta.changed if quotient.has_node(kind)]
-    stats.frontier = len(seeds)
-    if not seeds:
-        stats.mode = "unchanged"
-        return Typing(
-            {kind: prior_kind_typing.types_of(kind) for kind in quotient.nodes}
-        )
+    with _KernelScope(stats), _obs_tracing.span("fixpoint.kinds-incremental") as trace_span:
+        quotient = view.compressed
+        seeds = [kind for kind in view_delta.changed if quotient.has_node(kind)]
+        stats.frontier = len(seeds)
+        if not seeds:
+            stats.mode = "unchanged"
+            trace_span.annotate(mode="unchanged")
+            return Typing(
+                {kind: prior_kind_typing.types_of(kind) for kind in quotient.nodes}
+            )
 
-    affected = affected_region(quotient, seeds)
-    stats.affected = len(affected)
-    if len(affected) > max_affected_fraction * quotient.node_count:
-        return kind_typing_for_view(
-            view, compiled, stats=stats, signature_memo=signature_memo
-        )
+        affected = affected_region(quotient, seeds)
+        stats.affected = len(affected)
+        trace_span.annotate(frontier=stats.frontier, affected=stats.affected)
+        if len(affected) > max_affected_fraction * quotient.node_count:
+            return kind_typing_for_view(
+                view, compiled, stats=stats, signature_memo=signature_memo
+            )
 
-    type_order = compiled.type_order
-    artifacts = {
-        type_name: compiled.type_artifact(type_name) for type_name in type_order
-    }
-    watchers = compiled.symbol_watchers()
-    current: Dict[NodeId, Set[TypeName]] = {}
-    for kind in quotient.nodes:
-        if kind in affected:
-            current[kind] = set(type_order)
-        else:
-            current[kind] = prior_kind_typing.types_of(kind)
+        type_order = compiled.type_order
+        artifacts = {
+            type_name: compiled.type_artifact(type_name) for type_name in type_order
+        }
+        watchers = compiled.symbol_watchers()
+        current: Dict[NodeId, Set[TypeName]] = {}
+        for kind in quotient.nodes:
+            if kind in affected:
+                current[kind] = set(type_order)
+            else:
+                current[kind] = prior_kind_typing.types_of(kind)
 
-    components = strongly_connected_components(_induced_subgraph(quotient, affected))
-    stats.components = len(components)
-    if signature_memo is None:
-        signature_memo = {}
-    for component in components:
-        _stabilise_compressed(
-            quotient, component, set(component), current,
-            type_order, artifacts, watchers, signature_memo, stats,
+        components = strongly_connected_components(
+            _induced_subgraph(quotient, affected)
         )
-    stats.mode = "kinds-incremental"
-    return Typing(current)
+        stats.components = len(components)
+        if signature_memo is None:
+            signature_memo = {}
+        for component in components:
+            _stabilise_compressed(
+                quotient, component, set(component), current,
+                type_order, artifacts, watchers, signature_memo, stats,
+            )
+        stats.mode = "kinds-incremental"
+        return Typing(current)
 
 
 # --------------------------------------------------------------------------- #

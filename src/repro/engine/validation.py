@@ -45,6 +45,8 @@ from repro.engine.fixpoint import (
 from repro.engine.jobs import JobResult, Stopwatch, ValidationJob
 from repro.graphs.graph import Graph
 from repro.graphs.store import GraphStore
+from repro.obs import metrics as _obs_metrics
+from repro.obs import tracing as _obs_tracing
 from repro.schema.shex import ShExSchema
 from repro.schema.typing import Typing, predecessor_map, satisfies_type
 from repro.schema.validation import (
@@ -54,6 +56,17 @@ from repro.schema.validation import (
 )
 
 JobLike = Union[ValidationJob, Tuple[Graph, ShExSchema]]
+
+_REGISTRY = _obs_metrics.get_registry()
+_M_REVALIDATIONS = _REGISTRY.counter(
+    "repro_engine_revalidations_total",
+    "Store revalidations, by resolved mode (cached included).",
+    labels=("mode",),
+)
+_M_REVALIDATE_SECONDS = _REGISTRY.histogram(
+    "repro_engine_revalidate_seconds",
+    "Wall time of one computed (non-cached) revalidation.",
+)
 
 
 def _payload_from_typing(
@@ -251,6 +264,7 @@ class ValidationEngine(BatchEngine):
             found, value = self.cache.get(key)
             if found:
                 verdict, payload = value
+                _M_REVALIDATIONS.labels(mode="cached").inc()
                 return RevalidationOutcome(
                     result=JobResult(
                         index=0, kind=self.kind, label=label, key=key,
@@ -265,7 +279,9 @@ class ValidationEngine(BatchEngine):
                 if len(memo) > 65536:  # a runaway-signature backstop, not an LRU
                     memo.clear()
             stats = FixpointStats()
-            with Stopwatch() as clock:
+            with Stopwatch() as clock, _obs_tracing.span(
+                "engine.revalidate", compressed=compressed, version=store.version
+            ) as trace_span:
                 # Syncing the view also maintains the kind partition under
                 # the delta (the store's cost, paid once per version); the
                 # view serves the plain semantics only.
@@ -308,6 +324,9 @@ class ValidationEngine(BatchEngine):
                         signature_memo=memo,
                     )
                 verdict, payload = _payload_from_typing(store.graph, typing, compressed)
+                trace_span.annotate(mode=stats.mode)
+            _M_REVALIDATIONS.labels(mode=stats.mode).inc()
+            _M_REVALIDATE_SECONDS.observe(clock.seconds)
             with self._revalidate_lock:
                 self._typings[token] = (
                     store.version, typing, kind_typing, store.view_epoch

@@ -51,6 +51,28 @@ from repro.core.intervals import Interval
 from repro.graphs.compressed import CompressedGraph
 from repro.graphs.graph import Graph, Label
 from repro.graphs.scc import backward_closure
+from repro.obs import metrics as _obs_metrics
+
+_REGISTRY = _obs_metrics.get_registry()
+_M_UPDATES = _REGISTRY.counter(
+    "repro_partition_updates_total",
+    "Partition maintenance passes, by schedule (full = build or fallback).",
+    labels=("mode",),
+)
+_M_SPLITS = _REGISTRY.counter(
+    "repro_partition_splits_total", "Kinds created by refinement splits."
+)
+_M_MERGES = _REGISTRY.counter(
+    "repro_partition_merges_total", "Kinds collapsed by equivalence merges."
+)
+_M_AFFECTED = _REGISTRY.histogram(
+    "repro_partition_affected", "Affected-region size of one incremental update."
+)
+_M_AFFECTED_FRACTION = _REGISTRY.histogram(
+    "repro_partition_affected_fraction",
+    "Affected region as a fraction of the graph (incremental updates).",
+    buckets=(0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0),
+)
 
 NodeId = Hashable
 
@@ -198,17 +220,23 @@ class PartitionMaintainer:
         touched = [node for node in delta.touched_nodes() if graph.has_node(node)]
         if not touched:
             self.stats.mode = "unchanged"
+            _M_UPDATES.labels(mode="unchanged").inc()
             return ViewDelta()
 
         affected = backward_closure(graph, touched)
         if len(affected) > max_affected_fraction * graph.node_count:
             self.epoch += 1
             self._rebuild(graph)
+            _M_UPDATES.labels(mode="full").inc()
             return None
 
         self.stats.mode = "incremental"
         self.stats.affected = len(affected)
         self.stats.incremental_updates += 1
+        _M_UPDATES.labels(mode="incremental").inc()
+        if _obs_metrics.STATE.enabled:
+            _M_AFFECTED.observe(len(affected))
+            _M_AFFECTED_FRACTION.observe(len(affected) / max(graph.node_count, 1))
         old_rows = {kind: dict(row) for kind, row in self.rows.items()}
 
         blocks = self._refine_affected(graph, affected)
@@ -289,6 +317,7 @@ class PartitionMaintainer:
                 reuse = self._next_kind
                 self._next_kind += 1
                 self.stats.splits += 1
+                _M_SPLITS.inc()
             self.members[reuse] = set(block)
             for node in block:
                 self.kind_of[node] = reuse
@@ -344,6 +373,7 @@ class PartitionMaintainer:
         if not substitution:
             return
         self.stats.merges += len(substitution)
+        _M_MERGES.inc(len(substitution))
         for retired, survivor in substitution.items():
             for node in self.members[retired]:
                 self.kind_of[node] = survivor

@@ -49,6 +49,19 @@ from repro.errors import GraphError
 from repro.graphs.compressed import CompressedGraph
 from repro.graphs.graph import Edge, Graph, Label
 from repro.graphs.partition import PartitionMaintainer, ViewDelta
+from repro.obs import metrics as _obs_metrics
+
+_REGISTRY = _obs_metrics.get_registry()
+_M_DELTAS = _REGISTRY.counter(
+    "repro_store_deltas_total", "Deltas applied across every GraphStore."
+)
+_M_DELTA_EDGES = _REGISTRY.histogram(
+    "repro_store_delta_edges", "Edge entries (added + removed) of one applied delta."
+)
+_M_VIEW_EPOCHS = _REGISTRY.counter(
+    "repro_store_view_epochs_total",
+    "Kind-view epoch bumps (full partition rebuilds) across every store.",
+)
 
 NodeId = Hashable
 
@@ -474,6 +487,7 @@ class GraphStore:
             delta = self.diff(self._maintainer_version, self._version)
             update = self._maintainer.update(self._graph, delta)
             if update is None:  # fallback rebuild; ids changed epoch
+                _M_VIEW_EPOCHS.inc()
                 self._view_log.clear()
             else:
                 self._view_log.append(
@@ -599,6 +613,9 @@ class GraphStore:
         )
         self._log.append(resolved)
         self._version += 1
+        if _obs_metrics.STATE.enabled:
+            _M_DELTAS.inc()
+            _M_DELTA_EDGES.observe(len(delta.added) + len(delta.removed))
         return self._version
 
     def _find_edge(

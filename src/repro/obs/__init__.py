@@ -1,0 +1,98 @@
+"""``repro.obs`` — unified observability: metrics, tracing, structured logs.
+
+One dependency-free substrate every subsystem reports through:
+
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges,
+  and histograms (fixed log-scale buckets), with on-demand collectors,
+  structured snapshots, and a Prometheus text-exposition renderer;
+* :mod:`repro.obs.tracing` — ``span(name, **tags)`` context managers
+  building timed, nested span trees under per-request trace ids;
+* :mod:`repro.obs.logs` — JSON-line / key=value structured logging.
+
+Everything is on by default and near-free when off: :func:`disable` (or
+``REPRO_OBS=0`` in the environment) flips one module flag checked first in
+every hot-path call, and :func:`span` then returns a shared no-op object.
+
+Quick tour::
+
+    >>> from repro import obs
+    >>> checks = obs.counter("doc_checks_total", "Checks run.")
+    >>> checks.inc()
+    >>> obs.get_registry().value("doc_checks_total") >= 1.0
+    True
+    >>> with obs.start_trace("doc.request") as root:
+    ...     with obs.span("doc.phase", step=1):
+    ...         pass
+    >>> [child.name for child in root.children]
+    ['doc.phase']
+"""
+
+from repro.obs.logs import configure_logging, log_event
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    CounterWindow,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_buckets,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    Span,
+    current_span,
+    current_trace_id,
+    new_trace_id,
+    span,
+    start_trace,
+)
+
+
+def counter(name, help_text, labels=()):
+    """Register (or fetch) a counter on the default registry."""
+    return REGISTRY.counter(name, help_text, labels)
+
+
+def gauge(name, help_text, labels=()):
+    """Register (or fetch) a gauge on the default registry."""
+    return REGISTRY.gauge(name, help_text, labels)
+
+
+def histogram(name, help_text, labels=(), buckets=None):
+    """Register (or fetch) a histogram on the default registry."""
+    return REGISTRY.histogram(name, help_text, labels, buckets)
+
+
+__all__ = [
+    "REGISTRY",
+    "NOOP_SPAN",
+    "Counter",
+    "CounterWindow",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "configure_logging",
+    "counter",
+    "current_span",
+    "current_trace_id",
+    "default_buckets",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "log_event",
+    "new_trace_id",
+    "parse_prometheus",
+    "render_prometheus",
+    "span",
+    "start_trace",
+]

@@ -1,0 +1,98 @@
+"""Structured logging for the serving stack: JSON lines or key=value text.
+
+The daemon logs *events*, not prose: each record is an event name plus a
+flat dict of fields (op, seconds, trace id, a span tree for slow requests).
+:func:`configure_logging` wires the ``repro`` logger hierarchy to stderr in
+either a human ``key=value`` form or one JSON object per line
+(``--log-json``); :func:`log_event` is the emit helper instrumented code
+uses so fields travel as structured data rather than interpolated strings.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, IO, Optional
+
+#: Names accepted by ``--log-level``.
+LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def _timestamp(record: logging.LogRecord) -> str:
+    base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(record.created))
+    return f"{base}.{int(record.msecs):03d}Z"
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, event, then fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": _timestamp(record),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        payload.update(getattr(record, "fields", {}))
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Human-readable: ``ts level event key=value ...``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        fields = getattr(record, "fields", {})
+        rendered = " ".join(
+            f"{key}={json.dumps(value, default=str)}" for key, value in fields.items()
+        )
+        line = f"{_timestamp(record)} {record.levelname.lower():7s} {record.getMessage()}"
+        if rendered:
+            line = f"{line} {rendered}"
+        if record.exc_info and record.exc_info[0] is not None:
+            line = f"{line}\n{self.formatException(record.exc_info)}"
+        return line
+
+
+def configure_logging(
+    level: str = "info",
+    json_lines: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the root ``repro`` logger.
+
+    Replaces any handler a previous call installed (idempotent, so tests and
+    repeated daemon starts do not stack handlers).  ``stream`` defaults to
+    stderr.
+    """
+    logger = logging.getLogger("repro")
+    try:
+        logger.setLevel(LEVELS[level.lower()])
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {', '.join(sorted(LEVELS))}"
+        ) from None
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLineFormatter() if json_lines else KeyValueFormatter())
+    for existing in list(logger.handlers):
+        if getattr(existing, "_repro_obs_handler", False):
+            logger.removeHandler(existing)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    return logger
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields: Any
+) -> None:
+    """Emit one structured event; ``fields`` ride in ``record.fields``."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"fields": fields})

@@ -1,0 +1,179 @@
+"""Lightweight tracing: timed, nested span trees with per-request trace ids.
+
+A *trace* is a tree of :class:`Span` objects rooted by
+:func:`start_trace`; code anywhere below it opens children with the
+:func:`span` context manager::
+
+    from repro import obs
+
+    with obs.start_trace("daemon.validate") as root:
+        with obs.span("engine.run_batch", backend="thread"):
+            ...
+    print(root.trace_id, root.seconds, [c.name for c in root.children])
+
+Spans attach to the active trace through a :mod:`contextvars` variable, so
+nesting follows the call stack — including across ``await`` boundaries.
+Plain ``loop.run_in_executor`` does **not** propagate context; callers that
+fan work into a thread pool wrap the callable with
+``contextvars.copy_context().run`` (the daemon and async engine do).
+
+When instrumentation is disabled, or there is no active trace, both
+functions hand back the shared :data:`NOOP_SPAN` after a single flag/context
+check — no allocation, no timing.  A span tree serialises with
+:meth:`Span.to_dict`; that is what benchmark reports and the daemon's
+slow-operation logs embed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextvars import ContextVar
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import STATE
+
+#: Children beyond this per span are counted in ``dropped`` instead of kept,
+#: bounding trace memory under pathological fan-out.
+MAX_CHILDREN = 256
+
+_ACTIVE: ContextVar[Optional["Span"]] = ContextVar("repro_obs_active_span", default=None)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id."""
+    return os.urandom(8).hex()
+
+
+def current_trace_id() -> Optional[str]:
+    """The active trace's id, or ``None`` outside any trace."""
+    active = _ACTIVE.get()
+    return None if active is None else active.trace_id
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost open span, or ``None`` outside any trace."""
+    return _ACTIVE.get()
+
+
+class Span:
+    """One timed node in a trace tree.
+
+    ``seconds`` is filled when the managing ``with`` block exits; ``tags``
+    may be extended mid-flight with :meth:`annotate` (e.g. a revalidation
+    records its chosen mode once known).
+    """
+
+    __slots__ = ("name", "trace_id", "tags", "seconds", "children", "dropped", "_started")
+
+    def __init__(self, name: str, trace_id: str, tags: Dict[str, Any]):
+        self.name = name
+        self.trace_id = trace_id
+        self.tags = tags
+        self.seconds = 0.0
+        self.children: List[Span] = []
+        self.dropped = 0
+        self._started = time.perf_counter()
+
+    def annotate(self, **tags: Any) -> None:
+        """Add/overwrite tags on an open span."""
+        self.tags.update(tags)
+
+    def _attach(self, child: "Span") -> bool:
+        if len(self.children) >= MAX_CHILDREN:
+            self.dropped += 1
+            return False
+        self.children.append(child)
+        return True
+
+    def _finish(self) -> None:
+        self.seconds = time.perf_counter() - self._started
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable tree: name, seconds, tags, children, dropped."""
+        node: Dict[str, Any] = {"name": self.name, "seconds": self.seconds}
+        if self.tags:
+            node["tags"] = dict(self.tags)
+        if self.children:
+            node["children"] = [child.to_dict() for child in self.children]
+        if self.dropped:
+            node["dropped"] = self.dropped
+        return node
+
+
+class _NoopSpan:
+    """The shared do-nothing span: every method is a cheap no-op."""
+
+    __slots__ = ()
+    name = ""
+    trace_id = ""
+    tags: Dict[str, Any] = {}
+    seconds = 0.0
+    children: List[Span] = []
+    dropped = 0
+
+    def annotate(self, **tags: Any) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {}
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+
+#: The singleton handed out when tracing is off or no trace is active.
+NOOP_SPAN = _NoopSpan()
+
+
+class _SpanContext:
+    """Context manager that opens one span under the active one."""
+
+    __slots__ = ("_span", "_token", "_root")
+
+    def __init__(self, span_obj: Span, root: bool):
+        self._span = span_obj
+        self._root = root
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _ACTIVE.set(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self._span._finish()
+        if self._token is not None:
+            _ACTIVE.reset(self._token)
+        return False
+
+
+def start_trace(name: str, trace_id: Optional[str] = None, **tags: Any):
+    """Open a trace root; returns a context manager yielding the root span.
+
+    ``trace_id`` propagates an externally supplied id (the daemon passes the
+    client's); omitted, a fresh one is minted.  Disabled instrumentation
+    yields :data:`NOOP_SPAN`.
+    """
+    if not STATE.enabled:
+        return NOOP_SPAN
+    root = Span(name, trace_id or new_trace_id(), tags)
+    return _SpanContext(root, root=True)
+
+
+def span(name: str, **tags: Any):
+    """Open a child span under the active trace (no-op outside one).
+
+    Returns a context manager yielding the :class:`Span`, so callers may
+    :meth:`Span.annotate` results discovered mid-flight.
+    """
+    if not STATE.enabled:
+        return NOOP_SPAN
+    parent = _ACTIVE.get()
+    if parent is None:
+        return NOOP_SPAN
+    child = Span(name, parent.trace_id, tags)
+    parent._attach(child)
+    return _SpanContext(child, root=False)

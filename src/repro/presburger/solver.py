@@ -36,10 +36,13 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import PresburgerError
+from repro.obs import metrics as _obs_metrics
+from repro.obs import tracing as _obs_tracing
 from repro.presburger.formula import (
     And,
     Comparison,
@@ -97,23 +100,116 @@ class SolverStats:
         return self.milp_calls + self.enumeration_calls + self.batch_calls
 
 
-_STATS = SolverStats()
 _SAT_MEMO: Dict[Tuple, bool] = {}
 _SAT_MEMO_LIMIT = 65536
 _MEMO_LOCK = threading.Lock()
 
+# Registry-backed counters (monotone, thread-safe, Prometheus-exposed).  The
+# old module-global ``SolverStats`` object was a footgun: process-wide,
+# never reset between engine instances, and racy under the thread backend.
+# Readers now take *windows* over these counters instead (see
+# :class:`SolverWindow`), so one consumer's reset never zeroes another's.
+_REGISTRY = _obs_metrics.get_registry()
+_SAT_CHECKS = _REGISTRY.counter(
+    "repro_solver_sat_checks_total", "Satisfiability queries, however answered."
+)
+_MEMO_HITS = _REGISTRY.counter(
+    "repro_solver_memo_hits_total", "Queries answered from the fingerprint memo."
+)
+_MILP_CALLS = _REGISTRY.counter(
+    "repro_solver_milp_calls_total", "Single-system scipy milp invocations."
+)
+_ENUM_CALLS = _REGISTRY.counter(
+    "repro_solver_enumeration_calls_total",
+    "Fallback enumeration invocations (scipy unavailable).",
+)
+_BATCH_CALLS = _REGISTRY.counter(
+    "repro_solver_batch_calls_total", "Elastic block-diagonal MILP invocations."
+)
+_BATCH_BLOCKS = _REGISTRY.counter(
+    "repro_solver_batch_blocks_total",
+    "Conjunct blocks packed into batched MILP invocations.",
+)
+_BATCH_SIZE = _REGISTRY.histogram(
+    "repro_solver_batch_blocks", "Blocks per batched MILP invocation."
+)
+_MILP_SECONDS = _REGISTRY.histogram(
+    "repro_solver_milp_seconds",
+    "Wall time of one MILP invocation (single-system or batched).",
+)
+
+#: Counter names backing :class:`SolverStats` fields, in field order.
+_COUNTER_NAMES = (
+    ("sat_checks", "repro_solver_sat_checks_total"),
+    ("memo_hits", "repro_solver_memo_hits_total"),
+    ("milp_calls", "repro_solver_milp_calls_total"),
+    ("enumeration_calls", "repro_solver_enumeration_calls_total"),
+    ("batch_calls", "repro_solver_batch_calls_total"),
+    ("batch_blocks", "repro_solver_batch_blocks_total"),
+)
+
+
+class SolverWindow:
+    """A resettable, thread-safe view over the process-wide solver counters.
+
+    Each window remembers its own baseline: :meth:`snapshot` returns a
+    :class:`SolverStats` of activity *since this window's last*
+    :meth:`reset`, so a daemon engine, a benchmark, and a test can each take
+    independent readings off the same monotone counters without trampling
+    one another (the footgun the old module-global stats object had).
+    """
+
+    def __init__(self) -> None:
+        self._window = _obs_metrics.CounterWindow(
+            _REGISTRY, [metric for _, metric in _COUNTER_NAMES]
+        )
+
+    def reset(self) -> None:
+        """Rebase this window; subsequent snapshots count from zero."""
+        self._window.reset()
+
+    def snapshot(self) -> SolverStats:
+        """Counter deltas since this window's last reset."""
+        values = self._window.read()
+        return SolverStats(
+            **{field: int(values[metric]) for field, metric in _COUNTER_NAMES}
+        )
+
+
+# The default window backs the legacy module-level API below.
+_PROCESS_WINDOW = SolverWindow()
+
 
 def solver_stats() -> SolverStats:
-    """A snapshot of the process-wide solver counters."""
-    return SolverStats(**vars(_STATS))
+    """Solver counters since the last :func:`reset_solver_state`.
+
+    .. deprecated:: 1.6
+       This reads one shared process-wide window, so independent consumers
+       reset each other.  New code should hold its own :class:`SolverWindow`
+       (or read the ``repro_solver_*`` metrics off the registry directly).
+    """
+    return _PROCESS_WINDOW.snapshot()
 
 
 def reset_solver_state() -> None:
-    """Clear the satisfiability memo and zero all counters (benchmarks/tests)."""
+    """Clear the satisfiability memo and rebase the default stats window.
+
+    The underlying registry counters stay monotone (Prometheus semantics);
+    only the window that :func:`solver_stats` reads through is rebased.
+    """
     with _MEMO_LOCK:
         _SAT_MEMO.clear()
-    for field in vars(_STATS):
-        setattr(_STATS, field, 0)
+    _PROCESS_WINDOW.reset()
+
+
+def solver_metrics_summary() -> Dict[str, int]:
+    """Process-lifetime totals of the solver counters, keyed by stats field.
+
+    Unlike :func:`solver_stats` this reads the monotone registry values
+    directly (no window), so it is unaffected by anyone's resets — the view
+    the daemon's ``metrics`` op exposes.
+    """
+    return {field: int(_REGISTRY.value(metric)) for field, metric in _COUNTER_NAMES}
 
 
 # --------------------------------------------------------------------------- #
@@ -319,7 +415,7 @@ def _solve_conjunct(atoms: Sequence[Comparison]) -> Optional[Dict[str, int]]:
 
 
 def _solve_with_milp(variables, equalities, inequalities) -> Optional[Dict[str, int]]:
-    _STATS.milp_calls += 1
+    _MILP_CALLS.inc()
     index = {name: i for i, name in enumerate(variables)}
     n = len(variables)
     constraints = []
@@ -339,12 +435,14 @@ def _solve_with_milp(variables, equalities, inequalities) -> Optional[Dict[str, 
                 matrix[row, index[name]] = coeff
             rhs[row] = bound
         constraints.append(_LinearConstraint(matrix, -_np.inf, rhs))
+    started = time.perf_counter()
     result = _milp(
         c=_np.zeros(n),
         constraints=constraints,
         integrality=_np.ones(n),
         bounds=_Bounds(0, _np.inf),
     )
+    _MILP_SECONDS.observe(time.perf_counter() - started)
     if not result.success or result.x is None:
         return None
     return {name: int(round(result.x[index[name]])) for name in variables}
@@ -352,7 +450,7 @@ def _solve_with_milp(variables, equalities, inequalities) -> Optional[Dict[str, 
 
 def _solve_by_enumeration(variables, equalities, inequalities, limit: int = 16):
     """Tiny fallback enumeration over {0..limit}^n (only used without scipy)."""
-    _STATS.enumeration_calls += 1
+    _ENUM_CALLS.inc()
     for values in itertools.product(range(limit + 1), repeat=len(variables)):
         assignment = dict(zip(variables, values))
         ok = True
@@ -437,12 +535,14 @@ def _solve_blocks_elastic(blocks: Sequence[Conjunct]) -> Optional[List[bool]]:
     matrix = _csr_matrix(
         (data, (rows_i, cols_j)), shape=(row_count, column_count)
     )
+    started = time.perf_counter()
     result = _milp(
         c=_np.array(objective),
         constraints=_LinearConstraint(matrix, _np.array(lower), _np.array(upper)),
         integrality=_np.ones(column_count),
         bounds=_Bounds(0, _np.inf),
     )
+    _MILP_SECONDS.observe(time.perf_counter() - started)
     if not result.success or result.x is None:
         return None
     verdicts = []
@@ -465,7 +565,7 @@ def solve_problem(problem: Problem) -> bool:
 def _memo_get(fingerprint: Tuple) -> Optional[bool]:
     verdict = _SAT_MEMO.get(fingerprint)
     if verdict is not None:
-        _STATS.memo_hits += 1
+        _MEMO_HITS.inc()
     return verdict
 
 
@@ -485,7 +585,7 @@ def solve_problems(problems: Sequence[Problem]) -> List[bool]:
     possible (see :func:`_solve_blocks_elastic`).  Intended for the
     per-refinement-round check batches of :mod:`repro.engine.fixpoint`.
     """
-    _STATS.sat_checks += len(problems)
+    _SAT_CHECKS.inc(len(problems))
     verdicts: List[Optional[bool]] = [None] * len(problems)
     pending: List[Tuple[int, Tuple]] = []  # (problem index, fingerprint)
     pending_keys: Dict[Tuple, List[int]] = {}
@@ -534,9 +634,11 @@ def _solve_pending_batched(problems, pending, pending_keys, verdicts) -> None:
                 blocks.append(conjunct)
                 block_owner.append(owner)
             cursor += 1
-        _STATS.batch_calls += 1
-        _STATS.batch_blocks += len(blocks)
-        block_verdicts = _solve_blocks_elastic(blocks)
+        _BATCH_CALLS.inc()
+        _BATCH_BLOCKS.inc(len(blocks))
+        _BATCH_SIZE.observe(len(blocks))
+        with _obs_tracing.span("presburger.batch", blocks=len(blocks)):
+            block_verdicts = _solve_blocks_elastic(blocks)
         for owner, (position, fingerprint) in enumerate(chunk):
             if block_verdicts is None:
                 # Solver failure: fall back to the per-conjunct path.
@@ -584,7 +686,7 @@ def is_satisfiable(formula: Formula) -> bool:
     system, so isomorphic formulas (same structure, different variable names)
     are solved once per process.
     """
-    _STATS.sat_checks += 1
+    _SAT_CHECKS.inc()
     problem = formula_to_problem(formula)
     if not problem:
         return False
@@ -606,7 +708,7 @@ def is_satisfiable_uncached(formula: Formula) -> bool:
     parity suites and benchmarks can compare the optimised kernel against the
     historical cost model.
     """
-    _STATS.sat_checks += 1
+    _SAT_CHECKS.inc()
     renamed = _rename(formula, {})
     for conjunct in _to_dnf(renamed):
         if _solve_conjunct(conjunct) is not None:

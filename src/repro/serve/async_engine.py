@@ -24,6 +24,7 @@ the long-lived daemon (:mod:`repro.serve.daemon`) runs on.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import functools
 from concurrent.futures import ThreadPoolExecutor
 from typing import AsyncIterator, Dict, Iterable, List, Optional, Tuple
@@ -37,6 +38,28 @@ from repro.engine.jobs import (
     ValidationJob,
 )
 from repro.engine.validation import ValidationEngine
+from repro.obs import metrics as _obs_metrics
+
+# Same metric families as the sync driver (repro.engine.base); the registry
+# dedups by name, so these resolve to the one shared instrument per family.
+# The async layer records them itself because it dispatches cache misses
+# straight to the pool, bypassing the sync ``run_batch``.
+_REGISTRY = _obs_metrics.get_registry()
+_M_BATCHES = _REGISTRY.counter(
+    "repro_engine_batches_total",
+    "run_batch invocations, by job kind and backend.",
+    labels=("kind", "backend"),
+)
+_M_BATCH_SECONDS = _REGISTRY.histogram(
+    "repro_engine_batch_seconds",
+    "Wall time of one run_batch call, by job kind and backend.",
+    labels=("kind", "backend"),
+)
+_M_JOBS = _REGISTRY.counter(
+    "repro_engine_jobs_total",
+    "Jobs answered, by kind and outcome (computed / cached / deduped).",
+    labels=("kind", "outcome"),
+)
 
 
 class AsyncBatchEngine:
@@ -85,14 +108,21 @@ class AsyncBatchEngine:
         return self.engine._executor._ensure_pool()
 
     async def _compute(self, job) -> Tuple[str, Dict]:
-        """Run one cache miss on the backend; returns ``(verdict, payload)``."""
+        """Run one cache miss on the backend; returns ``(verdict, payload)``.
+
+        Thread-shaped dispatch carries the caller's :mod:`contextvars`
+        context across the executor hop, so spans opened inside the engine
+        attach to the request trace (process pools cannot: the child has no
+        access to the parent's context or registry).
+        """
         loop = asyncio.get_running_loop()
         if self.backend == "process":
             # Process pools need a picklable module-level function.
             worker = type(self.engine)._job_worker
             return await loop.run_in_executor(self._dispatch_pool(), worker, job)
+        context = contextvars.copy_context()
         return await loop.run_in_executor(
-            self._dispatch_pool(), self.engine._execute_single, job
+            self._dispatch_pool(), lambda: context.run(self.engine._execute_single, job)
         )
 
     async def _compute_and_store(self, job, key: Tuple) -> Tuple[str, Dict]:
@@ -110,6 +140,8 @@ class AsyncBatchEngine:
         found, value = self.engine.cache.get(key)
         if found:
             verdict, payload = value
+            if _obs_metrics.STATE.enabled:
+                _M_JOBS.labels(kind=self.engine.kind, outcome="cached").inc()
             return JobResult(
                 index=index,
                 kind=self.engine.kind,
@@ -133,6 +165,9 @@ class AsyncBatchEngine:
         # other submissions of the same key may be awaiting it.
         with Stopwatch() as clock:
             verdict, payload = await asyncio.shield(task)
+        if _obs_metrics.STATE.enabled:
+            outcome = "deduped" if shared else "computed"
+            _M_JOBS.labels(kind=self.engine.kind, outcome=outcome).inc()
         return JobResult(
             index=index,
             kind=self.engine.kind,
@@ -158,12 +193,20 @@ class AsyncBatchEngine:
             asyncio.ensure_future(self._run_job(job, index))
             for index, job in enumerate(batch)
         ]
+        backend = f"async+{self.backend}"
+        if _obs_metrics.STATE.enabled:
+            _M_BATCHES.labels(kind=self.engine.kind, backend=backend).inc()
         try:
-            for completed in asyncio.as_completed(tasks):
-                yield await completed
+            with Stopwatch() as clock:
+                for completed in asyncio.as_completed(tasks):
+                    yield await completed
         finally:
             for task in tasks:
                 task.cancel()
+            if _obs_metrics.STATE.enabled:
+                _M_BATCH_SECONDS.labels(
+                    kind=self.engine.kind, backend=backend
+                ).observe(clock.seconds)
 
     async def run_batch(self, jobs: Iterable) -> EngineReport:
         """Await every job and return an ordered :class:`EngineReport`.
@@ -256,7 +299,10 @@ class AsyncValidationEngine(AsyncBatchEngine):
         call = functools.partial(
             self.engine.revalidate, store, schema, compressed=compressed, label=label
         )
-        return await asyncio.get_running_loop().run_in_executor(None, call)
+        context = contextvars.copy_context()
+        return await asyncio.get_running_loop().run_in_executor(
+            None, lambda: context.run(call)
+        )
 
     async def revalidate_many(
         self, stores, schema, compressed: bool = False
@@ -281,7 +327,10 @@ class AsyncValidationEngine(AsyncBatchEngine):
                 for store in batch
             ]
 
-        return await asyncio.get_running_loop().run_in_executor(None, call)
+        context = contextvars.copy_context()
+        return await asyncio.get_running_loop().run_in_executor(
+            None, lambda: context.run(call)
+        )
 
 
 class AsyncContainmentEngine(AsyncBatchEngine):

@@ -32,11 +32,14 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import sys
-from typing import Optional, Sequence
+import time
+from typing import Any, Dict, Optional, Sequence
 
 from repro.engine.executors import BACKENDS
 from repro.errors import ReproError
+from repro.obs.logs import LEVELS
 from repro.serve.client import DaemonClient
 from repro.serve.daemon import ValidationDaemon
 from repro.serve.protocol import split_address
@@ -59,6 +62,9 @@ def _daemon_from_args(args: argparse.Namespace) -> ValidationDaemon:
         cache_dir=args.cache_dir,
         cache_max_mb=args.cache_max_mb,
         cache_ttl=args.cache_ttl,
+        slow_ms=args.slow_ms,
+        log_level=args.log_level,
+        log_json=args.log_json,
         **endpoint,
     )
 
@@ -200,6 +206,89 @@ def _cmd_revalidate(args: argparse.Namespace) -> int:
     return 0 if summary["invalid"] == 0 and summary["unknown"] == 0 else 1
 
 
+def _render_metrics(snapshot: Dict[str, Any]) -> str:
+    """The human one-screen rendering of a ``metrics`` snapshot."""
+    lines = [
+        f"daemon v{snapshot['version']} — metrics "
+        f"{'enabled' if snapshot.get('enabled', True) else 'DISABLED'}, "
+        f"uptime {snapshot['uptime_seconds']}s, "
+        f"{snapshot['connections']} connection(s)"
+    ]
+    requests = snapshot.get("requests", {})
+    if requests:
+        rendered = ", ".join(f"{op}={count}" for op, count in sorted(requests.items()))
+        lines.append(f"  requests: {rendered}")
+    solver = snapshot.get("solver", {})
+    if solver:
+        lines.append(
+            f"  solver: {solver.get('sat_checks', 0)} sat checks, "
+            f"{solver.get('memo_hits', 0)} memo hits, "
+            f"{solver.get('milp_calls', 0)} milp, "
+            f"{solver.get('batch_calls', 0)} batched "
+            f"({solver.get('batch_blocks', 0)} blocks)"
+        )
+    fixpoint = snapshot.get("fixpoint", {})
+    if fixpoint:
+        runs = fixpoint.get("runs", {})
+        by_mode = ", ".join(f"{mode}={int(count)}" for mode, count in sorted(runs.items()))
+        lines.append(
+            f"  fixpoint: runs [{by_mode or 'none'}], "
+            f"{int(fixpoint.get('checks', 0))} checks, "
+            f"signature hit-rate {fixpoint.get('signature_hit_rate', 0.0):.1%}"
+        )
+    for label, cache in sorted(snapshot.get("caches", {}).items()):
+        line = (
+            f"  cache {label}: hits={cache['hits']} misses={cache['misses']} "
+            f"evictions={cache['evictions']} size={cache['size']}/{cache['max_size']} "
+            f"hit-rate={cache['hit_rate']:.1%}"
+        )
+        if "disk_bytes" in cache:
+            line += f" disk={cache['disk_bytes']}B"
+        lines.append(line)
+    for name, entry in sorted(snapshot.get("graphs", {}).items()):
+        view = entry.get("view", {})
+        line = f"  graph {name!r}: v{entry['version']}, {entry['nodes']} nodes"
+        if view.get("active"):
+            line += f", kinds={view['kinds']} ({view['compression_ratio']}x)"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """``shex-serve metrics``: snapshot (or watch) a daemon's metrics.
+
+    Default output is a one-screen human summary; ``--json`` prints the full
+    structured snapshot and ``--prometheus`` the text exposition (pipe it to
+    a file a node_exporter textfile collector scrapes).  ``--watch N``
+    refreshes the chosen rendering every N seconds until interrupted.
+    """
+    if args.json and args.prometheus:
+        raise ReproError("pass at most one of --json or --prometheus")
+
+    def render(client: DaemonClient) -> str:
+        snapshot = client.metrics(prometheus=args.prometheus)
+        if args.prometheus:
+            return snapshot["prometheus"].rstrip("\n")
+        if args.json:
+            return json.dumps(snapshot, indent=2, sort_keys=True)
+        return _render_metrics(snapshot)
+
+    with _client(args) as client:
+        if args.watch is None:
+            print(render(client))
+            return 0
+        try:
+            while True:
+                output = render(client)
+                # Clear the screen between refreshes so the snapshot reads
+                # like a dashboard rather than a scrolling log.
+                sys.stdout.write("\x1b[2J\x1b[H" + output + "\n")
+                sys.stdout.flush()
+                time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+
+
 def _cmd_flush(args: argparse.Namespace) -> int:
     with _client(args) as client:
         flushed = client.flush_cache()["flushed"]
@@ -242,10 +331,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-ttl", type=float, default=None, metavar="SECONDS",
         help="expire --cache-dir entries older than this many seconds",
     )
+    start_parser.add_argument(
+        "--slow-ms", type=float, default=1000.0, metavar="MS",
+        help="log requests slower than this many milliseconds (with span tree)",
+    )
+    start_parser.add_argument(
+        "--log-level", choices=sorted(LEVELS), default="info",
+        help="daemon log verbosity (structured logs go to stderr)",
+    )
+    start_parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as one JSON object per line instead of key=value text",
+    )
     start_parser.set_defaults(handler=_cmd_start)
 
     for name, helper, handler in (
         ("status", "show daemon status and cache statistics", _cmd_status),
+        ("metrics", "snapshot (or watch) a daemon's metrics", _cmd_metrics),
         ("stop", "ask a running daemon to shut down", _cmd_stop),
         ("flush", "flush the daemon's result and parse caches", _cmd_flush),
         ("update", "register a graph store or apply an edge delta to it", _cmd_update),
@@ -260,6 +362,18 @@ def build_parser() -> argparse.ArgumentParser:
         )
         if name == "status":
             sub.add_argument("--json", action="store_true", help="print raw JSON status")
+        if name == "metrics":
+            sub.add_argument(
+                "--json", action="store_true", help="print the full structured snapshot"
+            )
+            sub.add_argument(
+                "--prometheus", action="store_true",
+                help="print the Prometheus text exposition",
+            )
+            sub.add_argument(
+                "--watch", type=float, default=None, metavar="SECONDS",
+                help="refresh the rendering every SECONDS until interrupted",
+            )
         if name == "update":
             sub.add_argument("--name", required=True, help="graph store name on the daemon")
             sub.add_argument("--data", help="RDF document registering the graph (v0)")
@@ -290,6 +404,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.handler(args)
+    except BrokenPipeError:
+        # stdout was closed early (metrics/status piped into `head`, a dying
+        # pager); point it at devnull so the interpreter's exit flush does
+        # not raise again, and exit quietly like standard unix tools.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     except OSError as exc:
         target = getattr(exc, "filename", None)
         detail = f"{target}: {exc.strerror}" if target and exc.strerror else str(exc)

@@ -40,6 +40,9 @@ class DaemonClient:
         self._socket = sock
         self._reader = sock.makefile("rb")
         self._request_id = 0
+        #: Trace id echoed on the most recent response (``None`` before the
+        #: first request, or when talking to a pre-1.6 daemon).
+        self.last_trace: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -81,20 +84,27 @@ class DaemonClient:
             raise ProtocolError("daemon response is not a JSON object")
         return message
 
-    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+    def request(
+        self, op: str, trace: Optional[str] = None, **params: Any
+    ) -> Dict[str, Any]:
         """Send one request and return its ``result`` dict.
 
-        Raises :class:`repro.errors.DaemonError` when the daemon answers with
-        a structured error.
+        ``trace`` is an optional caller-chosen trace id, propagated through
+        the daemon and echoed on the response; omit it and the daemon mints
+        one.  Either way the echoed id lands in :attr:`last_trace`.  Raises
+        :class:`repro.errors.DaemonError` when the daemon answers with a
+        structured error.
         """
         self._request_id += 1
         message = dict(params, op=op, id=self._request_id)
+        if trace is not None:
+            message["trace"] = trace
         self._socket.sendall(protocol.encode(message))
         response = self._read_response()
         return self._unwrap(response)
 
-    @staticmethod
-    def _unwrap(response: Dict[str, Any]) -> Dict[str, Any]:
+    def _unwrap(self, response: Dict[str, Any]) -> Dict[str, Any]:
+        self.last_trace = response.get("trace", self.last_trace)
         if response.get("ok"):
             return response.get("result", {})
         error = response.get("error") or {}
@@ -247,6 +257,16 @@ class DaemonClient:
     def status(self) -> Dict[str, Any]:
         """Daemon status: uptime, request counters, schemas, cache statistics."""
         return self.request("status")
+
+    def metrics(self, prometheus: bool = True) -> Dict[str, Any]:
+        """The daemon's metrics snapshot (see ``docs/observability.md``).
+
+        Structured sections (``solver``, ``fixpoint``, ``caches``,
+        ``graphs``, raw ``metrics`` families) plus, unless
+        ``prometheus=False``, the full Prometheus text exposition under
+        ``"prometheus"``.
+        """
+        return self.request("metrics", prometheus=prometheus)
 
     def flush_cache(self) -> Dict[str, Any]:
         """Empty the daemon's result and parse caches; returns flushed counts."""

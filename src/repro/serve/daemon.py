@@ -25,7 +25,10 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import contextvars
 import hashlib
+import json
+import logging
 import os
 import socket
 import threading
@@ -33,11 +36,16 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 import repro
-from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.cache import CacheStats, LRUCache, cache_collector
 from repro.engine.compiled import CompiledSchema
+from repro.engine.fixpoint import fixpoint_metrics_summary
 from repro.engine.jobs import JobResult, ValidationJob
 from repro.errors import GraphError, ProtocolError, ReproError
 from repro.graphs.store import Delta, GraphStore
+from repro.obs import logs as obs_logs
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.presburger.solver import solver_metrics_summary
 from repro.rdf.convert import rdf_to_simple_graph
 from repro.rdf.parser import parse_ntriples, parse_turtle_lite
 from repro.schema.parser import parse_schema
@@ -46,6 +54,28 @@ from repro.serve.async_engine import AsyncContainmentEngine, AsyncValidationEngi
 
 #: Generous per-line limit (64 KiB default would truncate large graphs).
 _LINE_LIMIT = 8 * 1024 * 1024
+
+_LOG = logging.getLogger("repro.serve.daemon")
+
+# Request-level instruments.  Responses that never resolved an op (bad JSON,
+# unknown op) are labelled ``invalid`` so the error series still adds up.
+_M_REQUESTS = obs_metrics.get_registry().counter(
+    "repro_daemon_requests_total", "Requests handled, by operation.", labels=("op",)
+)
+_M_REQUEST_SECONDS = obs_metrics.get_registry().histogram(
+    "repro_daemon_request_seconds",
+    "Wall time from request line to final response, by operation.",
+    labels=("op",),
+)
+_M_ERRORS = obs_metrics.get_registry().counter(
+    "repro_daemon_errors_total", "Error responses, by protocol error code.",
+    labels=("code",),
+)
+_M_SLOW = obs_metrics.get_registry().counter(
+    "repro_daemon_slow_requests_total",
+    "Requests slower than the slow-op log threshold.",
+    labels=("op",),
+)
 
 
 def _stats_dict(stats: CacheStats) -> Dict[str, Any]:
@@ -84,6 +114,9 @@ class ValidationDaemon:
         cache_dir: Optional[str] = None,
         cache_max_mb: Optional[float] = None,
         cache_ttl: Optional[float] = None,
+        slow_ms: float = 1000.0,
+        log_level: Optional[str] = None,
+        log_json: bool = False,
     ):
         if (socket_path is None) == (host is None):
             raise ValueError("pass exactly one of socket_path or host/port")
@@ -93,6 +126,11 @@ class ValidationDaemon:
         self.cache_dir = cache_dir
         self.cache_max_mb = cache_max_mb
         self.cache_ttl = cache_ttl
+        #: Requests slower than this (milliseconds) emit one structured
+        #: ``slow_op`` log line carrying the request's timed span tree.
+        self.slow_ms = slow_ms
+        if log_level is not None:
+            obs_logs.configure_logging(level=log_level, json_lines=log_json)
         self.validation = AsyncValidationEngine(
             backend=backend, max_workers=max_workers, cache_size=cache_size,
             cache_dir=cache_dir, cache_max_mb=cache_max_mb, cache_ttl=cache_ttl,
@@ -114,6 +152,7 @@ class ValidationDaemon:
         self._conn_tasks: set = set()
         self._writers: set = set()
         self._started_at: Optional[float] = None
+        self._collectors: list = []
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stopping: Optional[asyncio.Event] = None
@@ -153,6 +192,18 @@ class ValidationDaemon:
             if not self.port:
                 self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.time()
+        # Expose this daemon's caches and gauges to the metrics registry for
+        # the lifetime of the serve loop (collectors are sampled at
+        # snapshot/scrape time, so there is no per-request cost).
+        self._collectors = [
+            cache_collector("validation", self.validation.engine.cache),
+            cache_collector("containment", self.containment.engine.cache),
+            cache_collector("parsed", self._parsed),
+            self._daemon_collector,
+        ]
+        registry = obs_metrics.get_registry()
+        for collector in self._collectors:
+            registry.add_collector(collector)
 
     @staticmethod
     def _socket_is_live(path: str) -> bool:
@@ -186,7 +237,51 @@ class ValidationDaemon:
         if self._stopping is not None:
             self._stopping.set()
 
+    def _daemon_collector(self):
+        """Registry collector: daemon-level gauges sampled at scrape time."""
+        started = self._started_at
+        uptime = (time.time() - started) if started is not None else 0.0
+        stores = sorted(self._stores.items())
+        families = [
+            (
+                "repro_daemon_connections", "gauge", "Open client connections.",
+                [({}, float(self._connections))],
+            ),
+            (
+                "repro_daemon_uptime_seconds", "gauge",
+                "Seconds since the daemon bound its socket.", [({}, uptime)],
+            ),
+            (
+                "repro_daemon_schemas", "gauge", "Compiled schemas held in memory.",
+                [({}, float(len(self._schemas)))],
+            ),
+            (
+                "repro_daemon_graphs", "gauge", "Registered graph stores.",
+                [({}, float(len(stores)))],
+            ),
+        ]
+        if stores:
+            families.append(
+                (
+                    "repro_graph_nodes", "gauge", "Nodes per registered graph store.",
+                    [({"graph": name}, float(store.graph.node_count))
+                     for name, store in stores],
+                )
+            )
+            families.append(
+                (
+                    "repro_graph_version", "gauge",
+                    "Delta-log version per registered graph store.",
+                    [({"graph": name}, float(store.version)) for name, store in stores],
+                )
+            )
+        return families
+
     async def _shutdown(self) -> None:
+        registry = obs_metrics.get_registry()
+        for collector in self._collectors:
+            registry.remove_collector(collector)
+        self._collectors = []
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -250,41 +345,134 @@ class ValidationDaemon:
                 pass
 
     async def _handle_line(self, line: bytes, writer: asyncio.StreamWriter) -> bool:
-        """Answer one request line; returns True when the daemon should stop."""
+        """Answer one request line; returns True when the daemon should stop.
+
+        Every response — success or error — echoes a ``trace`` id: the one
+        the client sent (any string), or one minted here.  The request runs
+        under a ``daemon.<op>`` trace root so spans opened further down
+        (fixpoint runs, solver batches, batch executors) attach to it, and
+        requests slower than :attr:`slow_ms` emit one structured ``slow_op``
+        log line carrying that timed span tree.
+        """
         request_id: Any = None
+        op: Optional[str] = None
+        trace_id: Optional[str] = None
+        root = None
+        error_code: Optional[str] = None
+        stop_after = False
+        started = time.perf_counter()
         try:
             message = protocol.decode_request(line)
             request_id = message.get("id")
+            trace_id = message.get("trace")
+            if trace_id is not None and not isinstance(trace_id, str):
+                raise ProtocolError("'trace' must be a string", protocol.E_BAD_REQUEST)
+            if trace_id is None:
+                trace_id = obs_tracing.new_trace_id()
             op = message["op"]
             self._requests[op] = self._requests.get(op, 0) + 1
-            if op == "batch":
-                await self._op_batch(message, writer)
-                return False
-            handler = getattr(self, f"_op_{op}")
-            result = await handler(message)
-            writer.write(protocol.encode(protocol.ok_response(request_id, result)))
-            return op == "shutdown"
+            with obs_tracing.start_trace(f"daemon.{op}", trace_id=trace_id) as root:
+                if op == "batch":
+                    await self._op_batch(message, writer, trace_id)
+                else:
+                    handler = getattr(self, f"_op_{op}")
+                    result = await handler(message)
+                    writer.write(
+                        protocol.encode(
+                            protocol.ok_response(request_id, result, trace=trace_id)
+                        )
+                    )
+                    stop_after = op == "shutdown"
         except ProtocolError as exc:
-            writer.write(
-                protocol.encode(protocol.error_response(request_id, exc.code, str(exc)))
-            )
-        except ReproError as exc:
+            error_code = exc.code
+            request_id, trace_id = self._salvage_envelope(line, request_id, trace_id)
             writer.write(
                 protocol.encode(
-                    protocol.error_response(request_id, protocol.E_PARSE, str(exc))
+                    protocol.error_response(
+                        request_id, exc.code, str(exc), trace=trace_id
+                    )
+                )
+            )
+        except ReproError as exc:
+            error_code = protocol.E_PARSE
+            request_id, trace_id = self._salvage_envelope(line, request_id, trace_id)
+            writer.write(
+                protocol.encode(
+                    protocol.error_response(
+                        request_id, protocol.E_PARSE, str(exc), trace=trace_id
+                    )
                 )
             )
         except Exception as exc:  # noqa: BLE001 — the connection must survive
+            error_code = protocol.E_INTERNAL
+            request_id, trace_id = self._salvage_envelope(line, request_id, trace_id)
             writer.write(
                 protocol.encode(
                     protocol.error_response(
                         request_id,
                         protocol.E_INTERNAL,
                         f"{type(exc).__name__}: {exc}",
+                        trace=trace_id,
                     )
                 )
             )
-        return False
+        self._finish_request(op, trace_id, started, root, error_code)
+        return stop_after
+
+    @staticmethod
+    def _salvage_envelope(
+        line: bytes, request_id: Any, trace_id: Optional[str]
+    ) -> Tuple[Any, str]:
+        """Best-effort ``(id, trace)`` for error responses.
+
+        When the envelope was rejected before the trace was read (bad JSON,
+        unknown op, non-string trace), recover what the payload did carry so
+        even rejections echo the caller's trace — minting one otherwise.
+        """
+        if trace_id is None or request_id is None:
+            try:
+                partial = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                partial = None
+            if isinstance(partial, dict):
+                if request_id is None:
+                    request_id = partial.get("id")
+                if trace_id is None and isinstance(partial.get("trace"), str):
+                    trace_id = partial["trace"]
+        if trace_id is None:
+            trace_id = obs_tracing.new_trace_id()
+        return request_id, trace_id
+
+    def _finish_request(
+        self,
+        op: Optional[str],
+        trace_id: Optional[str],
+        started: float,
+        root: Any,
+        error_code: Optional[str],
+    ) -> None:
+        """Record one request's latency metrics and, when slow, a log line."""
+        elapsed = time.perf_counter() - started
+        label = op or "invalid"
+        if obs_metrics.STATE.enabled:
+            _M_REQUESTS.labels(op=label).inc()
+            _M_REQUEST_SECONDS.labels(op=label).observe(elapsed)
+            if error_code is not None:
+                _M_ERRORS.labels(code=error_code).inc()
+        if elapsed * 1000.0 < self.slow_ms:
+            return
+        if obs_metrics.STATE.enabled:
+            _M_SLOW.labels(op=label).inc()
+        fields: Dict[str, Any] = {
+            "op": label,
+            "seconds": round(elapsed, 6),
+            "trace": trace_id,
+        }
+        if error_code is not None:
+            fields["error"] = error_code
+        if getattr(root, "children", None):
+            fields["spans"] = root.to_dict()
+        obs_logs.log_event(_LOG, logging.WARNING, "slow_op", **fields)
 
     # ------------------------------------------------------------------ #
     # Document resolution (shared by validate/contains/batch)
@@ -294,9 +482,15 @@ class ValidationDaemon:
         """Run blocking work (parsing, compilation, file reads) off the loop.
 
         Keeps ``ping``/``status`` responsive on other connections while one
-        request compiles a large schema or reads a big document.
+        request compiles a large schema or reads a big document.  The current
+        :mod:`contextvars` context rides along (``run_in_executor`` does not
+        propagate it), so spans opened inside ``fn`` attach to the request's
+        ``daemon.<op>`` trace instead of silently becoming no-ops.
         """
-        return await asyncio.get_running_loop().run_in_executor(None, fn, *args)
+        context = contextvars.copy_context()
+        return await asyncio.get_running_loop().run_in_executor(
+            None, lambda: context.run(fn, *args)
+        )
 
     def _read_path(self, path: str) -> str:
         try:
@@ -462,7 +656,10 @@ class ValidationDaemon:
         }
 
     async def _op_batch(
-        self, message: Dict[str, Any], writer: asyncio.StreamWriter
+        self,
+        message: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+        trace: Optional[str] = None,
     ) -> None:
         """Validate many jobs; stream per-job events or return one list."""
         request_id = message.get("id")
@@ -498,7 +695,9 @@ class ValidationDaemon:
             cached_count += int(result.cached)
             if stream:
                 writer.write(
-                    protocol.encode(protocol.ok_response(request_id, entry, "result"))
+                    protocol.encode(
+                        protocol.ok_response(request_id, entry, "result", trace=trace)
+                    )
                 )
                 await writer.drain()
             else:
@@ -507,15 +706,19 @@ class ValidationDaemon:
             "jobs": len(jobs),
             "cached": cached_count,
             "seconds": round(time.perf_counter() - started, 6),
-            "cache": _stats_dict(self.validation.engine.cache.stats()),
+            "cache": self._cache_stats()["validation"],
         }
         if stream:
             writer.write(
-                protocol.encode(protocol.ok_response(request_id, summary, "done"))
+                protocol.encode(
+                    protocol.ok_response(request_id, summary, "done", trace=trace)
+                )
             )
         else:
             summary["results"] = [collected[index] for index in range(len(jobs))]
-            writer.write(protocol.encode(protocol.ok_response(request_id, summary)))
+            writer.write(
+                protocol.encode(protocol.ok_response(request_id, summary, trace=trace))
+            )
 
     def _store_lock(self, name: str) -> asyncio.Lock:
         lock = self._store_locks.get(name)
@@ -699,7 +902,36 @@ class ValidationDaemon:
         )
         return entry
 
+    def _uptime(self) -> float:
+        """Seconds since the daemon bound its socket (0.0 before start)."""
+        if self._started_at is None:
+            return 0.0
+        return round(time.time() - self._started_at, 3)
+
+    def _cache_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Every cache's counters as one JSON-safe dict.
+
+        The single place (``status``, batch summaries, and the ``metrics``
+        op all read through here) that renders :class:`CacheStats`; the
+        result-cache entries additionally carry ``disk_bytes`` when the
+        daemon runs with a persistent cache directory.
+        """
+        caches = {
+            "validation": _stats_dict(self.validation.engine.cache.stats()),
+            "containment": _stats_dict(self.containment.engine.cache.stats()),
+            "parsed": _stats_dict(self._parsed.stats()),
+        }
+        for key, cache in (
+            ("validation", self.validation.engine.cache),
+            ("containment", self.containment.engine.cache),
+        ):
+            disk_bytes = getattr(cache, "disk_bytes", None)
+            if disk_bytes is not None:
+                caches[key]["disk_bytes"] = disk_bytes()
+        return caches
+
     async def _op_status(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        caches = self._cache_stats()
         return {
             "version": repro.__version__,
             "protocol": protocol.PROTOCOL_VERSION,
@@ -707,7 +939,7 @@ class ValidationDaemon:
             "address": self.address,
             "backend": self.validation.backend,
             "cache_dir": self.cache_dir,
-            "uptime_seconds": round(time.time() - (self._started_at or time.time()), 3),
+            "uptime_seconds": self._uptime(),
             "connections": self._connections,
             "requests": dict(sorted(self._requests.items())),
             "schemas": {
@@ -718,9 +950,44 @@ class ValidationDaemon:
                 name: self._store_status(name, store)
                 for name, store in sorted(self._stores.items())
             },
-            "validation_cache": _stats_dict(self.validation.engine.cache.stats()),
-            "containment_cache": _stats_dict(self.containment.engine.cache.stats()),
+            "validation_cache": caches["validation"],
+            "containment_cache": caches["containment"],
+            "parsed_cache": caches["parsed"],
         }
+
+    async def _op_metrics(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One structured snapshot of everything the registry knows.
+
+        The curated sections (``solver``, ``fixpoint``, ``caches``,
+        ``graphs``) are convenience reads over the same instruments the raw
+        ``metrics`` section dumps; ``prometheus`` is the full text
+        exposition, ready to write to a scrape endpoint or file.  Pass
+        ``"prometheus": false`` to omit the (redundant, largest) text block.
+        """
+        include_prometheus = message.get("prometheus", True)
+        if not isinstance(include_prometheus, bool):
+            raise ProtocolError(
+                "'prometheus' must be a boolean", protocol.E_BAD_REQUEST
+            )
+        registry = obs_metrics.get_registry()
+        result: Dict[str, Any] = {
+            "version": repro.__version__,
+            "enabled": obs_metrics.enabled(),
+            "uptime_seconds": self._uptime(),
+            "connections": self._connections,
+            "requests": dict(sorted(self._requests.items())),
+            "solver": solver_metrics_summary(),
+            "fixpoint": fixpoint_metrics_summary(),
+            "caches": self._cache_stats(),
+            "graphs": {
+                name: self._store_status(name, store)
+                for name, store in sorted(self._stores.items())
+            },
+            "metrics": registry.snapshot(),
+        }
+        if include_prometheus:
+            result["prometheus"] = obs_metrics.render_prometheus(registry)
+        return result
 
     async def _op_flush_cache(self, message: Dict[str, Any]) -> Dict[str, Any]:
         flushed = {

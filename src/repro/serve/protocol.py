@@ -38,6 +38,7 @@ OPS = (
     "update_graph",
     "revalidate",
     "status",
+    "metrics",
     "flush_cache",
     "shutdown",
 )
@@ -103,23 +104,36 @@ def decode_request(line: bytes) -> Dict[str, Any]:
 
 
 def ok_response(
-    request_id: Any, result: Dict[str, Any], event: Optional[str] = None
+    request_id: Any,
+    result: Dict[str, Any],
+    event: Optional[str] = None,
+    trace: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Build a success response (optionally tagged as a stream ``event``)."""
+    """Build a success response (optionally tagged as a stream ``event``).
+
+    ``trace`` is the request's trace id, echoed so clients can correlate
+    responses (and the daemon's slow-operation logs) with their requests.
+    """
     message: Dict[str, Any] = {"ok": True, "result": result}
     if request_id is not None:
         message["id"] = request_id
     if event is not None:
         message["event"] = event
+    if trace is not None:
+        message["trace"] = trace
     return message
 
 
-def error_response(request_id: Any, code: str, message: str) -> Dict[str, Any]:
+def error_response(
+    request_id: Any, code: str, message: str, trace: Optional[str] = None
+) -> Dict[str, Any]:
     """Build a structured error response with a registered ``code``."""
     assert code in ERROR_CODES, f"unregistered error code {code!r}"
     response: Dict[str, Any] = {"ok": False, "error": {"code": code, "message": message}}
     if request_id is not None:
         response["id"] = request_id
+    if trace is not None:
+        response["trace"] = trace
     return response
 
 

@@ -1,0 +1,101 @@
+"""End-to-end metrics smoke test: live daemon → CLI scrape → valid exposition.
+
+This is the CI "metrics smoke" job: start a real daemon, push traffic
+through it, scrape it the way an operator would (``shex-serve metrics``),
+and assert the Prometheus text parses and covers every subsystem the
+observability layer instruments.
+"""
+
+import json
+
+from repro.obs import parse_prometheus
+from repro.serve.cli import main as serve_main
+from repro.serve.client import DaemonClient
+from repro.serve.daemon import start_in_thread
+
+SCHEMA_TEXT = "Bug -> descr :: Lit, related :: Bug*\nLit -> eps\n"
+GOOD_TURTLE = (
+    "@prefix ex: <http://example.org/> .\n"
+    "ex:b1 ex:descr ex:l1 ; ex:related ex:b2 .\n"
+    "ex:b2 ex:descr ex:l2 .\n"
+)
+BAD_TURTLE = "@prefix ex: <http://example.org/> .\nex:b1 ex:related ex:b2 .\n"
+
+EXPECTED_FAMILIES = (
+    "repro_daemon_requests_total",
+    "repro_daemon_request_seconds",
+    "repro_daemon_uptime_seconds",
+    "repro_daemon_connections",
+    "repro_cache_hits_total",
+    "repro_cache_misses_total",
+    "repro_cache_entries",
+    "repro_fixpoint_runs_total",
+    "repro_fixpoint_checks_total",
+    "repro_solver_sat_checks_total",
+    "repro_engine_batches_total",
+    "repro_graph_nodes",
+)
+
+
+def _drive_traffic(address):
+    """Exercise validate/contains/batch/store ops so every subsystem records."""
+    with DaemonClient.connect(address) as client:
+        client.load_schema("bug", text=SCHEMA_TEXT)
+        client.validate("bug", data_text=GOOD_TURTLE)
+        client.validate("bug", data_text=GOOD_TURTLE)  # cache hit
+        client.validate("bug", data_text=BAD_TURTLE)
+        client.contains(
+            {"text": SCHEMA_TEXT},
+            {"text": "Bug -> descr :: Lit?, related :: Bug*\nLit -> eps\n"},
+        )
+        job = {"schema": "bug", "data": {"text": GOOD_TURTLE}}
+        client.batch_validate([job, job, job])
+        client.update_graph("live", data_text=GOOD_TURTLE)
+        client.revalidate("live", "bug")
+        return client.last_trace
+
+
+class TestMetricsSmoke:
+    def test_live_daemon_scrape_parses_and_covers_subsystems(self, tmp_path, capsys):
+        address = str(tmp_path / "smoke.sock")
+        with start_in_thread(socket_path=address, backend="thread", max_workers=2):
+            last_trace = _drive_traffic(address)
+            assert isinstance(last_trace, str) and last_trace
+
+            assert serve_main(["metrics", "--connect", address, "--prometheus"]) == 0
+            exposition = capsys.readouterr().out
+            assert serve_main(["metrics", "--connect", address, "--json"]) == 0
+            snapshot = json.loads(capsys.readouterr().out)
+
+        families = parse_prometheus(exposition)
+        for name in EXPECTED_FAMILIES:
+            assert name in families, f"exposition is missing {name}"
+
+        requests = families["repro_daemon_requests_total"]
+        assert requests["type"] == "counter"
+        ops_seen = {labels["op"] for labels, _ in requests["samples"]}
+        assert {"validate", "contains", "batch", "revalidate"} <= ops_seen
+
+        # Histogram internal consistency: +Inf bucket equals the count.
+        latency = families["repro_daemon_request_seconds"]
+        assert latency["type"] == "histogram"
+        counts = {
+            labels.get("le"): value
+            for labels, value in latency["samples"]
+            if labels.get("op") == "validate" and "le" in labels
+        }
+        total = [
+            value
+            for labels, value in latency["samples"]
+            if labels.get("op") == "validate" and "le" not in labels
+        ]
+        assert counts["+Inf"] == max(total) >= 3
+
+        # The structured snapshot agrees with the scrape on headline counters.
+        assert snapshot["requests"]["validate"] >= 3
+        assert snapshot["caches"]["validation"]["hits"] >= 1
+        # Simple shapes resolve through the interval fast path, so the solver
+        # may legitimately sit at zero — the section must still be reported.
+        assert snapshot["solver"]["sat_checks"] >= 0
+        assert snapshot["fixpoint"]["checks"] >= 1
+        assert "live" in snapshot["graphs"]

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
+import time
 
 from repro.cli import main as containment_main
 from repro.engine.cache import DiskResultCache
@@ -124,6 +126,103 @@ class TestDiskResultCache:
         cold = DiskResultCache(str(tmp_path))
         assert cold.get(("k",))[1] == payload
         assert isinstance(pickle.loads(pickle.dumps(payload)), tuple)
+
+
+class TestDiskCacheRaces:
+    """Eviction and expiry racing concurrent lookups on the same entries.
+
+    A shared cache directory sees these interleavings for real: a daemon
+    evicting over budget while a batch CLI reads, or a TTL sweep deleting a
+    file between another reader's ``_expired`` check and its ``open``.  The
+    contract is *graceful degradation*: a ``get`` racing a delete returns a
+    clean miss — never an exception, never a torn value.
+    """
+
+    def test_entry_deleted_between_stat_and_open_is_a_miss(self, tmp_path):
+        writer = DiskResultCache(str(tmp_path), memory_size=0)
+        writer.put(("victim",), "payload")
+        reader = DiskResultCache(str(tmp_path), memory_size=0)
+        # Simulate losing the race: the file vanishes after `reader` computed
+        # its path (another process's eviction) but before the open.
+        os.unlink(reader._path(("victim",)))
+        assert reader.get(("victim",)) == (False, None)
+        assert reader.stats().misses == 1
+
+    def test_eviction_while_readers_hold_paths(self, tmp_path):
+        """Writer evicts over budget non-stop while readers get the same keys."""
+        directory = str(tmp_path)
+        writer = DiskResultCache(directory, memory_size=0, max_bytes=6_000)
+        reader = DiskResultCache(directory, memory_size=0)
+        keys = [(index,) for index in range(16)]
+        payload = "x" * 1500  # ~4 entries fit; every put evicts the oldest
+        errors = []
+        stop = threading.Event()
+
+        def read_loop():
+            try:
+                while not stop.is_set():
+                    for key in keys:
+                        found, value = reader.get(key)
+                        if found:
+                            assert value == payload
+            except Exception as exc:  # noqa: BLE001 — the assertion below reports
+                errors.append(exc)
+
+        readers = [threading.Thread(target=read_loop) for _ in range(3)]
+        for thread in readers:
+            thread.start()
+        try:
+            for _ in range(30):
+                for key in keys:
+                    writer.put(key, payload)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+        assert errors == []
+        stats = reader.stats()
+        assert stats.hits + stats.misses > 0
+        assert writer.disk_bytes() <= 6_000
+
+    def test_ttl_sweep_racing_lookups(self, tmp_path):
+        """Everything expires instantly; concurrent gets must miss cleanly."""
+        directory = str(tmp_path)
+        writer = DiskResultCache(directory, memory_size=0)
+        reader = DiskResultCache(directory, memory_size=0, ttl_seconds=1e-6)
+        keys = [(index,) for index in range(8)]
+        errors = []
+
+        def churn():
+            try:
+                for _ in range(20):
+                    for key in keys:
+                        writer.put(key, "fresh")
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def expire_reads():
+            try:
+                for _ in range(20):
+                    time.sleep(0.001)  # let entries age past the 1µs TTL
+                    for key in keys:
+                        reader.get(key)
+                    reader._sweep_expired()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn),
+            threading.Thread(target=expire_reads),
+            threading.Thread(target=expire_reads),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # Tracked byte/entry counts never go negative under racing deletes.
+        assert reader.disk_bytes() >= 0
+        assert reader.stats().size >= 0
 
 
 class TestEngineCacheDir:

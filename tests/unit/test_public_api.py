@@ -28,6 +28,7 @@ class TestPublicSurface:
             "repro.reductions",
             "repro.workloads",
             "repro.util",
+            "repro.obs",
             "repro.cli",
         ):
             importlib.import_module(module)

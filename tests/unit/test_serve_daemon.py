@@ -320,6 +320,125 @@ class TestErrorHandling:
         assert client.ping()["pong"] is True
 
 
+class TestObservability:
+    def test_every_response_echoes_a_trace_id(self, client):
+        client.ping()
+        minted = client.last_trace
+        assert isinstance(minted, str) and len(minted) == 16
+        int(minted, 16)
+        client.request("ping", trace="trace-from-client")
+        assert client.last_trace == "trace-from-client"
+
+    def test_error_responses_carry_the_trace_too(self, client):
+        with pytest.raises(DaemonError):
+            client.request("validate", trace="err-trace")
+        assert client.last_trace == "err-trace"
+
+    def test_non_string_trace_is_rejected(self, client):
+        with pytest.raises(DaemonError) as caught:
+            client.request("ping", trace=7)
+        assert caught.value.code == "bad-request"
+
+    def test_raw_responses_include_trace_field(self, daemon):
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as raw:
+            raw.settimeout(10)
+            raw.connect(daemon.daemon.socket_path)
+            reader = raw.makefile("rb")
+            raw.sendall(b'{"op": "ping", "id": 1, "trace": "abc"}\n')
+            answer = json.loads(reader.readline())
+            assert answer["ok"] is True and answer["trace"] == "abc"
+            raw.sendall(b'{"op": "frobnicate", "id": 2}\n')
+            answer = json.loads(reader.readline())
+            assert answer["ok"] is False and "trace" in answer
+
+    def test_batch_responses_share_one_trace(self, client):
+        client.load_schema("bug", text=SCHEMA_TEXT)
+        job = {"schema": "bug", "data": {"text": GOOD_TURTLE}}
+        seen = []
+        client.batch_validate(
+            [job, job], stream=True, on_result=lambda _: seen.append(client.last_trace)
+        )
+        done_trace = client.last_trace
+        assert done_trace is not None
+        assert all(trace == done_trace for trace in seen)
+
+    def test_metrics_op_reports_every_subsystem(self, client):
+        client.load_schema("bug", text=SCHEMA_TEXT)
+        client.validate("bug", data_text=GOOD_TURTLE)
+        client.validate("bug", data_text=GOOD_TURTLE)
+        snapshot = client.metrics()
+        assert snapshot["enabled"] is True
+        assert snapshot["uptime_seconds"] >= 0.0
+        assert snapshot["requests"]["validate"] >= 2
+        assert snapshot["fixpoint"]["runs"]  # the first validate ran the kernel
+        assert "sat_checks" in snapshot["solver"]
+        assert set(snapshot["caches"]) == {"validation", "containment", "parsed"}
+        assert snapshot["caches"]["validation"]["hits"] >= 1
+        families = snapshot["metrics"]
+        assert "repro_daemon_requests_total" in families
+        assert "repro_cache_hits_total" in families
+        cache_labels = {
+            sample["labels"]["cache"]
+            for sample in families["repro_cache_hits_total"]["samples"]
+        }
+        assert {"validation", "containment", "parsed"} <= cache_labels
+
+    def test_metrics_prometheus_text_parses(self, client):
+        from repro.obs import parse_prometheus
+
+        client.ping()
+        snapshot = client.metrics()
+        families = parse_prometheus(snapshot["prometheus"])
+        assert families["repro_daemon_requests_total"]["type"] == "counter"
+        assert families["repro_daemon_request_seconds"]["type"] == "histogram"
+        assert any(
+            labels.get("op") == "ping" and value >= 1
+            for labels, value in families["repro_daemon_requests_total"]["samples"]
+        )
+        # Omitting the text exposition is the documented opt-out.
+        assert "prometheus" not in client.metrics(prometheus=False)
+
+    def test_slow_requests_emit_a_structured_log(self, tmp_path, caplog):
+        import logging
+
+        handle = start_in_thread(
+            socket_path=str(tmp_path / "slow.sock"), slow_ms=0.0
+        )
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.serve.daemon"):
+                with DaemonClient.connect(handle.daemon.socket_path) as connected:
+                    connected.request("ping", trace="slow-trace")
+        finally:
+            handle.stop()
+        slow = [r for r in caplog.records if r.getMessage() == "slow_op"]
+        assert slow, "expected a slow_op record with slow_ms=0"
+        fields = slow[-1].fields
+        assert fields["op"] == "ping"
+        assert fields["trace"] == "slow-trace"
+        assert fields["seconds"] >= 0.0
+
+    def test_metrics_cli_renderings(self, daemon, capsys):
+        from repro.obs import parse_prometheus
+
+        address = daemon.daemon.socket_path
+        with DaemonClient.connect(address) as connected:
+            connected.load_schema("bug", text=SCHEMA_TEXT)
+            connected.validate("bug", data_text=GOOD_TURTLE)
+        assert serve_main(["metrics", "--connect", address]) == 0
+        human = capsys.readouterr().out
+        assert "requests:" in human and "cache validation:" in human
+        assert serve_main(["metrics", "--connect", address, "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert "solver" in parsed and "fixpoint" in parsed
+        assert serve_main(["metrics", "--connect", address, "--prometheus"]) == 0
+        families = parse_prometheus(capsys.readouterr().out)
+        assert "repro_daemon_requests_total" in families
+        assert serve_main(
+            ["metrics", "--connect", address, "--json", "--prometheus"]
+        ) == 2
+        assert "at most one" in capsys.readouterr().err
+
+
 class TestCliConnectMode:
     @pytest.fixture
     def workspace(self, tmp_path):
