@@ -1,0 +1,123 @@
+"""Soak acceptance benchmark: randomized runs with live oracles (ISSUE 8).
+
+Two short deterministic soaks of the stack:
+
+* a fault-free in-process run (``steps=250, seed=1234``) whose report is
+  written to ``BENCH_soak.json`` and compared — everything except wall-clock
+  timing — against the committed ``benchmarks/baseline_soak.json``, which
+  documents the expected shape (spec echo, per-op and per-mode counts,
+  ``invariant_checks_passed``, the ``faults`` tally block); the seeded run
+  is bit-reproducible, so any drift is a real behaviour change;
+* a run against a live in-thread daemon under the ``mixed`` fault schedule,
+  gated on *every* injected fault being recovered (client reconnects and
+  retries, version-guarded update replays) and on the oracle checks passing.
+
+Both runs check typing and containment answers against
+:mod:`repro.schema.reference` and by-construction containment ground truths
+on every ``check_every``-th step — the gates here are correctness gates, not
+wall-clock gates.
+
+Run directly (``python benchmarks/bench_soak.py``) or via pytest
+(``pytest benchmarks/bench_soak.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+
+from repro import faults
+from repro.serve.client import DaemonClient
+from repro.serve.daemon import start_in_thread
+from repro.workloads.soak import DaemonTarget, InProcessTarget, SoakSpec, run_soak
+
+STEPS = 250
+FAULT_STEPS = 150
+SEED = 1234
+SCHEDULE = "mixed"
+
+REPORT_PATH = pathlib.Path("BENCH_soak.json")
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "baseline_soak.json"
+
+#: Wall-clock fields excluded from the baseline comparison.
+TIMING_KEYS = ("seconds", "ops_per_second")
+
+
+def _write_report(report) -> None:
+    with REPORT_PATH.open("w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def _without_timing(report: dict) -> dict:
+    return {key: value for key, value in report.items() if key not in TIMING_KEYS}
+
+
+def test_soak_fault_free_report() -> None:
+    """The fault-free soak: every oracle check passes; the report is written."""
+    spec = SoakSpec(steps=STEPS, seed=SEED, fault=None)
+    report = run_soak(spec, InProcessTarget(backend="serial"))
+    _write_report(report)
+
+    print(
+        f"\n  fault-free soak: {report['steps']} steps in "
+        f"{report['seconds']:.2f}s ({report['ops_per_second']:.1f} ops/s), "
+        f"{report['invariant_checks_passed']} checks, modes {report['modes']}"
+    )
+    assert report["steps"] == STEPS
+    assert report["invariant_checks_passed"] > 0, "the soak never checked anything"
+    assert report["faults"]["injected"] == 0
+    assert report["faults"]["unrecovered"] == 0
+    assert set(report["ops"]) == {"update", "revalidate", "validate", "contains"}
+
+    # The fault-free seeded run is deterministic: everything but wall-clock
+    # timing must match the committed spec shape exactly.
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    assert _without_timing(report) == _without_timing(baseline), (
+        "fault-free soak report drifted from benchmarks/baseline_soak.json — "
+        "regenerate the baseline if the drift is intentional"
+    )
+
+
+def test_soak_under_faults() -> None:
+    """The faulted soak: a live daemon, the mixed schedule, zero unrecovered."""
+    spec = SoakSpec(steps=FAULT_STEPS, seed=SEED, fault=SCHEDULE)
+    with tempfile.TemporaryDirectory(prefix="bench-soak-") as tempdir:
+        socket_path = os.path.join(tempdir, "soak.sock")
+        handle = start_in_thread(
+            socket_path=socket_path, backend="thread", max_workers=2,
+            request_timeout=60.0,
+        )
+        faults.install(SCHEDULE, seed=SEED)
+        try:
+            client = DaemonClient.connect_unix(socket_path, retries=4, backoff=0.05)
+            report = run_soak(spec, DaemonTarget(client, "soak"))
+        finally:
+            faults.uninstall()
+            handle.stop()
+
+    tallies = report["faults"]
+    print(
+        f"\n  faulted soak ({SCHEDULE}): {report['steps']} steps, "
+        f"{tallies['injected']} faults injected {tallies['by_point']}, "
+        f"{tallies['reconnects']} reconnects, "
+        f"{tallies['client_retries']} client retries, "
+        f"{tallies['op_retries']} op retries, "
+        f"{report['invariant_checks_passed']} checks passed"
+    )
+    assert report["invariant_checks_passed"] > 0, "the soak never checked anything"
+    assert tallies["injected"] > 0, (
+        f"the {SCHEDULE!r} schedule never fired over {FAULT_STEPS} steps — "
+        "the injector was not active"
+    )
+    assert tallies["unrecovered"] == 0, (
+        f"{tallies['unrecovered']} injected fault(s) were not recovered"
+    )
+
+
+if __name__ == "__main__":
+    test_soak_fault_free_report()
+    test_soak_under_faults()
+    print("  soak acceptance gates ✓")

@@ -327,6 +327,125 @@ def _cmd_batch_connected(args: argparse.Namespace, entries) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """``soak``: a fault-injected randomized run with live oracle checks.
+
+    By default the command self-hosts a daemon in a thread on a private Unix
+    socket and soaks it under the requested fault schedule; ``--connect``
+    targets a daemon that is already running (inject faults there with the
+    daemon-side ``REPRO_FAULTS`` environment variable), and ``--in-process``
+    drives the engines directly with no serve stack at all.
+    """
+    import contextlib
+    import os
+    import tempfile
+
+    from repro import faults
+    from repro.workloads.soak import (
+        DaemonTarget,
+        InProcessTarget,
+        SoakFailure,
+        SoakSpec,
+        run_soak,
+    )
+
+    fault = None if args.fault in (None, "", "none") else args.fault
+    spec = SoakSpec(
+        steps=args.steps,
+        duration=args.duration,
+        seed=args.seed,
+        size=args.size,
+        churn=args.churn,
+        hotspot=args.hotspot,
+        batch=args.batch,
+        check_every=args.check_every,
+        containment_chain=args.chain,
+        fault=fault,
+        max_shrink_replays=args.max_shrink_replays,
+    )
+    if args.in_process and args.connect:
+        print("shex-containment: error: --in-process and --connect are exclusive",
+              file=sys.stderr)
+        return 2
+
+    handle = None
+    tempdir: Optional[tempfile.TemporaryDirectory] = None
+    injector_installed = False
+    try:
+        if args.in_process:
+            target = InProcessTarget(backend=args.backend)
+        else:
+            from repro.serve.client import DaemonClient
+
+            if args.connect:
+                address = args.connect
+                if fault:
+                    print(
+                        "soak: note: --connect targets a separate daemon; set "
+                        "REPRO_FAULTS there to inject server-side faults",
+                        file=sys.stderr,
+                    )
+            else:
+                from repro.serve.daemon import start_in_thread
+
+                tempdir = tempfile.TemporaryDirectory(prefix="shex-soak-")
+                address = os.path.join(tempdir.name, "soak.sock")
+                handle = start_in_thread(
+                    socket_path=address,
+                    backend=args.backend,
+                    max_workers=2,
+                    request_timeout=args.timeout,
+                )
+            client = DaemonClient.connect(
+                address, timeout=args.timeout, retries=4, backoff=0.05
+            )
+            target = DaemonTarget(client, "soak")
+        if fault:
+            faults.install(fault, seed=args.seed)
+            injector_installed = True
+        try:
+            report = run_soak(spec, target)
+        except SoakFailure as exc:
+            print(f"SOAK FAILED: {exc}", file=sys.stderr)
+            if exc.shrunk:
+                print("minimal failing update sequence:", file=sys.stderr)
+                for delta in exc.shrunk:
+                    print(f"  {json.dumps(delta, sort_keys=True)}", file=sys.stderr)
+            if args.output:
+                _write_soak_report(args.output, exc.report)
+            return 1
+    finally:
+        if injector_installed:
+            faults.uninstall()
+        if handle is not None:
+            with contextlib.suppress(Exception):
+                handle.stop()
+        if tempdir is not None:
+            tempdir.cleanup()
+
+    if args.output:
+        _write_soak_report(args.output, report)
+    tallies = report["faults"]
+    print(
+        f"soak OK: {report['steps']} steps in {report['seconds']:.2f}s "
+        f"({report['ops_per_second']:.1f} ops/s), "
+        f"{report['invariant_checks_passed']} invariant checks passed, "
+        f"{tallies['injected']} faults injected "
+        f"({tallies['reconnects']} reconnects, "
+        f"{tallies['client_retries']} client retries, "
+        f"{tallies['op_retries']} op retries), "
+        f"{tallies['unrecovered']} unrecovered"
+    )
+    return 0 if tallies["unrecovered"] == 0 else 1
+
+
+def _write_soak_report(path: str, report) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"soak: report written to {path}", file=sys.stderr)
+
+
 def _positive_int(value: str) -> int:
     number = int(value)
     if number < 1:
@@ -421,6 +540,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="socket timeout in seconds for --connect",
     )
     batch_parser.set_defaults(handler=_cmd_batch)
+
+    soak_parser = subparsers.add_parser(
+        "soak",
+        help="randomized fault-injected soak run with live oracle checks",
+    )
+    soak_parser.add_argument("--steps", type=int, default=250, help="operations to run")
+    soak_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="stop after this many seconds, whichever comes first",
+    )
+    soak_parser.add_argument("--seed", type=int, default=1234, help="RNG seed for the run")
+    soak_parser.add_argument(
+        "--fault", default="mixed", metavar="SCHEDULE",
+        help="fault schedule name or point=rate spec ('none' disables injection)",
+    )
+    soak_parser.add_argument(
+        "--size", type=int, default=4, help="disjoint bug-tracker copies in the graph"
+    )
+    soak_parser.add_argument(
+        "--churn", type=float, default=0.4, help="removal fraction of update deltas"
+    )
+    soak_parser.add_argument(
+        "--hotspot", type=float, default=0.25,
+        help="probability an update hits the hot copy",
+    )
+    soak_parser.add_argument(
+        "--batch", type=int, default=3, help="documents per validate operation"
+    )
+    soak_parser.add_argument(
+        "--check-every", type=int, default=5,
+        help="steps between full oracle checks (0 disables them)",
+    )
+    soak_parser.add_argument(
+        "--chain", type=int, default=3, help="length of the grown containment chain"
+    )
+    soak_parser.add_argument(
+        "--max-shrink-replays", type=int, default=160,
+        help="replay budget when shrinking a failing sequence",
+    )
+    soak_parser.add_argument(
+        "--connect", metavar="ADDR", default=None,
+        help="soak a running shex-serve daemon instead of self-hosting one",
+    )
+    soak_parser.add_argument(
+        "--in-process", action="store_true",
+        help="drive the engines directly, no daemon at all",
+    )
+    soak_parser.add_argument(
+        "--backend", choices=BACKENDS, default="thread",
+        help="executor backend of the self-hosted daemon / in-process engines",
+    )
+    soak_parser.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-request timeout in seconds",
+    )
+    soak_parser.add_argument(
+        "--output", metavar="FILE", default="BENCH_soak.json",
+        help="write the JSON report here ('' disables)",
+    )
+    soak_parser.set_defaults(handler=_cmd_soak)
     return parser
 
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import faults as _faults
 from repro.engine.cache import DiskResultCache, LRUCache
 from repro.engine.executors import get_executor
 from repro.engine.jobs import EngineReport, JobResult, Stopwatch
@@ -134,6 +135,9 @@ class BatchEngine:
         def run_one(task) -> Tuple[str, Dict, float]:
             job, _key = task
             wait_hist.observe(time.perf_counter() - dispatched)
+            # Stands in for a worker dying mid-job: the injected exception
+            # propagates through map_ordered exactly like a real crash.
+            _faults.maybe_fail("executor")
             with Stopwatch() as clock:
                 verdict, payload = self._execute_single(job)
             execute_hist.observe(clock.seconds)

@@ -18,6 +18,7 @@ invalidation when files are re-parsed or objects rebuilt.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
@@ -26,6 +27,11 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Optional, Tuple
+
+from repro import faults as _faults
+from repro.obs import logs as _obs_logs
+
+_LOG = logging.getLogger("repro.engine.cache")
 
 
 @dataclass(frozen=True)
@@ -140,13 +146,17 @@ class DiskResultCache:
     Entries are written atomically (temp file + ``os.replace``), so
     concurrent writers — parallel CLI runs, a daemon plus a batch job — can
     share a directory: the worst race rewrites an identical entry.  An
-    unreadable or truncated file is treated as a miss and deleted.  Select it
-    with ``cache_dir=...`` on the engines, ``--cache-dir`` on the
-    ``shex-containment batch`` / ``shex-serve start`` CLIs, or the daemon's
-    ``cache_dir`` config field.
+    unreadable or truncated file is treated as a miss and moved into the
+    directory's ``quarantine/`` subfolder (counted and logged, never served,
+    never retried) so a recurring corruption source stays diagnosable.
+    Orphaned ``*.tmp`` files left by a crashed writer are swept when the
+    directory is opened.  Select it with ``cache_dir=...`` on the engines,
+    ``--cache-dir`` on the ``shex-containment batch`` / ``shex-serve start``
+    CLIs, or the daemon's ``cache_dir`` config field.
     """
 
     _SUFFIX = ".result.pkl"
+    _QUARANTINE = "quarantine"
 
     def __init__(
         self,
@@ -164,6 +174,8 @@ class DiskResultCache:
         self._hits = 0
         self._misses = 0
         self._evictions_disk = 0
+        self._quarantined = 0
+        self._tmp_swept = self._sweep_tmp()
         if ttl_seconds is not None:
             self._sweep_expired()
         # Entry and byte counts, maintained incrementally: stats() runs on
@@ -179,6 +191,57 @@ class DiskResultCache:
         for name in os.listdir(self.directory):
             if name.endswith(self._SUFFIX):
                 yield os.path.join(self.directory, name)
+
+    def _sweep_tmp(self) -> int:
+        """Delete orphaned ``*.tmp`` files left behind by a crashed writer.
+
+        Run once when the directory is opened; anything still ``.tmp`` at
+        that point lost its writer (live writers hold a fresh
+        ``NamedTemporaryFile`` and rename or unlink it before returning).
+        """
+        swept = 0
+        for name in os.listdir(self.directory):
+            if not name.endswith(".tmp"):
+                continue
+            try:
+                os.unlink(os.path.join(self.directory, name))
+                swept += 1
+            except OSError:
+                pass
+        if swept:
+            _obs_logs.log_event(
+                _LOG, logging.INFO, "cache_tmp_swept",
+                directory=self.directory, swept=swept,
+            )
+        return swept
+
+    def _quarantine_entry(self, path: str, reason: str) -> None:
+        """Move one corrupt entry out of circulation instead of serving it.
+
+        The file lands in ``quarantine/`` under its original name (keeping
+        the incremental size counts honest), one structured log line records
+        the move, and :meth:`quarantined` / the ``repro_cache_*`` collector
+        expose the running count.  A failed move falls back to deletion so a
+        poisoned entry can never be served either way.
+        """
+        quarantine_dir = os.path.join(self.directory, self._QUARANTINE)
+        try:
+            size = os.stat(path).st_size
+            os.makedirs(quarantine_dir, exist_ok=True)
+            os.replace(path, os.path.join(quarantine_dir, os.path.basename(path)))
+        except OSError:
+            self._unlink_entry(path)
+            with self._lock:
+                self._quarantined += 1
+            return
+        with self._lock:
+            self._disk_entries = max(self._disk_entries - 1, 0)
+            self._disk_bytes = max(self._disk_bytes - size, 0)
+            self._quarantined += 1
+        _obs_logs.log_event(
+            _LOG, logging.WARNING, "cache_entry_quarantined",
+            path=path, reason=reason,
+        )
 
     def _scan_disk(self) -> Tuple[int, int]:
         entries = 0
@@ -271,15 +334,22 @@ class DiskResultCache:
                 self._misses += 1
             return False, None
         try:
+            _faults.maybe_fail("cache.io")
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
         except FileNotFoundError:
             with self._lock:
                 self._misses += 1
             return False, None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            # A torn or stale entry: drop it and recompute.
-            self._unlink_entry(path)
+        except _faults.InjectedIOError:
+            # An injected transient disk error: recover by treating the
+            # lookup as a miss; the entry itself is intact.
+            with self._lock:
+                self._misses += 1
+            return False, None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+            # A torn or stale entry: quarantine it and recompute.
+            self._quarantine_entry(path, f"{type(exc).__name__}: {exc}")
             with self._lock:
                 self._misses += 1
             return False, None
@@ -303,7 +373,12 @@ class DiskResultCache:
         persisted = False
         try:
             with handle:
+                _faults.maybe_fail("cache.io")
                 pickle.dump(value, handle)
+                if _faults.should_fire("cache.corrupt"):
+                    # Simulate a torn write: truncate the payload so a cold
+                    # read later must take the quarantine path.
+                    handle.truncate(max(1, handle.tell() // 2))
             try:
                 previous = os.stat(path).st_size
             except OSError:
@@ -351,6 +426,15 @@ class DiskResultCache:
         """The tracked total size of persisted entries, in bytes."""
         with self._lock:
             return self._disk_bytes
+
+    def quarantined(self) -> int:
+        """Corrupt entries moved to ``quarantine/`` over this cache's lifetime."""
+        with self._lock:
+            return self._quarantined
+
+    def tmp_swept(self) -> int:
+        """Orphaned ``*.tmp`` files removed when the directory was opened."""
+        return self._tmp_swept
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._memory or os.path.exists(self._path(key))
@@ -412,6 +496,22 @@ def cache_collector(label: str, cache):
                     "repro_cache_disk_bytes", "gauge",
                     "Tracked bytes of persisted entries.",
                     [(labels, cache.disk_bytes())],
+                )
+            )
+        if hasattr(cache, "quarantined"):
+            families.append(
+                (
+                    "repro_cache_quarantined_total", "counter",
+                    "Corrupt entries moved to quarantine instead of served.",
+                    [(labels, cache.quarantined())],
+                )
+            )
+        if hasattr(cache, "tmp_swept"):
+            families.append(
+                (
+                    "repro_cache_tmp_swept_total", "counter",
+                    "Orphaned temp files removed when the directory was opened.",
+                    [(labels, cache.tmp_swept())],
                 )
             )
         return families

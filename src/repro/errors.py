@@ -71,6 +71,18 @@ class DaemonError(ReproError):
         self.code = code
 
 
+class DaemonConnectionError(DaemonError, ConnectionError):
+    """The daemon connection died mid-request (EOF, reset, refused).
+
+    Also a :class:`ConnectionError`, so transport-level retry logic and
+    callers catching the OS exception family both see it; :attr:`code` is
+    ``"connection-closed"``.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message, "connection-closed")
+
+
 class PresburgerError(ReproError):
     """Raised for malformed Presburger formulas or unsupported constructs."""
 

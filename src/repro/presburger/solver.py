@@ -40,6 +40,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import faults as _faults
 from repro.errors import PresburgerError
 from repro.obs import metrics as _obs_metrics
 from repro.obs import tracing as _obs_tracing
@@ -585,6 +586,7 @@ def solve_problems(problems: Sequence[Problem]) -> List[bool]:
     possible (see :func:`_solve_blocks_elastic`).  Intended for the
     per-refinement-round check batches of :mod:`repro.engine.fixpoint`.
     """
+    _faults.maybe_fail("solver")
     _SAT_CHECKS.inc(len(problems))
     verdicts: List[Optional[bool]] = [None] * len(problems)
     pending: List[Tuple[int, Tuple]] = []  # (problem index, fingerprint)
@@ -686,6 +688,7 @@ def is_satisfiable(formula: Formula) -> bool:
     system, so isomorphic formulas (same structure, different variable names)
     are solved once per process.
     """
+    _faults.maybe_fail("solver")
     _SAT_CHECKS.inc()
     problem = formula_to_problem(formula)
     if not problem:

@@ -15,17 +15,56 @@ on the daemon side::
 
 Errors reported by the daemon surface as :class:`repro.errors.DaemonError`
 with the protocol error code in ``.code``; transport problems raise the usual
-``OSError`` family.
+``OSError`` family (the daemon closing mid-request raises
+:class:`repro.errors.DaemonConnectionError`, which is both).
+
+The client is *self-healing* by default: when the connection dies — daemon
+restart, injected socket drop, torn frame — it redials with jittered
+exponential backoff and retries the request, but only when a replay is safe:
+pure operations (``validate``, ``contains``, ``revalidate``, ``status``, ...)
+retry freely, ``update_graph`` deltas are replayed only when guarded by
+``expect_version`` (the daemon's compare-and-set makes the replay
+at-most-once), and an unguarded mutation surfaces the transport error
+untouched.  Pass ``retries=0`` to get the old fail-fast behaviour.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
-from repro.errors import DaemonError, ProtocolError
+from repro.errors import DaemonConnectionError, DaemonError, ProtocolError
 from repro.serve import protocol
+
+#: Operations whose replay is always safe: they never mutate daemon state
+#: in a way a duplicate could corrupt (``load_schema``/``flush_cache`` are
+#: idempotent; the rest are pure reads or cached computations).
+RETRYABLE_OPS = frozenset(
+    {
+        "ping",
+        "load_schema",
+        "validate",
+        "contains",
+        "batch",
+        "revalidate",
+        "status",
+        "metrics",
+        "flush_cache",
+    }
+)
+
+#: Daemon error codes that are safe to retry for *any* op: the daemon
+#: rejected the request before executing it.
+_RETRY_ANY_CODES = frozenset({protocol.E_OVERLOADED})
+
+#: Daemon error codes retried only for idempotent requests (execution may
+#: have started or partially happened).
+_RETRY_IDEMPOTENT_CODES = frozenset(
+    {protocol.E_OVERLOADED, protocol.E_DEADLINE, protocol.E_INTERNAL}
+)
 
 
 class DaemonClient:
@@ -34,48 +73,93 @@ class DaemonClient:
     Build it with :meth:`connect` (address string) or :meth:`connect_unix` /
     :meth:`connect_tcp`.  The client is a context manager; requests on one
     client are sequential (open several clients for concurrent traffic).
+
+    ``retries`` bounds how many times one request may be replayed after a
+    transport failure or a retryable daemon rejection; ``backoff`` is the
+    base delay of the jittered exponential backoff (doubling per attempt,
+    capped at ``backoff_max``, scaled by a uniform 0.5–1.0 jitter).
     """
 
-    def __init__(self, sock: socket.socket):
-        self._socket = sock
+    def __init__(
+        self,
+        sock: socket.socket,
+        dial: Optional[Callable[[], socket.socket]] = None,
+        retries: int = 2,
+        backoff: float = 0.05,
+        backoff_max: float = 2.0,
+    ):
+        self._socket: Optional[socket.socket] = sock
         self._reader = sock.makefile("rb")
+        self._dial = dial
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_max = backoff_max
         self._request_id = 0
         #: Trace id echoed on the most recent response (``None`` before the
         #: first request, or when talking to a pre-1.6 daemon).
         self.last_trace: Optional[str] = None
+        #: How many times this client redialled the daemon.
+        self.reconnects = 0
+        #: How many request attempts were replayed after a failure.
+        self.retried_requests = 0
 
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
     @classmethod
-    def connect(cls, address: str, timeout: float = 30.0) -> "DaemonClient":
+    def connect(
+        cls, address: str, timeout: float = 30.0, retries: int = 2,
+        backoff: float = 0.05,
+    ) -> "DaemonClient":
         """Connect to ``unix:PATH``, ``tcp:HOST:PORT``, ``HOST:PORT``, or a path."""
         socket_path, tcp = protocol.split_address(address)
         if socket_path is not None:
-            return cls.connect_unix(socket_path, timeout)
-        return cls.connect_tcp(*tcp, timeout=timeout)
+            return cls.connect_unix(socket_path, timeout, retries, backoff)
+        host, port = tcp
+        return cls.connect_tcp(
+            host, port, timeout=timeout, retries=retries, backoff=backoff
+        )
 
     @classmethod
-    def connect_unix(cls, path: str, timeout: float = 30.0) -> "DaemonClient":
+    def connect_unix(
+        cls, path: str, timeout: float = 30.0, retries: int = 2,
+        backoff: float = 0.05,
+    ) -> "DaemonClient":
         """Connect to a daemon listening on a Unix socket path."""
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        sock.settimeout(timeout)
-        sock.connect(path)
-        return cls(sock)
+
+        def dial() -> socket.socket:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(path)
+            return sock
+
+        return cls(dial(), dial=dial, retries=retries, backoff=backoff)
 
     @classmethod
-    def connect_tcp(cls, host: str, port: int, timeout: float = 30.0) -> "DaemonClient":
+    def connect_tcp(
+        cls, host: str, port: int, timeout: float = 30.0, retries: int = 2,
+        backoff: float = 0.05,
+    ) -> "DaemonClient":
         """Connect to a daemon listening on TCP ``host:port``."""
-        sock = socket.create_connection((host, port), timeout=timeout)
-        return cls(sock)
+
+        def dial() -> socket.socket:
+            return socket.create_connection((host, port), timeout=timeout)
+
+        return cls(dial(), dial=dial, retries=retries, backoff=backoff)
 
     # ------------------------------------------------------------------ #
     # Transport
     # ------------------------------------------------------------------ #
     def _read_response(self) -> Dict[str, Any]:
+        if self._reader is None:
+            raise DaemonConnectionError("client is not connected")
         line = self._reader.readline()
         if not line:
-            raise DaemonError("connection closed by the daemon", "internal-error")
+            raise DaemonConnectionError("connection closed by the daemon")
+        if not line.endswith(b"\n"):
+            # A torn frame: the daemon (or the network) died mid-line.  The
+            # stream can no longer be framed, so the connection is poisoned.
+            raise DaemonConnectionError("connection died mid-response (torn frame)")
         try:
             message = json.loads(line.decode("utf-8"))
         except Exception as exc:  # pragma: no cover — a daemon bug, not a user error
@@ -83,6 +167,49 @@ class DaemonClient:
         if not isinstance(message, dict):
             raise ProtocolError("daemon response is not a JSON object")
         return message
+
+    def _teardown(self) -> None:
+        """Drop the dead connection so the next attempt redials."""
+        try:
+            if self._reader is not None:
+                self._reader.close()
+        except OSError:
+            pass
+        try:
+            if self._socket is not None:
+                self._socket.close()
+        except OSError:
+            pass
+        self._reader = None
+        self._socket = None
+
+    def _ensure_connected(self) -> None:
+        if self._socket is not None:
+            return
+        if self._dial is None:
+            raise DaemonConnectionError(
+                "connection lost and this client cannot redial "
+                "(constructed from a raw socket)"
+            )
+        sock = self._dial()
+        self._socket = sock
+        self._reader = sock.makefile("rb")
+        self.reconnects += 1
+
+    def _sleep_backoff(self, attempt: int) -> None:
+        delay = min(self.backoff_max, self.backoff * (2 ** (attempt - 1)))
+        time.sleep(delay * (0.5 + random.random() / 2.0))
+
+    @staticmethod
+    def _is_idempotent(op: str, params: Dict[str, Any]) -> bool:
+        if op in RETRYABLE_OPS:
+            return True
+        if op == "update_graph":
+            # Registering a document replaces the store wholesale (replay
+            # converges); a delta replay is safe only under the daemon's
+            # expected-version compare-and-set.
+            return "data" in params or params.get("expect_version") is not None
+        return False
 
     def request(
         self, op: str, trace: Optional[str] = None, **params: Any
@@ -93,15 +220,39 @@ class DaemonClient:
         the daemon and echoed on the response; omit it and the daemon mints
         one.  Either way the echoed id lands in :attr:`last_trace`.  Raises
         :class:`repro.errors.DaemonError` when the daemon answers with a
-        structured error.
+        structured error.  Transport failures and retryable rejections are
+        replayed up to :attr:`retries` times when the request is idempotent
+        (see the module docstring for the exact policy).
         """
-        self._request_id += 1
-        message = dict(params, op=op, id=self._request_id)
-        if trace is not None:
-            message["trace"] = trace
-        self._socket.sendall(protocol.encode(message))
-        response = self._read_response()
-        return self._unwrap(response)
+        idempotent = self._is_idempotent(op, params)
+        attempt = 0
+        while True:
+            try:
+                self._ensure_connected()
+                self._request_id += 1
+                message = dict(params, op=op, id=self._request_id)
+                if trace is not None:
+                    message["trace"] = trace
+                self._socket.sendall(protocol.encode(message))
+                return self._unwrap(self._read_response())
+            except DaemonError as exc:
+                if isinstance(exc, DaemonConnectionError):
+                    self._teardown()
+                    retryable = idempotent
+                else:
+                    retryable = exc.code in _RETRY_ANY_CODES or (
+                        idempotent and exc.code in _RETRY_IDEMPOTENT_CODES
+                    )
+                attempt += 1
+                if not retryable or attempt > self.retries:
+                    raise
+            except OSError:
+                self._teardown()
+                attempt += 1
+                if not idempotent or attempt > self.retries:
+                    raise
+            self.retried_requests += 1
+            self._sleep_backoff(attempt)
 
     def _unwrap(self, response: Dict[str, Any]) -> Dict[str, Any]:
         self.last_trace = response.get("trace", self.last_trace)
@@ -168,24 +319,50 @@ class DaemonClient:
         completion order — ``on_result`` is invoked for each — followed by a
         ``done`` summary.  Without streaming, the summary carries a
         ``results`` list in submission order.
+
+        Validation is pure, so a batch whose connection dies mid-stream is
+        replayed wholesale (the daemon answers repeats from its result
+        cache); with ``stream=True`` an ``on_result`` callback may then see
+        duplicate events for jobs delivered before the failure.
         """
-        self._request_id += 1
-        message = {
-            "op": "batch",
-            "id": self._request_id,
-            "jobs": list(jobs),
-            "stream": stream,
-        }
-        self._socket.sendall(protocol.encode(message))
-        if not stream:
-            return self._unwrap(self._read_response())
+        declared = list(jobs)
+        attempt = 0
         while True:
-            response = self._read_response()
-            result = self._unwrap(response)
-            if response.get("event") == "done":
-                return result
-            if on_result is not None:
-                on_result(result)
+            try:
+                self._ensure_connected()
+                self._request_id += 1
+                message = {
+                    "op": "batch",
+                    "id": self._request_id,
+                    "jobs": declared,
+                    "stream": stream,
+                }
+                self._socket.sendall(protocol.encode(message))
+                if not stream:
+                    return self._unwrap(self._read_response())
+                while True:
+                    response = self._read_response()
+                    result = self._unwrap(response)
+                    if response.get("event") == "done":
+                        return result
+                    if on_result is not None:
+                        on_result(result)
+            except DaemonError as exc:
+                if isinstance(exc, DaemonConnectionError):
+                    self._teardown()
+                    retryable = True
+                else:
+                    retryable = exc.code in _RETRY_IDEMPOTENT_CODES
+                attempt += 1
+                if not retryable or attempt > self.retries:
+                    raise
+            except OSError:
+                self._teardown()
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+            self.retried_requests += 1
+            self._sleep_backoff(attempt)
 
     def update_graph(
         self,
@@ -194,6 +371,7 @@ class DaemonClient:
         data_path: Optional[str] = None,
         data_format: Optional[str] = None,
         delta: Optional[Dict[str, Any]] = None,
+        expect_version: Optional[int] = None,
     ) -> Dict[str, Any]:
         """Register a named graph store on the daemon, or apply a delta to it.
 
@@ -202,12 +380,24 @@ class DaemonClient:
         ``{"add": [[source, label, target], ...], "remove": [...]}`` object
         (see :meth:`repro.graphs.store.Delta.to_json`) advancing the version.
         Returns ``{"name", "version", "nodes", "edges"}``.
+
+        ``expect_version`` (deltas only) is the store version the delta was
+        derived against: the daemon applies it only if the store still sits
+        at that version, answering ``version-conflict`` otherwise.  This is
+        what makes delta retries safe — a replay of an already-applied delta
+        is rejected instead of applied twice — so the client auto-retries
+        guarded deltas and never retries unguarded ones.
         """
         has_data = data_text is not None or data_path is not None
         if has_data == (delta is not None):
             raise ValueError("pass exactly one of data_text/data_path or delta")
         if delta is not None:
-            return self.request("update_graph", name=name, delta=delta)
+            params: Dict[str, Any] = {"name": name, "delta": delta}
+            if expect_version is not None:
+                params["expect_version"] = expect_version
+            return self.request("update_graph", **params)
+        if expect_version is not None:
+            raise ValueError("expect_version only applies to delta updates")
         data = self._data_reference(data_text, data_path, data_format)
         return self.request("update_graph", name=name, data=data)
 
@@ -292,10 +482,7 @@ class DaemonClient:
 
     def close(self) -> None:
         """Close the connection (also via the context-manager protocol)."""
-        try:
-            self._reader.close()
-        finally:
-            self._socket.close()
+        self._teardown()
 
     def __enter__(self) -> "DaemonClient":
         return self

@@ -36,6 +36,7 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 import repro
+from repro import faults
 from repro.engine.cache import CacheStats, LRUCache, cache_collector
 from repro.engine.compiled import CompiledSchema
 from repro.engine.fixpoint import fixpoint_metrics_summary
@@ -76,6 +77,15 @@ _M_SLOW = obs_metrics.get_registry().counter(
     "Requests slower than the slow-op log threshold.",
     labels=("op",),
 )
+_M_REJECTED = obs_metrics.get_registry().counter(
+    "repro_daemon_rejected_total",
+    "Requests or connections refused under backpressure, by reason.",
+    labels=("reason",),
+)
+
+#: Control-plane operations that bypass the in-flight backpressure cap, so an
+#: operator can still ``ping``/``status``/``stop`` an overloaded daemon.
+_CONTROL_OPS = frozenset({"ping", "status", "metrics", "flush_cache", "shutdown"})
 
 
 def _stats_dict(stats: CacheStats) -> Dict[str, Any]:
@@ -117,6 +127,10 @@ class ValidationDaemon:
         slow_ms: float = 1000.0,
         log_level: Optional[str] = None,
         log_json: bool = False,
+        request_timeout: Optional[float] = None,
+        max_inflight: Optional[int] = None,
+        max_connections: Optional[int] = None,
+        drain_timeout: float = 5.0,
     ):
         if (socket_path is None) == (host is None):
             raise ValueError("pass exactly one of socket_path or host/port")
@@ -129,6 +143,17 @@ class ValidationDaemon:
         #: Requests slower than this (milliseconds) emit one structured
         #: ``slow_op`` log line carrying the request's timed span tree.
         self.slow_ms = slow_ms
+        #: Default per-request deadline in seconds (``None`` = unbounded);
+        #: a request's ``deadline_ms`` field overrides it per call.
+        self.request_timeout = request_timeout
+        #: Cap on concurrently *executing* work-plane requests; excess
+        #: requests are rejected with ``overloaded`` instead of queueing.
+        self.max_inflight = max_inflight
+        #: Cap on open client connections; excess connects are answered with
+        #: one ``overloaded`` error line and closed.
+        self.max_connections = max_connections
+        #: How long shutdown waits for in-flight requests before force-closing.
+        self.drain_timeout = drain_timeout
         if log_level is not None:
             obs_logs.configure_logging(level=log_level, json_lines=log_json)
         self.validation = AsyncValidationEngine(
@@ -149,6 +174,9 @@ class ValidationDaemon:
         self._parsed = LRUCache(max_size=256)  # content-hash -> parsed document
         self._requests: Dict[str, int] = {}
         self._connections = 0
+        self._inflight = 0
+        self._draining = False
+        self._drained_clean = True
         self._conn_tasks: set = set()
         self._writers: set = set()
         self._started_at: Optional[float] = None
@@ -278,6 +306,11 @@ class ValidationDaemon:
         return families
 
     async def _shutdown(self) -> None:
+        # Refuse new work first (new connections and new work-plane requests
+        # answer ``overloaded``), then let whatever is already executing —
+        # including a streamed batch mid-flight — write its responses before
+        # any socket is torn down.
+        self._draining = True
         registry = obs_metrics.get_registry()
         for collector in self._collectors:
             registry.remove_collector(collector)
@@ -286,6 +319,15 @@ class ValidationDaemon:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        deadline = time.monotonic() + max(self.drain_timeout, 0.0)
+        while self._inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        self._drained_clean = self._inflight == 0
+        if not self._drained_clean:
+            obs_logs.log_event(
+                _LOG, logging.WARNING, "drain_timeout",
+                inflight=self._inflight, drain_timeout=self.drain_timeout,
+            )
         # Close lingering client connections and wait for their handlers, so
         # nothing is left to be force-cancelled at loop teardown.
         for writer in list(self._writers):
@@ -303,6 +345,31 @@ class ValidationDaemon:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if self._draining or (
+            self.max_connections is not None
+            and self._connections >= self.max_connections
+        ):
+            # Refused before any request is read: one structured error line,
+            # then close.  Clients treat ``overloaded`` as retry-after-backoff.
+            reason = "draining" if self._draining else "connections"
+            if obs_metrics.STATE.enabled:
+                _M_REJECTED.labels(reason=reason).inc()
+            message = (
+                "daemon is draining for shutdown"
+                if self._draining
+                else f"connection limit reached ({self.max_connections})"
+            )
+            with contextlib.suppress(ConnectionError):
+                writer.write(
+                    protocol.encode(
+                        protocol.error_response(None, protocol.E_OVERLOADED, message)
+                    )
+                )
+                await writer.drain()
+            writer.close()
+            with contextlib.suppress(ConnectionError, asyncio.CancelledError):
+                await writer.wait_closed()
+            return
         self._connections += 1
         task = asyncio.current_task()
         if task is not None:
@@ -371,18 +438,71 @@ class ValidationDaemon:
                 trace_id = obs_tracing.new_trace_id()
             op = message["op"]
             self._requests[op] = self._requests.get(op, 0) + 1
-            with obs_tracing.start_trace(f"daemon.{op}", trace_id=trace_id) as root:
-                if op == "batch":
-                    await self._op_batch(message, writer, trace_id)
-                else:
-                    handler = getattr(self, f"_op_{op}")
-                    result = await handler(message)
-                    writer.write(
-                        protocol.encode(
-                            protocol.ok_response(request_id, result, trace=trace_id)
-                        )
+            if op not in _CONTROL_OPS:
+                if self._draining:
+                    if obs_metrics.STATE.enabled:
+                        _M_REJECTED.labels(reason="draining").inc()
+                    raise ProtocolError(
+                        "daemon is draining for shutdown", protocol.E_OVERLOADED
                     )
-                    stop_after = op == "shutdown"
+                if (
+                    self.max_inflight is not None
+                    and self._inflight >= self.max_inflight
+                ):
+                    if obs_metrics.STATE.enabled:
+                        _M_REJECTED.labels(reason="inflight").inc()
+                    raise ProtocolError(
+                        f"too many in-flight requests "
+                        f"(limit {self.max_inflight}); retry after a backoff",
+                        protocol.E_OVERLOADED,
+                    )
+            deadline = self._request_deadline(message)
+            with obs_tracing.start_trace(f"daemon.{op}", trace_id=trace_id) as root:
+                self._inflight += 1
+                try:
+                    if op == "batch":
+                        work = self._op_batch(message, writer, trace_id)
+                        if deadline is None:
+                            await work
+                        else:
+                            await asyncio.wait_for(work, deadline)
+                    else:
+                        handler = getattr(self, f"_op_{op}")
+                        if deadline is None:
+                            result = await handler(message)
+                        else:
+                            result = await asyncio.wait_for(
+                                handler(message), deadline
+                            )
+                        await self._send(
+                            writer,
+                            protocol.encode(
+                                protocol.ok_response(
+                                    request_id, result, trace=trace_id
+                                )
+                            ),
+                        )
+                        stop_after = op == "shutdown"
+                finally:
+                    self._inflight -= 1
+        except asyncio.TimeoutError:
+            error_code = protocol.E_DEADLINE
+            writer.write(
+                protocol.encode(
+                    protocol.error_response(
+                        request_id,
+                        protocol.E_DEADLINE,
+                        f"request ran past its deadline of {deadline:.3f}s "
+                        "and was cancelled",
+                        trace=trace_id,
+                    )
+                )
+            )
+        except ConnectionError:
+            # The transport died mid-request (client vanished, or an injected
+            # drop): nothing can be answered; the connection handler cleans up.
+            error_code = "connection-lost"
+            raise
         except ProtocolError as exc:
             error_code = exc.code
             request_id, trace_id = self._salvage_envelope(line, request_id, trace_id)
@@ -416,8 +536,46 @@ class ValidationDaemon:
                     )
                 )
             )
-        self._finish_request(op, trace_id, started, root, error_code)
+        finally:
+            self._finish_request(op, trace_id, started, root, error_code)
         return stop_after
+
+    def _request_deadline(self, message: Dict[str, Any]) -> Optional[float]:
+        """The request's deadline in seconds: ``deadline_ms`` when present,
+        else the daemon's ``request_timeout`` default (``None`` = unbounded)."""
+        value = message.get("deadline_ms")
+        if value is None:
+            return self.request_timeout
+        if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+            raise ProtocolError(
+                "'deadline_ms' must be a positive number", protocol.E_BAD_REQUEST
+            )
+        return float(value) / 1000.0
+
+    async def _send(self, writer: asyncio.StreamWriter, payload: bytes) -> None:
+        """Write one response line, honouring any injected socket fault.
+
+        ``daemon.drop`` aborts the transport before anything is written;
+        ``daemon.partial`` writes a prefix of the line and then aborts (the
+        client sees a torn frame and must reconnect); ``daemon.delay`` sleeps
+        before the write, exercising client timeouts.
+        """
+        injector = faults.STATE.injector
+        if injector is not None:
+            if injector.should_fire("daemon.drop"):
+                if writer.transport is not None:
+                    writer.transport.abort()
+                raise ConnectionResetError("injected connection drop")
+            if injector.should_fire("daemon.partial"):
+                writer.write(payload[: max(1, len(payload) // 2)])
+                with contextlib.suppress(ConnectionError):
+                    await writer.drain()
+                if writer.transport is not None:
+                    writer.transport.abort()
+                raise ConnectionResetError("injected partial write")
+            if injector.should_fire("daemon.delay"):
+                await asyncio.sleep(injector.plan.delay_ms / 1000.0)
+        writer.write(payload)
 
     @staticmethod
     def _salvage_envelope(
@@ -694,10 +852,11 @@ class ValidationDaemon:
             entry = dict(self._validation_result(result), index=result.index)
             cached_count += int(result.cached)
             if stream:
-                writer.write(
+                await self._send(
+                    writer,
                     protocol.encode(
                         protocol.ok_response(request_id, entry, "result", trace=trace)
-                    )
+                    ),
                 )
                 await writer.drain()
             else:
@@ -709,15 +868,19 @@ class ValidationDaemon:
             "cache": self._cache_stats()["validation"],
         }
         if stream:
-            writer.write(
+            await self._send(
+                writer,
                 protocol.encode(
                     protocol.ok_response(request_id, summary, "done", trace=trace)
-                )
+                ),
             )
         else:
             summary["results"] = [collected[index] for index in range(len(jobs))]
-            writer.write(
-                protocol.encode(protocol.ok_response(request_id, summary, trace=trace))
+            await self._send(
+                writer,
+                protocol.encode(
+                    protocol.ok_response(request_id, summary, trace=trace)
+                ),
             )
 
     def _store_lock(self, name: str) -> asyncio.Lock:
@@ -776,6 +939,11 @@ class ValidationDaemon:
                 "op 'update_graph' needs exactly one of 'data' or 'delta'",
                 protocol.E_BAD_REQUEST,
             )
+        expect = message.get("expect_version")
+        if expect is not None and (isinstance(expect, bool) or not isinstance(expect, int)):
+            raise ProtocolError(
+                "'expect_version' must be an integer", protocol.E_BAD_REQUEST
+            )
         async with self._store_lock(name):
             if has_data:
                 graph = await self._offload(self._resolve_data, message["data"])
@@ -785,6 +953,15 @@ class ValidationDaemon:
                 self._stores[name] = store
                 return self._store_summary(name, store)
             store = self._resolve_store(name)
+            if expect is not None and store.version != expect:
+                # The compare-and-set that makes delta retries at-most-once: a
+                # replay of an already-applied delta sees the bumped version
+                # and is rejected here instead of being applied twice.
+                raise ProtocolError(
+                    f"graph {name!r} is at version {store.version}, "
+                    f"expected {expect}",
+                    protocol.E_CONFLICT,
+                )
             delta = protocol.require(message, "delta", dict)
             try:
                 parsed = Delta.from_json(delta)
@@ -941,6 +1118,14 @@ class ValidationDaemon:
             "cache_dir": self.cache_dir,
             "uptime_seconds": self._uptime(),
             "connections": self._connections,
+            "inflight": self._inflight,
+            "draining": self._draining,
+            "limits": {
+                "request_timeout": self.request_timeout,
+                "max_inflight": self.max_inflight,
+                "max_connections": self.max_connections,
+                "drain_timeout": self.drain_timeout,
+            },
             "requests": dict(sorted(self._requests.items())),
             "schemas": {
                 name: compiled.fingerprint
@@ -1024,11 +1209,22 @@ class DaemonHandle:
         return self.daemon.address
 
     def stop(self, timeout: float = 10.0) -> None:
-        """Stop the daemon and join its thread."""
+        """Stop the daemon and join its thread.
+
+        Raises :class:`RuntimeError` when the serve thread is still alive
+        after ``timeout`` seconds — a daemon wedged mid-drain must be
+        reported, not silently leaked into the next test or benchmark.
+        """
         loop = self.daemon._loop
         if loop is not None and self._thread.is_alive():
             loop.call_soon_threadsafe(self.daemon.request_stop)
         self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError(
+                f"daemon thread did not stop within {timeout}s "
+                f"(address {self.daemon.address}, "
+                f"{self.daemon._inflight} requests in flight)"
+            )
 
     def __enter__(self) -> "DaemonHandle":
         return self

@@ -58,6 +58,17 @@ E_UNKNOWN_SCHEMA = "unknown-schema"
 E_UNKNOWN_GRAPH = "unknown-graph"
 #: The daemon hit an unexpected exception; the connection stays usable.
 E_INTERNAL = "internal-error"
+#: The request ran past its deadline (``deadline_ms`` or the daemon's
+#: ``--request-timeout``); the work was cancelled and may be partially done
+#: for mutating ops — retry with ``expect_version`` to stay at-most-once.
+E_DEADLINE = "deadline-exceeded"
+#: The daemon refused the request under load (connection or in-flight cap,
+#: or a drain in progress); safe to retry after a backoff for *any* op —
+#: rejection happens before execution.
+E_OVERLOADED = "overloaded"
+#: An ``update_graph`` delta carried an ``expect_version`` that no longer
+#: matches the store: the delta (or a replay of it) is not applicable.
+E_CONFLICT = "version-conflict"
 
 ERROR_CODES = (
     E_BAD_JSON,
@@ -67,6 +78,9 @@ ERROR_CODES = (
     E_UNKNOWN_SCHEMA,
     E_UNKNOWN_GRAPH,
     E_INTERNAL,
+    E_DEADLINE,
+    E_OVERLOADED,
+    E_CONFLICT,
 )
 
 

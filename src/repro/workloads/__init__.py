@@ -20,7 +20,40 @@ from repro.workloads.generators import (
     grow_schema_chain,
 )
 
+#: Soak-harness names resolved lazily: repro.workloads.soak pulls in the
+#: engine layer, whose containment search imports this package's generators —
+#: an eager import here would close that cycle.
+_SOAK_EXPORTS = (
+    "DaemonTarget",
+    "InProcessTarget",
+    "SoakFailure",
+    "SoakRunner",
+    "SoakSpec",
+    "run_soak",
+)
+
+
+def __getattr__(name: str):
+    if name in _SOAK_EXPORTS:
+        from repro.workloads import soak
+
+        return getattr(soak, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "DaemonTarget",
+    "InProcessTarget",
+    "SoakFailure",
+    "SoakRunner",
+    "SoakSpec",
+    "run_soak",
+    "DaemonTarget",
+    "InProcessTarget",
+    "SoakFailure",
+    "SoakRunner",
+    "SoakSpec",
+    "run_soak",
     "bug_tracker_schema",
     "bug_tracker_graph",
     "bug_tracker_refactored_schema",

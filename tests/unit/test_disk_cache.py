@@ -127,6 +127,67 @@ class TestDiskResultCache:
         assert cold.get(("k",))[1] == payload
         assert isinstance(pickle.loads(pickle.dumps(payload)), tuple)
 
+    def test_corrupted_entry_is_quarantined_not_lost(self, tmp_path):
+        cache = DiskResultCache(str(tmp_path))
+        cache.put(("key",), {"payload": 1})
+        another = DiskResultCache(str(tmp_path))  # cold memory front
+        (path,) = [
+            os.path.join(str(tmp_path), name)
+            for name in os.listdir(str(tmp_path))
+            if name.endswith(".result.pkl")
+        ]
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert another.get(("key",)) == (False, None)
+        assert another.quarantined() == 1
+        quarantine = os.path.join(str(tmp_path), "quarantine")
+        assert os.listdir(quarantine) == [os.path.basename(path)]
+        # A rewrite repopulates the slot; the quarantined copy stays put.
+        another.put(("key",), {"payload": 2})
+        assert another.get(("key",)) == (True, {"payload": 2})
+
+    def test_orphaned_tmp_files_swept_at_open(self, tmp_path):
+        cache = DiskResultCache(str(tmp_path))
+        cache.put(("keep",), 1)
+        assert cache.tmp_swept() == 0
+        for index in range(3):
+            with open(tmp_path / f"orphan{index}.tmp", "wb") as handle:
+                handle.write(b"half-written")
+        reopened = DiskResultCache(str(tmp_path))
+        assert reopened.tmp_swept() == 3
+        assert not [
+            name for name in os.listdir(str(tmp_path)) if name.endswith(".tmp")
+        ]
+        # The real entry survived the sweep.
+        assert reopened.get(("keep",)) == (True, 1)
+
+    def test_injected_cache_io_is_a_transient_miss(self, tmp_path):
+        from repro import faults
+
+        cache = DiskResultCache(str(tmp_path))
+        cache.put(("k",), 42)
+        cold = DiskResultCache(str(tmp_path))
+        faults.install("cache.io=1.0", seed=0)
+        try:
+            assert cold.get(("k",)) == (False, None)  # injected read error
+        finally:
+            faults.uninstall()
+        assert cold.get(("k",)) == (True, 42)  # the entry was never touched
+        assert cold.quarantined() == 0
+
+    def test_injected_torn_write_is_quarantined_on_read(self, tmp_path):
+        from repro import faults
+
+        cache = DiskResultCache(str(tmp_path))
+        faults.install("cache.corrupt=1.0", seed=0)
+        try:
+            cache.put(("k",), {"payload": 1})
+        finally:
+            faults.uninstall()
+        cold = DiskResultCache(str(tmp_path))
+        assert cold.get(("k",)) == (False, None)
+        assert cold.quarantined() == 1
+
 
 class TestDiskCacheRaces:
     """Eviction and expiry racing concurrent lookups on the same entries.

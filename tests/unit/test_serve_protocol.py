@@ -69,6 +69,9 @@ class TestResponses:
             "unknown-schema",
             "unknown-graph",
             "internal-error",
+            "deadline-exceeded",
+            "overloaded",
+            "version-conflict",
         }
 
 
