@@ -1,18 +1,25 @@
-"""Fixpoint-kernel acceptance + regression benchmark (ISSUE 3).
+"""Fixpoint-kernel acceptance + regression benchmark (ISSUEs 3 and 9).
 
-Quantifies the three levers of the SCC-scheduled fixpoint kernel
-(:mod:`repro.engine.fixpoint`) against the retained pre-kernel baselines
-(:mod:`repro.schema.reference`) on the cloned bug-tracker instance:
+Quantifies the levers of the fixpoint kernel (:mod:`repro.engine.fixpoint`)
+against the retained pre-kernel baselines (:mod:`repro.schema.reference`) on
+the cloned bug-tracker instance:
 
 * **plain typing speedup** — `maximal_typing` via the kernel vs the pre-PR
   node-level worklist at ×32 copies; must be ≥ 3×;
 * **solver-call reduction** — Presburger solver invocations (MILP or
   enumeration runs) under the compressed semantics, batched+memoised kernel
   vs one-call-per-check worklist; must be ≥ 5×;
-* **parity** — both baselines and the kernel must agree pair-for-pair.
+* **vectorised kernel speedup** — the bitset/CSR array kernel
+  (:mod:`repro.engine.vectorized`) vs the object kernel on the same ×32
+  plain workload, both memo-warm (the production steady state: engines hold
+  a persistent per-schema signature memo); must be ≥ 5×;
+* **solver warm-starts** — typing one compressed graph against a chain of
+  progressively widened schemas must answer a healthy share of fresh
+  feasibility questions from verified cached witnesses;
+* **parity** — the baselines and both kernels must agree pair-for-pair.
 
 Results are written to ``BENCH_fixpoint.json`` and compared against the
-committed ``benchmarks/baseline_fixpoint.json``: the run fails when either
+committed ``benchmarks/baseline_fixpoint.json``: the run fails when a
 *machine-independent ratio* falls more than 25% below its committed baseline,
 which is the CI regression gate for the typing hot path.
 
@@ -22,24 +29,29 @@ Run directly (``python benchmarks/bench_fixpoint.py``) or via pytest
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
 import pathlib
 import time
 
 from repro import obs
+from repro.engine import vectorized
 from repro.engine.compiled import compile_schema
 from repro.engine.fixpoint import FixpointStats, maximal_typing_fixpoint
 from repro.graphs.compressed import pack_simple_graph
 from repro.graphs.graph import Graph
 from repro.presburger.solver import SolverWindow, reset_solver_state
+from repro.schema.parser import parse_schema
 from repro.schema.reference import maximal_typing_worklist
 from repro.workloads.bugtracker import bug_tracker_graph, bug_tracker_schema
 
 PLAIN_COPIES = 32
 COMPRESSED_COPIES = 8
-#: Acceptance floors (ISSUE 3) and the tolerated slide against the baseline.
+#: Acceptance floors (ISSUEs 3, 9) and the tolerated slide vs the baseline.
 MIN_PLAIN_SPEEDUP = 3.0
 MIN_SOLVER_CALL_RATIO = 5.0
+MIN_VECTOR_SPEEDUP = 5.0
 REGRESSION_TOLERANCE = 0.25
 
 HERE = pathlib.Path(__file__).resolve().parent
@@ -112,6 +124,103 @@ def measure_plain_speedup() -> dict:
     }
 
 
+@contextlib.contextmanager
+def _vectorize_flag(value: str):
+    """Temporarily pin ``REPRO_VECTORIZE`` (restoring the prior setting)."""
+    prior = os.environ.get(vectorized.ENV_FLAG)
+    os.environ[vectorized.ENV_FLAG] = value
+    try:
+        yield
+    finally:
+        if prior is None:
+            os.environ.pop(vectorized.ENV_FLAG, None)
+        else:
+            os.environ[vectorized.ENV_FLAG] = prior
+
+
+def measure_vector_speedup() -> dict:
+    """Bitset/CSR kernel vs the object kernel, both memo-warm, ×32 clones.
+
+    Each side gets one untimed warm-up run against its own persistent
+    signature memo (their key shapes differ: hashed int tuples vs structural
+    string tuples), mirroring how engines reuse a per-schema memo across
+    validations.  The vectorised side's warm-up also populates the cached
+    whole-graph plan, as any steady-state engine run would.
+    """
+    schema = bug_tracker_schema()
+    compiled = compile_schema(schema)
+    graph = _cloned_instance(PLAIN_COPIES)
+
+    with _vectorize_flag("0"):
+        object_memo: dict = {}
+        maximal_typing_fixpoint(graph, compiled=compiled, signature_memo=object_memo)
+        object_typing, object_seconds = _timed(
+            maximal_typing_fixpoint, graph, compiled=compiled,
+            signature_memo=object_memo, repeats=5,
+        )
+    with _vectorize_flag("1"):
+        vector_memo: dict = {}
+        maximal_typing_fixpoint(graph, compiled=compiled, signature_memo=vector_memo)
+        stats = FixpointStats()
+        vector_typing, vector_seconds = _timed(
+            maximal_typing_fixpoint, graph, compiled=compiled,
+            signature_memo=vector_memo, stats=stats, repeats=5,
+        )
+    assert vector_typing == object_typing, "vectorised kernel diverged"
+    assert stats.components == 0, "vectorised schedule did not run"
+    return {
+        "copies": PLAIN_COPIES,
+        "nodes": graph.node_count,
+        "object_seconds": round(object_seconds, 6),
+        "vector_seconds": round(vector_seconds, 6),
+        "vector_speedup": round(object_seconds / vector_seconds, 2),
+    }
+
+
+#: The warm-start workload: one compressed graph typed against a chain of
+#: schemas whose interval upper bounds widen step by step.  Widening loosens
+#: only inequality bounds of the per-node Presburger systems (the equality
+#: rows come from the graph's fixed edge multiplicities), which is exactly
+#: the drift the witness cache is built to survive.
+WARM_STEPS = 6
+
+
+def _warm_schema(step: int):
+    return parse_schema(
+        f"T -> a :: U^[1;{1 + step}], b :: U?\nU -> eps",
+        name=f"warm-{step}",
+    )
+
+
+def _warm_graph() -> Graph:
+    graph = Graph("warm-compressed")
+    for i in range(12):
+        graph.add_edge(f"hub{i}", "a", f"leaf{i}", (1 + i % 4, 1 + i % 4))
+        if i % 2:
+            graph.add_edge(f"hub{i}", "b", f"leaf{i}", (1, 1))
+    return graph
+
+
+def measure_warm_start_hit_rate() -> dict:
+    """Share of fresh solver queries answered by verified cached witnesses."""
+    graph = _warm_graph()
+    window = SolverWindow()
+    reset_solver_state()  # cold memo AND cold witness cache
+    window.reset()
+    for step in range(WARM_STEPS):
+        compiled = compile_schema(_warm_schema(step))
+        maximal_typing_fixpoint(graph, compiled=compiled, compressed=True)
+    snapshot = window.snapshot()
+    probes = snapshot.warm_hits + snapshot.warm_misses
+    return {
+        "schema_steps": WARM_STEPS,
+        "warm_hits": snapshot.warm_hits,
+        "warm_misses": snapshot.warm_misses,
+        "warm_hit_rate": round(snapshot.warm_hits / max(probes, 1), 4),
+        "solver_calls": snapshot.solver_calls,
+    }
+
+
 def measure_solver_call_reduction() -> dict:
     """Presburger solver invocations on the compressed workload, ×8 clones."""
     schema = bug_tracker_schema()
@@ -169,7 +278,19 @@ def test_fixpoint_kernel_acceptance():
             plain = measure_plain_speedup()
         with obs.span("bench.compressed", copies=COMPRESSED_COPIES):
             compressed = measure_solver_call_reduction()
-    report = {"plain": plain, "compressed": compressed, "spans": root.to_dict()}
+        vector = None
+        if vectorized.available():
+            with obs.span("bench.vectorized", copies=PLAIN_COPIES):
+                vector = measure_vector_speedup()
+        with obs.span("bench.warm-start", steps=WARM_STEPS):
+            warm = measure_warm_start_hit_rate()
+    report = {
+        "plain": plain,
+        "compressed": compressed,
+        "vectorized": vector,
+        "warm_start": warm,
+        "spans": root.to_dict(),
+    }
     _write_report(report)
 
     print(f"\n  plain ×{plain['copies']} ({plain['nodes']} nodes):")
@@ -185,6 +306,18 @@ def test_fixpoint_kernel_acceptance():
         f"{compressed['kernel_solver_calls']} "
         f"({compressed['solver_call_ratio']}x fewer)"
     )
+    if vector is not None:
+        print(f"  vectorised ×{vector['copies']} (memo-warm):")
+        print(
+            f"    object kernel: {vector['object_seconds'] * 1000:8.2f} ms, "
+            f"bitset kernel: {vector['vector_seconds'] * 1000:8.2f} ms  "
+            f"({vector['vector_speedup']}x)"
+        )
+    print(
+        f"  solver warm-starts over {warm['schema_steps']} widened schemas: "
+        f"{warm['warm_hits']} hits / {warm['warm_misses']} misses "
+        f"(hit rate {warm['warm_hit_rate']:.0%})"
+    )
 
     assert plain["speedup"] >= MIN_PLAIN_SPEEDUP, (
         f"kernel speedup {plain['speedup']}x below the {MIN_PLAIN_SPEEDUP}x "
@@ -194,6 +327,7 @@ def test_fixpoint_kernel_acceptance():
         f"solver-call reduction {compressed['solver_call_ratio']}x below the "
         f"{MIN_SOLVER_CALL_RATIO}x acceptance floor"
     )
+    assert warm["warm_hits"] > 0, "no solver query was warm-started"
 
     # Regression gate: the machine-independent ratios may not slide more than
     # 25% under what the committed baseline recorded.
@@ -209,6 +343,17 @@ def test_fixpoint_kernel_acceptance():
         f"committed baseline {baseline['solver_call_ratio']}x "
         f"(floor {ratio_floor:.1f}x)"
     )
+    if vector is not None:
+        assert vector["vector_speedup"] >= MIN_VECTOR_SPEEDUP, (
+            f"vectorised kernel speedup {vector['vector_speedup']}x below the "
+            f"{MIN_VECTOR_SPEEDUP}x acceptance floor"
+        )
+        vector_floor = baseline["vector_speedup"] * (1.0 - REGRESSION_TOLERANCE)
+        assert vector["vector_speedup"] >= vector_floor, (
+            f"vectorised kernel regressed: speedup {vector['vector_speedup']}x vs "
+            f"committed baseline {baseline['vector_speedup']}x "
+            f"(floor {vector_floor:.1f}x)"
+        )
 
 
 if __name__ == "__main__":

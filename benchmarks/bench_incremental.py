@@ -30,6 +30,7 @@ from repro import obs
 from repro.engine.compiled import compile_schema
 from repro.engine.fixpoint import (
     FixpointStats,
+    affected_region,
     maximal_typing_fixpoint,
     retype_incremental,
 )
@@ -128,6 +129,17 @@ def measure_incremental_speedup() -> dict:
     )
     delta_share = len(delta) / graph.edge_count
     assert delta_share <= 0.01, f"delta is {delta_share:.2%} of edges, not ≤1%"
+
+    # Micro-gate: computing the affected region (the store's interned-id BFS)
+    # must stay a negligible slice of the retype it serves.
+    touched = [node for node in delta.touched_nodes() if graph.has_node(node)]
+    region, region_seconds = _timed(affected_region, graph, touched, store=store)
+    assert region == affected_region(graph, touched), "interned region diverged"
+    region_share = region_seconds / incremental_seconds
+    assert region_share < 0.05, (
+        f"affected-region computation took {region_share:.1%} of the "
+        f"incremental retype — the interned-id fast path should keep it <5%"
+    )
     return {
         "copies": COPIES,
         "nodes": graph.node_count,
@@ -138,6 +150,8 @@ def measure_incremental_speedup() -> dict:
         "frontier": stats.frontier,
         "full_seconds": round(full_seconds, 6),
         "incremental_seconds": round(incremental_seconds, 6),
+        "region_seconds": round(region_seconds, 6),
+        "region_share": round(region_share, 4),
         "speedup": round(full_seconds / incremental_seconds, 2),
     }
 

@@ -53,6 +53,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.engine.compiled import CompiledSchema, compile_schema
+from repro.engine import vectorized as _vectorized
 from repro.obs import metrics as _obs_metrics
 from repro.obs import tracing as _obs_tracing
 from repro.graphs.graph import Graph
@@ -79,8 +80,8 @@ class FixpointStats:
     only).  ``checks - signature_hits - shortcut_failures`` is therefore the
     number of checks actually *evaluated* — on a graph of isomorphic clones it
     stays flat as copies are added.  Presburger-side counters (memo hits,
-    actual MILP invocations) live in
-    :func:`repro.presburger.solver.solver_stats`.
+    actual MILP invocations, warm-start hits) are read through a
+    :class:`repro.presburger.solver.SolverWindow`.
 
     ``mode`` records which schedule produced the typing: ``"full"`` (the plain
     kernel), ``"kinds"`` (full typing through the kind-compression quotient),
@@ -274,20 +275,29 @@ def maximal_typing_fixpoint(
         "fixpoint.full", compressed=compressed, nodes=graph.node_count
     ):
         type_order = compiled.type_order
-        artifacts = {
-            type_name: compiled.type_artifact(type_name) for type_name in type_order
-        }
-        watchers = compiled.symbol_watchers()
-        current: Dict[NodeId, Set[TypeName]] = {
-            node: set(type_order) for node in graph.nodes
-        }
-        components = strongly_connected_components(graph)
-        stats.components = len(components)
         # (type, neighbourhood signature) -> verdict; shared across components
         # so isomorphic nodes anywhere in the graph are checked once.
         if signature_memo is None:
             signature_memo = {}
 
+        if _vectorized.enabled():
+            # Global synchronous rounds over bitset rows; no condensation is
+            # built, so stats.components stays 0 for vectorised runs.  The
+            # kernel reseeds every node with Γ itself, so current starts empty.
+            current: Dict[NodeId, Set[TypeName]] = {}
+            _vectorized.stabilise(
+                graph, graph.nodes, current, compiled, compressed,
+                signature_memo, stats,
+            )
+            return Typing(current)
+
+        current = {node: set(type_order) for node in graph.nodes}
+        artifacts = {
+            type_name: compiled.type_artifact(type_name) for type_name in type_order
+        }
+        watchers = compiled.symbol_watchers()
+        components = strongly_connected_components(graph)
+        stats.components = len(components)
         stabilise = _stabilise_compressed if compressed else _stabilise_plain
         for component in components:
             stabilise(
@@ -370,7 +380,7 @@ def expand_kind_typing(view, kind_typing: Typing) -> Typing:
 # --------------------------------------------------------------------------- #
 # Incremental retyping from a delta frontier
 # --------------------------------------------------------------------------- #
-def affected_region(graph: Graph, seeds) -> Set[NodeId]:
+def affected_region(graph: Graph, seeds, store=None) -> Set[NodeId]:
     """The backward closure of ``seeds``: every node that can reach a seed.
 
     A node's types depend only on its out-reachable subgraph, so after an edge
@@ -378,7 +388,19 @@ def affected_region(graph: Graph, seeds) -> Set[NodeId]:
     node is reachable — the region :func:`repro.graphs.scc.backward_closure`
     collects (a BFS over ``in_edges``; the partition maintainer seeds the
     same closure).  Seeds absent from the graph are ignored.
+
+    When ``store`` is the :class:`repro.graphs.store.GraphStore` owning
+    ``graph``, the BFS runs over the store's incrementally maintained interned
+    node-id reverse adjacency (:meth:`~repro.graphs.store.GraphStore.region_closure`)
+    instead of walking :class:`Edge` objects — same set, much cheaper on the
+    hot incremental-retype path.
     """
+    if (
+        store is not None
+        and getattr(store, "graph", None) is graph
+        and hasattr(store, "region_closure")
+    ):
+        return store.region_closure(seeds)
     return backward_closure(
         graph, (node for node in seeds if graph.has_node(node))
     )
@@ -461,7 +483,7 @@ def retype_incremental(
                 {node: prior_typing.types_of(node) for node in graph.nodes}
             )
 
-        affected = affected_region(graph, touched)
+        affected = affected_region(graph, touched, store=store)
         stats.affected = len(affected)
         trace_span.annotate(frontier=stats.frontier, affected=stats.affected)
         if len(affected) > max_affected_fraction * graph.node_count:
@@ -477,10 +499,6 @@ def retype_incremental(
             )
 
         type_order = compiled.type_order
-        artifacts = {
-            type_name: compiled.type_artifact(type_name) for type_name in type_order
-        }
-        watchers = compiled.symbol_watchers()
         # Affected nodes restart from the full type set; everything else keeps
         # its prior (frozen, never-mutated) assignment and is read across the
         # boundary exactly like an already-stabilised component.
@@ -490,11 +508,23 @@ def retype_incremental(
                 current[node] = set(type_order)
             else:
                 current[node] = prior_typing.types_of(node)
-
-        components = strongly_connected_components(_induced_subgraph(graph, affected))
-        stats.components = len(components)
         if signature_memo is None:
             signature_memo = {}
+
+        if _vectorized.enabled():
+            _vectorized.stabilise(
+                graph, affected, current, compiled, compressed,
+                signature_memo, stats,
+            )
+            stats.mode = "incremental"
+            return Typing(current)
+
+        artifacts = {
+            type_name: compiled.type_artifact(type_name) for type_name in type_order
+        }
+        watchers = compiled.symbol_watchers()
+        components = strongly_connected_components(_induced_subgraph(graph, affected))
+        stats.components = len(components)
         stabilise = _stabilise_compressed if compressed else _stabilise_plain
         for component in components:
             stabilise(
@@ -564,23 +594,31 @@ def retype_kinds_incremental(
             )
 
         type_order = compiled.type_order
-        artifacts = {
-            type_name: compiled.type_artifact(type_name) for type_name in type_order
-        }
-        watchers = compiled.symbol_watchers()
         current: Dict[NodeId, Set[TypeName]] = {}
         for kind in quotient.nodes:
             if kind in affected:
                 current[kind] = set(type_order)
             else:
                 current[kind] = prior_kind_typing.types_of(kind)
+        if signature_memo is None:
+            signature_memo = {}
 
+        if _vectorized.enabled():
+            _vectorized.stabilise(
+                quotient, affected, current, compiled, True,
+                signature_memo, stats,
+            )
+            stats.mode = "kinds-incremental"
+            return Typing(current)
+
+        artifacts = {
+            type_name: compiled.type_artifact(type_name) for type_name in type_order
+        }
+        watchers = compiled.symbol_watchers()
         components = strongly_connected_components(
             _induced_subgraph(quotient, affected)
         )
         stats.components = len(components)
-        if signature_memo is None:
-            signature_memo = {}
         for component in components:
             _stabilise_compressed(
                 quotient, component, set(component), current,

@@ -63,6 +63,7 @@ class Graph:
         self._out: Dict[NodeId, Dict[int, None]] = {}
         self._in: Dict[NodeId, Dict[int, None]] = {}
         self._next_edge_id = 0
+        self._revision = 0
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -73,6 +74,7 @@ class Graph:
             self._nodes.add(node)
             self._out[node] = {}
             self._in[node] = {}
+            self._revision += 1
         return node
 
     def add_nodes(self, nodes: Iterable[NodeId]) -> None:
@@ -99,6 +101,7 @@ class Graph:
         self._out[source][edge.edge_id] = None
         self._in[target][edge.edge_id] = None
         self._next_edge_id += 1
+        self._revision += 1
         return edge
 
     def add_edges(self, edges: Iterable[Tuple[NodeId, Label, NodeId]]) -> None:
@@ -120,6 +123,7 @@ class Graph:
         del self._edges[edge.edge_id]
         del self._out[edge.source][edge.edge_id]
         del self._in[edge.target][edge.edge_id]
+        self._revision += 1
 
     def remove_node(self, node: NodeId) -> None:
         """Remove a node together with all its incident edges."""
@@ -132,6 +136,7 @@ class Graph:
         self._nodes.discard(node)
         self._out.pop(node, None)
         self._in.pop(node, None)
+        self._revision += 1
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -140,6 +145,16 @@ class Graph:
     def nodes(self) -> Set[NodeId]:
         """The set of nodes (a live view; do not mutate)."""
         return self._nodes
+
+    @property
+    def revision(self) -> int:
+        """A counter bumped by every structural mutation.
+
+        Caches keyed by ``(id(graph), revision)`` stay valid exactly as long
+        as the graph is unchanged — the vectorised kernel uses it to reuse
+        its flattened CSR neighbourhood arrays across runs.
+        """
+        return self._revision
 
     @property
     def edges(self) -> List[Edge]:

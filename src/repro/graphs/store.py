@@ -51,6 +51,11 @@ from repro.graphs.graph import Edge, Graph, Label
 from repro.graphs.partition import PartitionMaintainer, ViewDelta
 from repro.obs import metrics as _obs_metrics
 
+try:  # pragma: no cover - exercised implicitly on import
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 _REGISTRY = _obs_metrics.get_registry()
 _M_DELTAS = _REGISTRY.counter(
     "repro_store_deltas_total", "Deltas applied across every GraphStore."
@@ -377,11 +382,19 @@ class GraphStore:
         # safety is still the caller's job, as for the graph itself.)
         self._view_lock = threading.Lock()
         self._node_ids: Dict[NodeId, int] = {}
+        self._id_nodes: List[NodeId] = []  # inverse of _node_ids, by id
         self._label_ids: Dict[Label, int] = {}
-        for node in self._graph.nodes:
+        # Reverse adjacency over interned ids, maintained per delta:
+        # target id -> {source id: parallel-edge count}.  Backs
+        # :meth:`region_closure`, the incremental fixpoint's affected-region
+        # BFS, without touching Edge objects or rebuilding per version.
+        self._in_ids: Dict[int, Dict[int, int]] = {}
+        for node in sorted(self._graph.nodes, key=repr):
             self.node_id(node)
         for label in sorted(self._graph.labels()):
             self.label_id(label)
+        for edge in self._graph.edges:
+            self._intern_edge(edge.source, edge.target, +1)
 
     # ------------------------------------------------------------------ #
     # Views
@@ -406,7 +419,56 @@ class GraphStore:
         if interned is None:
             interned = len(self._node_ids)
             self._node_ids[node] = interned
+            self._id_nodes.append(node)
         return interned
+
+    def _intern_edge(self, source: NodeId, target: NodeId, delta: int) -> None:
+        """Adjust the interned reverse-adjacency count of one edge."""
+        source_id = self.node_id(source)
+        target_id = self.node_id(target)
+        sources = self._in_ids.setdefault(target_id, {})
+        count = sources.get(source_id, 0) + delta
+        if count > 0:
+            sources[source_id] = count
+        else:
+            sources.pop(source_id, None)
+
+    def region_closure(self, seeds: Iterable[NodeId]) -> Set[NodeId]:
+        """Every current node that can reach a seed, computed over interned ids.
+
+        Semantically identical to :func:`repro.graphs.scc.backward_closure` on
+        the current graph (seeds absent from the graph are ignored), but the
+        BFS walks the store's incrementally maintained integer reverse
+        adjacency — no :class:`Edge` objects, no per-version rebuild — with a
+        flat visited array when numpy is available.  This is the fast path of
+        :func:`repro.engine.fixpoint.affected_region`.
+        """
+        graph = self._graph
+        frontier = [
+            self._node_ids[node]
+            for node in seeds
+            if graph.has_node(node) and node in self._node_ids
+        ]
+        in_ids = self._in_ids
+        id_nodes = self._id_nodes
+        if _np is not None:
+            visited = _np.zeros(len(id_nodes), dtype=bool)
+            visited[frontier] = True
+            while frontier:
+                node_id = frontier.pop()
+                for source_id in in_ids.get(node_id, ()):
+                    if not visited[source_id]:
+                        visited[source_id] = True
+                        frontier.append(source_id)
+            return {id_nodes[i] for i in _np.nonzero(visited)[0]}
+        seen: Set[int] = set(frontier)
+        while frontier:
+            node_id = frontier.pop()
+            for source_id in in_ids.get(node_id, ()):
+                if source_id not in seen:
+                    seen.add(source_id)
+                    frontier.append(source_id)
+        return {id_nodes[i] for i in seen}
 
     def label_id(self, label: Label) -> int:
         """The interned small-integer id of ``label`` (allocated on first use)."""
@@ -600,10 +662,10 @@ class GraphStore:
             doomed.append(edge)
         for edge in doomed:
             self._graph.remove_edge(edge)
+            self._intern_edge(edge.source, edge.target, -1)
         for source, label, target, occur in delta.added:
             self._graph.add_edge(source, label, target, occur)
-            self.node_id(source)
-            self.node_id(target)
+            self._intern_edge(source, target, +1)
             self.label_id(label)
         resolved = Delta(
             added=delta.added,

@@ -25,7 +25,14 @@ maximal-typing fixpoint cheap:
 * **batching** — :func:`solve_problems` answers a whole round of independent
   feasibility questions with a *single* ``milp`` invocation: every conjunct
   becomes one block of an elastic block-diagonal program whose slack variables
-  are minimised, and a block is feasible exactly when its optimal slack is 0.
+  are minimised, and a block is feasible exactly when its optimal slack is 0;
+* **warm-starts** — every feasible solve's witness is harvested into a cache
+  keyed by the conjunct's *bounds-free* structure (the constraint matrix
+  without its right-hand side).  A new query whose structure matches probes
+  the cached witness against its own bounds first; verification is exact, so
+  a positive probe short-circuits the MILP entirely.  This fires when only
+  bound constants drift between rounds — e.g. a schema widened from ``1`` to
+  ``?`` loosens an inequality bound and the old witness still satisfies it.
 
 It also exposes :func:`small_model_bound`, the bound of Proposition 6.3
 (Weispfenning) that the paper uses to bound the size of compressed
@@ -37,6 +44,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -94,6 +102,8 @@ class SolverStats:
     enumeration_calls: int = 0
     batch_calls: int = 0
     batch_blocks: int = 0
+    warm_hits: int = 0
+    warm_misses: int = 0
 
     @property
     def solver_calls(self) -> int:
@@ -104,6 +114,13 @@ class SolverStats:
 _SAT_MEMO: Dict[Tuple, bool] = {}
 _SAT_MEMO_LIMIT = 65536
 _MEMO_LOCK = threading.Lock()
+
+#: Warm-start witnesses: bounds-free conjunct structure -> canonical solution
+#: values.  Unlike ``_SAT_MEMO`` (exact fingerprint -> verdict) this survives
+#: bound drift: the key ignores right-hand sides, and a probe re-verifies the
+#: stored witness against the query's actual bounds before trusting it.
+_WARM_CACHE: Dict[Tuple, Tuple[int, ...]] = {}
+_WARM_LIMIT = 4096
 
 # Registry-backed counters (monotone, thread-safe, Prometheus-exposed).  The
 # old module-global ``SolverStats`` object was a footgun: process-wide,
@@ -138,6 +155,14 @@ _MILP_SECONDS = _REGISTRY.histogram(
     "repro_solver_milp_seconds",
     "Wall time of one MILP invocation (single-system or batched).",
 )
+_WARM_HITS = _REGISTRY.counter(
+    "repro_solver_warm_hits_total",
+    "Queries short-circuited by a verified warm-start witness.",
+)
+_WARM_MISSES = _REGISTRY.counter(
+    "repro_solver_warm_misses_total",
+    "Warm-start probes that found no reusable witness.",
+)
 
 #: Counter names backing :class:`SolverStats` fields, in field order.
 _COUNTER_NAMES = (
@@ -147,6 +172,8 @@ _COUNTER_NAMES = (
     ("enumeration_calls", "repro_solver_enumeration_calls_total"),
     ("batch_calls", "repro_solver_batch_calls_total"),
     ("batch_blocks", "repro_solver_batch_blocks_total"),
+    ("warm_hits", "repro_solver_warm_hits_total"),
+    ("warm_misses", "repro_solver_warm_misses_total"),
 )
 
 
@@ -182,24 +209,34 @@ _PROCESS_WINDOW = SolverWindow()
 
 
 def solver_stats() -> SolverStats:
-    """Solver counters since the last :func:`reset_solver_state`.
+    """Deprecated stub: solver counters since the last :func:`reset_solver_state`.
 
     .. deprecated:: 1.6
        This reads one shared process-wide window, so independent consumers
-       reset each other.  New code should hold its own :class:`SolverWindow`
-       (or read the ``repro_solver_*`` metrics off the registry directly).
+       reset each other.  All in-repo callers have migrated; the stub stays
+       for one release and then disappears.  New code should hold its own
+       :class:`SolverWindow` (or read the ``repro_solver_*`` metrics off the
+       registry directly).
     """
+    warnings.warn(
+        "solver_stats() is deprecated and will be removed in the next release; "
+        "hold a repro.presburger.solver.SolverWindow instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return _PROCESS_WINDOW.snapshot()
 
 
 def reset_solver_state() -> None:
-    """Clear the satisfiability memo and rebase the default stats window.
+    """Clear the solver caches and rebase the default stats window.
 
-    The underlying registry counters stay monotone (Prometheus semantics);
-    only the window that :func:`solver_stats` reads through is rebased.
+    Drops the satisfiability memo and the warm-start witness cache; the
+    underlying registry counters stay monotone (Prometheus semantics), only
+    the window the deprecated :func:`solver_stats` reads through is rebased.
     """
     with _MEMO_LOCK:
         _SAT_MEMO.clear()
+        _WARM_CACHE.clear()
     _PROCESS_WINDOW.reset()
 
 
@@ -379,6 +416,92 @@ def problem_fingerprint(problem: Problem) -> Tuple:
 
 
 # --------------------------------------------------------------------------- #
+# Warm-start witnesses
+# --------------------------------------------------------------------------- #
+def _conjunct_structure(conjunct: Conjunct) -> Tuple:
+    """A canonical key for a conjunct's constraint matrix, bounds excluded.
+
+    Variables are renamed to first-occurrence indices exactly as in
+    :func:`problem_fingerprint`, but the right-hand-side constants are left
+    out: two conjuncts share a structure when they differ only in bounds —
+    the case a cached witness has a chance of surviving.
+    """
+    rename: Dict[str, int] = {}
+    groups: List[Tuple] = []
+    for group in conjunct:
+        canon_group: List[Tuple] = []
+        for coeffs, _bound in group:
+            items = []
+            for name, coeff in coeffs:
+                index = rename.setdefault(name, len(rename))
+                items.append((index, coeff))
+            items.sort()
+            canon_group.append(tuple(items))
+        groups.append(tuple(canon_group))
+    return (groups[0], groups[1])
+
+
+def _canonical_values(conjunct: Conjunct, solution: Dict[str, int]) -> Tuple[int, ...]:
+    """A solution as a tuple indexed by the structure's canonical variable order."""
+    rename: Dict[str, int] = {}
+    for group in conjunct:
+        for coeffs, _bound in group:
+            for name, _coeff in coeffs:
+                rename.setdefault(name, len(rename))
+    values = [0] * len(rename)
+    for name, index in rename.items():
+        values[index] = int(solution.get(name, 0))
+    return tuple(values)
+
+
+def _witness_satisfies(conjunct: Conjunct, values: Tuple[int, ...]) -> bool:
+    """Exactly verify a canonical witness against a conjunct's actual rows."""
+    rename: Dict[str, int] = {}
+    for is_equality, group in ((True, conjunct[0]), (False, conjunct[1])):
+        for coeffs, bound in group:
+            total = 0
+            for name, coeff in coeffs:
+                index = rename.setdefault(name, len(rename))
+                if index >= len(values):
+                    return False
+                total += coeff * values[index]
+            violated = (total != bound) if is_equality else (total > bound)
+            if violated:
+                return False
+    return True
+
+
+def _warm_store(conjunct: Conjunct, solution: Dict[str, int]) -> None:
+    """Harvest a feasible solve's witness for structure-keyed reuse."""
+    if not conjunct[0] and not conjunct[1]:
+        return
+    structure = _conjunct_structure(conjunct)
+    values = _canonical_values(conjunct, solution)
+    with _MEMO_LOCK:
+        if len(_WARM_CACHE) >= _WARM_LIMIT:
+            _WARM_CACHE.clear()
+        _WARM_CACHE[structure] = values
+
+
+def _warm_probe(problem: Problem) -> bool:
+    """True when a cached witness verifiably satisfies some conjunct.
+
+    Only the positive answer short-circuits: a witness failing under the new
+    bounds proves nothing about feasibility, so ``False`` means *no shortcut*,
+    never *unsatisfiable*.
+    """
+    if not _WARM_CACHE:
+        return False
+    for conjunct in problem:
+        witness = _WARM_CACHE.get(_conjunct_structure(conjunct))
+        if witness is not None and _witness_satisfies(conjunct, witness):
+            _WARM_HITS.inc()
+            return True
+    _WARM_MISSES.inc()
+    return False
+
+
+# --------------------------------------------------------------------------- #
 # Linear feasibility over the naturals
 # --------------------------------------------------------------------------- #
 def _rows_to_dicts(rows: Sequence[Row]) -> List[Tuple[Dict[str, int], int]]:
@@ -476,15 +599,19 @@ def _solve_by_enumeration(variables, equalities, inequalities, limit: int = 16):
 _BATCH_BLOCK_LIMIT = 256
 
 
-def _solve_blocks_elastic(blocks: Sequence[Conjunct]) -> Optional[List[bool]]:
+def _solve_blocks_elastic(
+    blocks: Sequence[Conjunct],
+) -> Optional[Tuple[List[bool], List[Optional[Dict[str, int]]]]]:
     """Feasibility of many variable-disjoint systems via one elastic MILP.
 
     Every block's rows are made elastic — equalities get a slack pair
     ``+s⁺ − s⁻``, inequalities a surplus ``−s`` — and the total slack is
     minimised.  Blocks are variable-disjoint, so the optimum decomposes: a
     block is feasible exactly when its own slack sum is zero (over integer
-    data an infeasible block contributes at least 1).  Returns ``None`` when
-    the solver fails, letting the caller fall back to per-block solving.
+    data an infeasible block contributes at least 1).  Returns the per-block
+    verdicts together with each feasible block's witness assignment (``None``
+    for infeasible blocks), or ``None`` when the solver fails, letting the
+    caller fall back to per-block solving.
     """
     rows_i: List[int] = []  # COO triplets of the combined constraint matrix
     cols_j: List[int] = []
@@ -493,6 +620,7 @@ def _solve_blocks_elastic(blocks: Sequence[Conjunct]) -> Optional[List[bool]]:
     upper: List[float] = []
     objective: List[float] = []
     block_slack_columns: List[List[int]] = []
+    block_columns: List[Dict[str, int]] = []
     row_count = 0
     column_count = 0
 
@@ -504,6 +632,7 @@ def _solve_blocks_elastic(blocks: Sequence[Conjunct]) -> Optional[List[bool]]:
 
     for equalities, inequalities in blocks:
         columns: Dict[str, int] = {}
+        block_columns.append(columns)
         slack_columns: List[int] = []
         for is_equality, rows in ((True, equalities), (False, inequalities)):
             for coeffs, bound in rows:
@@ -546,11 +675,19 @@ def _solve_blocks_elastic(blocks: Sequence[Conjunct]) -> Optional[List[bool]]:
     _MILP_SECONDS.observe(time.perf_counter() - started)
     if not result.success or result.x is None:
         return None
-    verdicts = []
-    for slack_columns in block_slack_columns:
+    verdicts: List[bool] = []
+    witnesses: List[Optional[Dict[str, int]]] = []
+    for slack_columns, columns in zip(block_slack_columns, block_columns):
         slack_total = float(sum(result.x[column] for column in slack_columns))
-        verdicts.append(slack_total < 0.5)
-    return verdicts
+        feasible = slack_total < 0.5
+        verdicts.append(feasible)
+        if feasible:
+            witnesses.append(
+                {name: int(round(result.x[column])) for name, column in columns.items()}
+            )
+        else:
+            witnesses.append(None)
+    return verdicts, witnesses
 
 
 def solve_problem(problem: Problem) -> bool:
@@ -558,7 +695,9 @@ def solve_problem(problem: Problem) -> bool:
     for equalities, inequalities in problem:
         if not equalities and not inequalities:
             return True
-        if _solve_rows(equalities, inequalities) is not None:
+        solution = _solve_rows(equalities, inequalities)
+        if solution is not None:
+            _warm_store((equalities, inequalities), solution)
             return True
     return False
 
@@ -606,6 +745,10 @@ def solve_problems(problems: Sequence[Problem]) -> List[bool]:
         if fingerprint in pending_keys:
             pending_keys[fingerprint].append(position)
             continue
+        if _warm_probe(problem):
+            verdicts[position] = True
+            _memo_put(fingerprint, True)
+            continue
         pending_keys[fingerprint] = [position]
         pending.append((position, fingerprint))
 
@@ -640,9 +783,14 @@ def _solve_pending_batched(problems, pending, pending_keys, verdicts) -> None:
         _BATCH_BLOCKS.inc(len(blocks))
         _BATCH_SIZE.observe(len(blocks))
         with _obs_tracing.span("presburger.batch", blocks=len(blocks)):
-            block_verdicts = _solve_blocks_elastic(blocks)
+            solved = _solve_blocks_elastic(blocks)
+        if solved is not None:
+            block_verdicts, block_witnesses = solved
+            for block, feasible, witness in zip(blocks, block_verdicts, block_witnesses):
+                if feasible and witness is not None:
+                    _warm_store(block, witness)
         for owner, (position, fingerprint) in enumerate(chunk):
-            if block_verdicts is None:
+            if solved is None:
                 # Solver failure: fall back to the per-conjunct path.
                 verdict = solve_problem(problems[position])
             else:
@@ -699,6 +847,9 @@ def is_satisfiable(formula: Formula) -> bool:
     known = _memo_get(fingerprint)
     if known is not None:
         return known
+    if _warm_probe(problem):
+        _memo_put(fingerprint, True)
+        return True
     verdict = solve_problem(problem)
     _memo_put(fingerprint, verdict)
     return verdict

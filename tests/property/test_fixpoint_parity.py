@@ -19,6 +19,7 @@ import pytest
 from repro.engine.fixpoint import FixpointStats, maximal_typing_fixpoint
 from repro.graphs.graph import Graph
 from repro.presburger.solver import reset_solver_state
+from repro.schema.parser import parse_schema
 from repro.schema.reference import maximal_typing_reference, maximal_typing_worklist
 from repro.workloads.generators import (
     DEFAULT_LABELS,
@@ -29,6 +30,7 @@ from repro.workloads.generators import (
 
 PLAIN_SEEDS = [3, 7, 11, 19, 23, 42]
 COMPRESSED_SEEDS = [5, 13, 29, 77]
+VECTOR_SEEDS = [101, 211, 307, 401]
 
 
 def _noise_graph(rng: random.Random, nodes: int, edges: int, labels) -> Graph:
@@ -112,3 +114,72 @@ class TestCompressedSemantics:
         labels = sorted(schema.labels()) or list(DEFAULT_LABELS[:3])
         graph = _compressed_noise_graph(rng, 6, labels)
         _assert_parity(graph, schema, compressed=True, seed=seed)
+
+
+#: Rules whose explicit RBE0-style intervals force non-trivial Presburger
+#: systems — wide windows, exact repetition counts, disjunction under a
+#: bounded repetition — the shapes that stress the MILP rather than the
+#: unfolding-free fast paths.
+_ADVERSARIAL_RULES = [
+    "T -> a :: U^[2;5], b :: U?\nU -> eps",
+    "T -> (a :: U | b :: U)^[3;3], c :: T*\nU -> a :: U?",
+    "T -> a :: U^[0;2], a :: U^[1;4]\nU -> b :: T*",
+    "T -> (a :: U, b :: U)^[2;2] | c :: T+\nU -> eps",
+]
+
+
+class TestVectorizedKernelParity:
+    """Bitset rounds vs the oracle, with each kernel pinned explicitly.
+
+    The suites above run whichever kernel ``REPRO_VECTORIZE`` selects (the
+    vectorised one by default); these cases force *both* kernels on the same
+    seeded inputs so a parity break cannot hide behind the environment.
+    """
+
+    @pytest.mark.parametrize("seed", VECTOR_SEEDS)
+    def test_bitset_rounds_match_oracle_on_random_graphs(self, seed, monkeypatch):
+        pytest.importorskip("numpy")
+        rng = random.Random(seed)
+        schema = random_shape_schema(4, rng=rng, name=f"vec-{seed}")
+        labels = sorted(schema.labels()) or list(DEFAULT_LABELS[:3])
+        graph = _noise_graph(rng, 12, 22, labels)
+        oracle = maximal_typing_reference(graph, schema)
+        monkeypatch.setenv("REPRO_VECTORIZE", "1")
+        stats = FixpointStats()
+        assert maximal_typing_fixpoint(graph, schema, stats=stats) == oracle
+        assert stats.components == 0  # proves the vectorised schedule ran
+        monkeypatch.setenv("REPRO_VECTORIZE", "0")
+        assert maximal_typing_fixpoint(graph, schema) == oracle
+
+    @pytest.mark.parametrize("seed", VECTOR_SEEDS[:2])
+    def test_bitset_rounds_match_oracle_on_compressed_graphs(self, seed, monkeypatch):
+        pytest.importorskip("numpy")
+        reset_solver_state()
+        rng = random.Random(seed)
+        schema = random_shape_schema(3, rng=rng, name=f"vec-z-{seed}")
+        labels = sorted(schema.labels()) or list(DEFAULT_LABELS[:3])
+        graph = _compressed_noise_graph(rng, 7, labels)
+        oracle = maximal_typing_reference(graph, schema, compressed=True)
+        monkeypatch.setenv("REPRO_VECTORIZE", "1")
+        assert maximal_typing_fixpoint(graph, schema, compressed=True) == oracle
+        monkeypatch.setenv("REPRO_VECTORIZE", "0")
+        assert maximal_typing_fixpoint(graph, schema, compressed=True) == oracle
+
+    @pytest.mark.parametrize("rules", _ADVERSARIAL_RULES)
+    @pytest.mark.parametrize("seed", VECTOR_SEEDS[:2])
+    def test_adversarial_interval_bounds_stress_the_solver(
+        self, rules, seed, monkeypatch
+    ):
+        pytest.importorskip("numpy")
+        reset_solver_state()
+        rng = random.Random(seed)
+        schema = parse_schema(rules, name=f"adversarial-{seed}")
+        labels = sorted(schema.labels())
+        graph = _compressed_noise_graph(rng, 6, labels)
+        oracle = maximal_typing_reference(graph, schema, compressed=True)
+        monkeypatch.setenv("REPRO_VECTORIZE", "1")
+        stats = FixpointStats()
+        vec = maximal_typing_fixpoint(graph, schema, compressed=True, stats=stats)
+        assert vec == oracle
+        monkeypatch.setenv("REPRO_VECTORIZE", "0")
+        assert maximal_typing_fixpoint(graph, schema, compressed=True) == oracle

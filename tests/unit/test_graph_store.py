@@ -135,6 +135,29 @@ class TestGraphStore:
     def test_store_ids_are_unique(self):
         assert GraphStore(Graph()).store_id != GraphStore(Graph()).store_id
 
+    def test_region_closure_matches_backward_closure(self):
+        from repro.graphs.scc import backward_closure
+
+        store = GraphStore(_chain("a"))
+        store.add_edge("n2", "b", "n0")  # a cycle back into the chain
+        store.add_edge("side", "c", "n1")
+        store.remove_edge("side", "c", "n1")  # removed edges must not leak
+        for seeds in (["n0"], ["n1"], ["n2", "ghost"], []):
+            expected = backward_closure(
+                store.graph, (n for n in seeds if store.graph.has_node(n))
+            )
+            assert store.region_closure(seeds) == expected
+
+    def test_region_closure_tracks_parallel_edge_counts(self):
+        store = GraphStore(Graph())
+        store.add_edge("x", "a", "y")
+        store.add_edge("x", "a", "y")  # parallel edge with the same triple
+        store.remove_edge("x", "a", "y")
+        # One parallel edge remains: x still reaches y.
+        assert store.region_closure(["y"]) == {"x", "y"}
+        store.remove_edge("x", "a", "y")
+        assert store.region_closure(["y"]) == {"y"}
+
 
 class TestDeltaCompaction:
     def test_compact_cancels_matching_pairs(self):

@@ -1,0 +1,181 @@
+"""Unit tests for the vectorised fixpoint kernel (:mod:`repro.engine.vectorized`)."""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.engine import vectorized
+from repro.engine.compiled import compile_schema
+from repro.engine.fixpoint import (
+    FixpointStats,
+    maximal_typing_fixpoint,
+    retype_incremental,
+)
+from repro.graphs.compressed import pack_simple_graph
+from repro.graphs.graph import Graph
+from repro.graphs.store import Delta, GraphStore
+from repro.schema.parser import parse_schema
+from repro.schema.reference import maximal_typing_reference
+from repro.workloads.bugtracker import bug_tracker_graph, bug_tracker_schema
+
+
+def _wide_schema(types: int = 70):
+    """A chain schema with enough types to need two bitset words (W = 2)."""
+    lines = [f"T{i} -> a :: T{i + 1}?" for i in range(types - 1)]
+    lines.append(f"T{types - 1} -> eps")
+    return parse_schema("\n".join(lines), name=f"wide-{types}")
+
+
+class TestToggle:
+    def test_available_matches_numpy_import(self):
+        assert vectorized.available() is True
+
+    def test_enabled_reads_env_per_call(self, monkeypatch):
+        monkeypatch.delenv(vectorized.ENV_FLAG, raising=False)
+        assert vectorized.enabled()
+        for falsey in ("0", "false", "OFF", " no "):
+            monkeypatch.setenv(vectorized.ENV_FLAG, falsey)
+            assert not vectorized.enabled()
+        monkeypatch.setenv(vectorized.ENV_FLAG, "1")
+        assert vectorized.enabled()
+
+    def test_kernel_routing_follows_the_flag(self, monkeypatch):
+        graph, schema = bug_tracker_graph(), bug_tracker_schema()
+        monkeypatch.setenv(vectorized.ENV_FLAG, "1")
+        vec_stats = FixpointStats()
+        maximal_typing_fixpoint(graph, schema, stats=vec_stats)
+        assert vec_stats.components == 0  # Jacobi rounds: no condensation
+        monkeypatch.setenv(vectorized.ENV_FLAG, "0")
+        obj_stats = FixpointStats()
+        maximal_typing_fixpoint(graph, schema, stats=obj_stats)
+        assert obj_stats.components > 0  # SCC-scheduled object kernel
+
+
+class TestDenseTables:
+    def test_bit_layout_and_caching(self):
+        compiled = compile_schema(bug_tracker_schema())
+        tables = compiled.dense_tables()
+        assert compiled.dense_tables() is tables  # lazily built once
+        count = len(tables.type_order)
+        assert tables.words == max(1, (count + 63) // 64)
+        expected_full = np.zeros(tables.words, dtype=np.uint64)
+        for t in range(count):
+            word, shift = int(tables.word_of[t]), int(tables.shift_of[t])
+            assert int(tables.bit_rows[t, word]) == 1 << shift
+            assert int(tables.bit_rows[t].sum()) == 1 << shift  # one bit only
+            expected_full |= tables.bit_rows[t]
+        assert np.array_equal(tables.full_mask, expected_full)
+
+    def test_option_masks_mirror_the_alphabets(self):
+        compiled = compile_schema(bug_tracker_schema())
+        tables = compiled.dense_tables()
+        type_index = compiled.type_index
+        label_index = compiled.label_index
+        for t_pos, type_name in enumerate(tables.type_order):
+            alphabet = compiled.type_artifact(type_name).sorted_alphabet
+            for label, target_type in alphabet:
+                tau = type_index.get(target_type)
+                if tau is None:
+                    continue
+                mask = tables.option_masks[t_pos, label_index[label]]
+                word, shift = int(tables.word_of[tau]), int(tables.shift_of[tau])
+                assert (int(mask[word]) >> shift) & 1
+
+    def test_watcher_masks_invert_symbol_watchers(self):
+        compiled = compile_schema(bug_tracker_schema())
+        tables = compiled.dense_tables()
+        type_index = compiled.type_index
+        label_index = compiled.label_index
+        for (label, target_type), watchers in compiled.symbol_watchers().items():
+            tau = type_index.get(target_type)
+            if tau is None:
+                continue
+            mask = tables.watcher_masks[label_index[label], tau]
+            for watcher in watchers:
+                w_pos = type_index[watcher]
+                word, shift = int(tables.word_of[w_pos]), int(tables.shift_of[w_pos])
+                assert (int(mask[word]) >> shift) & 1
+
+
+class TestParity:
+    def test_plain_matches_oracle_and_object_kernel(self, monkeypatch):
+        graph, schema = bug_tracker_graph(), bug_tracker_schema()
+        monkeypatch.setenv(vectorized.ENV_FLAG, "1")
+        vec = maximal_typing_fixpoint(graph, schema)
+        assert vec == maximal_typing_reference(graph, schema)
+        monkeypatch.setenv(vectorized.ENV_FLAG, "0")
+        assert vec == maximal_typing_fixpoint(graph, schema)
+
+    def test_compressed_matches_object_kernel(self, monkeypatch):
+        schema = bug_tracker_schema()
+        compressed = pack_simple_graph(bug_tracker_graph())
+        monkeypatch.setenv(vectorized.ENV_FLAG, "1")
+        vec = maximal_typing_fixpoint(compressed, schema, compressed=True)
+        monkeypatch.setenv(vectorized.ENV_FLAG, "0")
+        assert vec == maximal_typing_fixpoint(compressed, schema, compressed=True)
+
+    def test_incremental_matches_from_scratch(self, monkeypatch):
+        monkeypatch.setenv(vectorized.ENV_FLAG, "1")
+        schema = bug_tracker_schema()
+        store = GraphStore(bug_tracker_graph())
+        prior = maximal_typing_fixpoint(store.graph, schema)
+        delta = Delta.of(add=[("bug2", "relatedTo", "bug1")])
+        store.apply(delta)
+        stats = FixpointStats()
+        typing = retype_incremental(store, prior, delta, schema=schema, stats=stats)
+        assert stats.mode == "incremental"
+        assert stats.components == 0
+        assert typing == maximal_typing_fixpoint(store.graph, schema)
+
+    def test_wide_schema_needs_two_words(self, monkeypatch):
+        schema = _wide_schema(70)
+        compiled = compile_schema(schema)
+        assert compiled.dense_tables().words == 2
+        graph = Graph("chain")
+        for i in range(75):
+            graph.add_edge(f"n{i}", "a", f"n{i + 1}")
+        monkeypatch.setenv(vectorized.ENV_FLAG, "1")
+        vec = maximal_typing_fixpoint(graph, compiled)
+        monkeypatch.setenv(vectorized.ENV_FLAG, "0")
+        assert vec == maximal_typing_fixpoint(graph, compiled)
+
+    def test_empty_and_edgeless_graphs(self, monkeypatch):
+        monkeypatch.setenv(vectorized.ENV_FLAG, "1")
+        schema = bug_tracker_schema()
+        assert maximal_typing_fixpoint(Graph("empty"), schema).domain() == set()
+        isolated = Graph("isolated")
+        isolated.add_nodes(["a", "b"])
+        vec = maximal_typing_fixpoint(isolated, schema)
+        monkeypatch.setenv(vectorized.ENV_FLAG, "0")
+        assert vec == maximal_typing_fixpoint(isolated, schema)
+
+
+class TestPlanCache:
+    def test_whole_graph_plan_reused_until_mutation(self, monkeypatch):
+        monkeypatch.setenv(vectorized.ENV_FLAG, "1")
+        graph, schema = bug_tracker_graph(), bug_tracker_schema()
+        maximal_typing_fixpoint(graph, schema)
+        key, plan = graph._vectorized_plan
+        maximal_typing_fixpoint(graph, schema)
+        assert graph._vectorized_plan[1] is plan  # unchanged graph: plan reused
+        graph.add_edge("bug2", "relatedTo", "bug1")
+        vec = maximal_typing_fixpoint(graph, schema)
+        new_key, new_plan = graph._vectorized_plan
+        assert new_key != key and new_plan is not plan  # revision invalidates
+        monkeypatch.setenv(vectorized.ENV_FLAG, "0")
+        assert vec == maximal_typing_fixpoint(graph, schema)
+
+    def test_revision_counts_structural_mutations(self):
+        graph = Graph("rev")
+        base = graph.revision
+        graph.add_node("a")
+        assert graph.revision == base + 1
+        graph.add_node("a")  # idempotent: no bump
+        assert graph.revision == base + 1
+        edge = graph.add_edge("a", "x", "b")
+        after_edge = graph.revision
+        assert after_edge > base + 1
+        graph.remove_edge(edge)
+        assert graph.revision > after_edge
