@@ -10,7 +10,11 @@ Two short deterministic soaks of the stack:
   is bit-reproducible, so any drift is a real behaviour change;
 * a run against a live in-thread daemon under the ``mixed`` fault schedule,
   gated on *every* injected fault being recovered (client reconnects and
-  retries, version-guarded update replays) and on the oracle checks passing.
+  retries, version-guarded update replays) and on the oracle checks passing;
+* a restart soak against a durable daemon (``--data-dir`` semantics): the
+  weighted ``restart`` op checkpoints, bounces the daemon, and requires the
+  recovered store to match the mirror exactly before the stream continues —
+  gated on at least one restart happening and zero unrecovered faults.
 
 Both runs check typing and containment answers against
 :mod:`repro.schema.reference` and by-construction containment ground truths
@@ -31,10 +35,18 @@ import tempfile
 from repro import faults
 from repro.serve.client import DaemonClient
 from repro.serve.daemon import start_in_thread
-from repro.workloads.soak import DaemonTarget, InProcessTarget, SoakSpec, run_soak
+from repro.workloads.soak import (
+    DaemonTarget,
+    InProcessTarget,
+    SoakSpec,
+    _default_weights,
+    run_soak,
+)
 
 STEPS = 250
 FAULT_STEPS = 150
+RESTART_STEPS = 60
+RESTART_WEIGHT = 0.08
 SEED = 1234
 SCHEDULE = "mixed"
 
@@ -117,7 +129,53 @@ def test_soak_under_faults() -> None:
     )
 
 
+def test_soak_with_restarts() -> None:
+    """The restart soak: a durable daemon bounced mid-stream, mirror parity.
+
+    The report's ``restarts`` block only exists when the op is weighted in,
+    so the fault-free baseline comparison above is untouched.
+    """
+    weights = dict(_default_weights(), restart=RESTART_WEIGHT)
+    spec = SoakSpec(steps=RESTART_STEPS, seed=SEED, size=3, weights=weights)
+    with tempfile.TemporaryDirectory(prefix="bench-soak-restart-") as tempdir:
+        socket_path = os.path.join(tempdir, "soak.sock")
+        data_dir = os.path.join(tempdir, "data")
+        daemon_options = dict(
+            socket_path=socket_path, backend="thread", max_workers=2,
+            request_timeout=60.0, data_dir=data_dir,
+        )
+        holder = {"handle": start_in_thread(**daemon_options)}
+
+        def restarter():
+            holder["handle"].stop()
+            holder["handle"] = start_in_thread(**daemon_options)
+            return DaemonClient.connect_unix(socket_path, retries=4, backoff=0.05)
+
+        try:
+            client = DaemonClient.connect_unix(socket_path, retries=4, backoff=0.05)
+            report = run_soak(
+                spec, DaemonTarget(client, "soak", restarter=restarter)
+            )
+        finally:
+            holder["handle"].stop()
+
+    restarts = report["restarts"]
+    print(
+        f"\n  restart soak: {report['steps']} steps, "
+        f"{restarts['count']} restart(s) survived, first-revalidate modes "
+        f"{restarts['modes']}, {report['invariant_checks_passed']} checks passed"
+    )
+    assert restarts["count"] > 0, (
+        f"the restart op never fired over {RESTART_STEPS} steps at weight "
+        f"{RESTART_WEIGHT} — raise the weight or the step count"
+    )
+    assert report["faults"]["unrecovered"] == 0, (
+        f"{report['faults']['unrecovered']} fault(s) were not recovered"
+    )
+
+
 if __name__ == "__main__":
     test_soak_fault_free_report()
     test_soak_under_faults()
+    test_soak_with_restarts()
     print("  soak acceptance gates ✓")

@@ -62,7 +62,7 @@ from repro.engine import (
 )
 from repro.serve import AsyncContainmentEngine, AsyncValidationEngine, DaemonClient
 
-__version__ = "1.7.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Bag",

@@ -350,6 +350,13 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     )
 
     fault = None if args.fault in (None, "", "none") else args.fault
+    spec_options = {}
+    if args.restart_weight:
+        from repro.workloads.soak import _default_weights
+
+        spec_options["weights"] = dict(
+            _default_weights(), restart=args.restart_weight
+        )
     spec = SoakSpec(
         steps=args.steps,
         duration=args.duration,
@@ -362,10 +369,25 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         containment_chain=args.chain,
         fault=fault,
         max_shrink_replays=args.max_shrink_replays,
+        **spec_options,
     )
     if args.in_process and args.connect:
         print("shex-containment: error: --in-process and --connect are exclusive",
               file=sys.stderr)
+        return 2
+    if args.restart_weight and (args.in_process or args.connect):
+        print(
+            "shex-containment: error: --restart-weight needs the self-hosted "
+            "daemon (no --in-process / --connect)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.restart_weight and not args.data_dir:
+        print(
+            "shex-containment: error: --restart-weight requires --data-dir "
+            "(restarts only survive with a durable store)",
+            file=sys.stderr,
+        )
         return 2
 
     handle = None
@@ -390,16 +412,32 @@ def _cmd_soak(args: argparse.Namespace) -> int:
 
                 tempdir = tempfile.TemporaryDirectory(prefix="shex-soak-")
                 address = os.path.join(tempdir.name, "soak.sock")
-                handle = start_in_thread(
-                    socket_path=address,
+                daemon_options = dict(
                     backend=args.backend,
                     max_workers=2,
                     request_timeout=args.timeout,
+                    data_dir=args.data_dir,
                 )
+                handle = start_in_thread(socket_path=address, **daemon_options)
             client = DaemonClient.connect(
                 address, timeout=args.timeout, retries=4, backoff=0.05
             )
-            target = DaemonTarget(client, "soak")
+            restarter = None
+            if args.restart_weight:
+
+                def restarter():
+                    # Clean stop cuts a final checkpoint; the fresh daemon
+                    # then recovers the store from the same --data-dir.
+                    # ``handle`` is rebound so the outer cleanup always
+                    # stops the daemon that is actually running.
+                    nonlocal handle
+                    handle.stop()
+                    handle = start_in_thread(socket_path=address, **daemon_options)
+                    return DaemonClient.connect(
+                        address, timeout=args.timeout, retries=4, backoff=0.05
+                    )
+
+            target = DaemonTarget(client, "soak", restarter=restarter)
         if fault:
             faults.install(fault, seed=args.seed)
             injector_installed = True
@@ -436,6 +474,15 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         f"{tallies['op_retries']} op retries), "
         f"{tallies['unrecovered']} unrecovered"
     )
+    restarts = report.get("restarts")
+    if restarts:
+        modes = ", ".join(
+            f"{mode}={count}" for mode, count in sorted(restarts["modes"].items())
+        )
+        print(
+            f"  restarts: {restarts['count']} survived "
+            f"(first revalidate modes: {modes or 'none'})"
+        )
     return 0 if tallies["unrecovered"] == 0 else 1
 
 
@@ -598,6 +645,15 @@ def build_parser() -> argparse.ArgumentParser:
     soak_parser.add_argument(
         "--output", metavar="FILE", default="BENCH_soak.json",
         help="write the JSON report here ('' disables)",
+    )
+    soak_parser.add_argument(
+        "--data-dir", metavar="DIR", default=None,
+        help="persist the self-hosted daemon's stores to DIR (snapshot + WAL)",
+    )
+    soak_parser.add_argument(
+        "--restart-weight", type=float, default=0.0, metavar="W",
+        help="weight of the checkpoint/kill/warm-restart op (0 disables; "
+        "requires --data-dir on the self-hosted daemon)",
     )
     soak_parser.set_defaults(handler=_cmd_soak)
     return parser

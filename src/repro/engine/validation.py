@@ -348,6 +348,70 @@ class ValidationEngine(BatchEngine):
             )
 
     # ------------------------------------------------------------------ #
+    # Typing snapshot export / import (persistence support)
+    # ------------------------------------------------------------------ #
+    def export_typings(self, store: GraphStore) -> List[Dict[str, object]]:
+        """The engine's typing snapshots bound to ``store``, for persistence.
+
+        Each entry carries the schema fingerprint, semantics flag, snapshot
+        version, the node-level :class:`Typing`, the kind-level typing (or
+        ``None``), and the partition epoch the kind typing was keyed under —
+        exactly what :meth:`seed_typing` needs to warm a fresh engine after
+        a restart.  Entries are plain objects; the persistence codec owns
+        their JSON form.
+        """
+        with self._revalidate_lock:
+            items = list(self._typings.items())
+        return [
+            {
+                "schema": fingerprint,
+                "compressed": compressed,
+                "version": version,
+                "typing": typing,
+                "kind_typing": kind_typing,
+                "epoch": epoch,
+            }
+            for (fingerprint, store_id, compressed), (
+                version,
+                typing,
+                kind_typing,
+                epoch,
+            ) in items
+            if store_id == store.store_id
+        ]
+
+    def seed_typing(
+        self,
+        store: GraphStore,
+        schema: Union[ShExSchema, CompiledSchema],
+        typing: Typing,
+        version: int,
+        compressed: bool = False,
+        kind_typing: Optional[Typing] = None,
+        epoch: int = -1,
+    ) -> None:
+        """Install a persisted typing snapshot for ``(schema, store)``.
+
+        Called once per restored snapshot entry after a warm restart, before
+        the first :meth:`revalidate` — which then runs incrementally from
+        ``version`` instead of retyping the world.  ``version`` must not
+        exceed the store's current version and must be reachable by
+        :meth:`GraphStore.diff` (i.e. at or above its ``base_version``).
+        """
+        if not store.base_version <= version <= store.version:
+            raise ValueError(
+                f"typing snapshot version {version} is outside the store's "
+                f"history [{store.base_version}, {store.version}]"
+            )
+        compiled = self.compile(schema)
+        token = (compiled.fingerprint, store.store_id, compressed)
+        with self._revalidate_lock:
+            self._typings[token] = (version, typing, kind_typing, epoch)
+            self._typings.move_to_end(token)
+            while len(self._typings) > self.TYPING_SNAPSHOTS:
+                self._typings.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
     # BatchEngine hooks
     # ------------------------------------------------------------------ #
     def _coerce_job(self, job: JobLike) -> ValidationJob:

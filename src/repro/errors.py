@@ -39,6 +39,16 @@ class NotSimpleGraphError(GraphError):
     """Raised when a simple graph was expected but the graph is not simple."""
 
 
+class PersistError(ReproError):
+    """Raised by :mod:`repro.persist` for unusable on-disk state.
+
+    Covers a missing or corrupt snapshot, a manifest written by a newer
+    on-disk format than this build understands, and values the persistence
+    codec cannot round-trip.  Torn WAL tails are *not* errors — recovery
+    truncates them silently, as designed.
+    """
+
+
 class RDFSyntaxError(ReproError):
     """Raised when RDF triples cannot be parsed."""
 

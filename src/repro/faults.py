@@ -36,6 +36,10 @@ Injection points
 ``executor``       raise :class:`InjectedFault` inside an executor worker
 ``cache.io``       raise :class:`InjectedIOError` in disk-cache read/write
 ``cache.corrupt``  truncate a just-persisted cache entry (torn write)
+``persist.io``     raise :class:`InjectedIOError` before a WAL append or
+                   snapshot write touches the file (clean failure)
+``persist.torn_write``  write a *partial* WAL record, then raise — the
+                   torn-tail state crash recovery must truncate
 =================  ==========================================================
 """
 
@@ -58,6 +62,8 @@ FAULT_POINTS = (
     "executor",
     "cache.io",
     "cache.corrupt",
+    "persist.io",
+    "persist.torn_write",
 )
 
 #: Named fault schedules: point -> firing probability per check.
@@ -66,7 +72,12 @@ SCHEDULES: Dict[str, Dict[str, float]] = {
     "drops": {"daemon.drop": 0.05, "daemon.partial": 0.03},
     "slow": {"daemon.delay": 0.2},
     "compute": {"solver": 0.04, "executor": 0.04},
-    "disk": {"cache.io": 0.08, "cache.corrupt": 0.05},
+    "disk": {
+        "cache.io": 0.08,
+        "cache.corrupt": 0.05,
+        "persist.io": 0.04,
+        "persist.torn_write": 0.03,
+    },
     "mixed": {
         "daemon.drop": 0.03,
         "daemon.partial": 0.02,
@@ -75,6 +86,8 @@ SCHEDULES: Dict[str, Dict[str, float]] = {
         "executor": 0.02,
         "cache.io": 0.04,
         "cache.corrupt": 0.02,
+        "persist.io": 0.02,
+        "persist.torn_write": 0.01,
     },
 }
 
@@ -199,10 +212,10 @@ class FaultInjector:
         return True
 
     def maybe_fail(self, point: str) -> None:
-        """Raise :class:`InjectedFault` (``cache.*`` points raise the
-        :class:`InjectedIOError` flavour) when the roll fires."""
+        """Raise :class:`InjectedFault` (``cache.*`` and ``persist.*`` points
+        raise the :class:`InjectedIOError` flavour) when the roll fires."""
         if self.should_fire(point):
-            if point.startswith("cache."):
+            if point.startswith(("cache.", "persist.")):
                 raise InjectedIOError(point)
             raise InjectedFault(point)
 

@@ -160,6 +160,42 @@ class PartitionMaintainer:
     def kind_count(self) -> int:
         return len(self.members)
 
+    @classmethod
+    def restore(
+        cls,
+        graph: Graph,
+        kind_of: Dict[NodeId, int],
+        epoch: int,
+        name: str = "",
+    ) -> "PartitionMaintainer":
+        """Rebuild a maintainer from a persisted ``kind_of`` map.
+
+        The persisted partition was stable when saved (it came out of
+        :meth:`update` or the initial build), so no refinement is needed —
+        only the derived bookkeeping (members, rows, quotient) is recomputed
+        from the map, in one pass over the graph.  ``epoch`` is preserved so
+        per-kind state persisted alongside (e.g. kind typings keyed by
+        ``(epoch, kind)``) remains valid across the restart.
+        """
+        maintainer = cls.__new__(cls)
+        maintainer.epoch = epoch
+        maintainer.stats = PartitionStats(mode="restored")
+        maintainer.kind_of = dict(kind_of)
+        maintainer.members = {}
+        for node, kind in maintainer.kind_of.items():
+            maintainer.members.setdefault(kind, set()).add(node)
+        maintainer.rows = {
+            kind: maintainer._row_of(graph, min(nodes, key=repr))
+            for kind, nodes in maintainer.members.items()
+        }
+        maintainer._next_kind = max(maintainer.members, default=-1) + 1
+        quotient = CompressedGraph(name or f"kinds({graph.name})")
+        quotient.add_nodes(maintainer.members)
+        for kind in sorted(maintainer.rows):
+            maintainer._write_row(quotient, kind, maintainer.rows[kind])
+        maintainer.quotient = quotient
+        return maintainer
+
     # ------------------------------------------------------------------ #
     # Full build
     # ------------------------------------------------------------------ #

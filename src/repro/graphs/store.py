@@ -360,19 +360,28 @@ class GraphStore:
     entries are identity-bound: a typing belongs to one store's timeline.
     """
 
-    def __init__(self, graph: Optional[Graph] = None, name: str = ""):
+    def __init__(
+        self,
+        graph: Optional[Graph] = None,
+        name: str = "",
+        base_version: int = 0,
+    ):
         self._graph = graph if graph is not None else Graph(name)
         if name:
             self._graph.name = name
         self.store_id: int = next(_STORE_IDS)
-        self._version = 0
-        self._log: List[Delta] = []  # _log[i] transforms version i into i+1
+        # A store restored from a snapshot starts its history at the snapshot
+        # version: versions below the base are unreachable (their deltas were
+        # folded into the snapshot) and diff() refuses them.
+        self._base = base_version
+        self._version = base_version
+        self._log: List[Delta] = []  # _log[i] transforms base+i into base+i+1
         self._checkpoints: Dict[Tuple[int, int], Delta] = {}
         self._checkpoint_every: Optional[int] = None
         self._fingerprint: Optional[Tuple[int, str]] = None
         self._view: Optional[Tuple[int, Optional[KindView]]] = None
         self._maintainer: Optional[PartitionMaintainer] = None
-        self._maintainer_version = 0
+        self._maintainer_version = base_version
         # Chained spans of partition updates: (from_version, to_version,
         # ViewDelta), all within the maintainer's current epoch.
         self._view_log: List[Tuple[int, int, ViewDelta]] = []
@@ -412,6 +421,11 @@ class GraphStore:
     def version(self) -> int:
         """The monotonically increasing version of the wrapped graph."""
         return self._version
+
+    @property
+    def base_version(self) -> int:
+        """The oldest version this store's history reaches (0 unless restored)."""
+        return self._base
 
     def node_id(self, node: NodeId) -> int:
         """The interned small-integer id of ``node`` (allocated on first use)."""
@@ -560,6 +574,23 @@ class GraphStore:
             self._maintainer_version = self._version
         return self._maintainer
 
+    def restore_partition(self, kind_of: Dict[NodeId, int], epoch: int) -> None:
+        """Install a previously persisted kind partition at the current version.
+
+        ``kind_of`` must be the partition of the *current* graph (a restored
+        snapshot calls this before replaying its WAL tail), and ``epoch`` the
+        epoch it was saved under — preserving it keeps per-kind state persisted
+        alongside (kind typings) valid.  Subsequent deltas update the restored
+        maintainer incrementally, exactly as if it had been built here.
+        """
+        with self._view_lock:
+            self._maintainer = PartitionMaintainer.restore(
+                self._graph, kind_of, epoch, name=f"kinds({self.name})"
+            )
+            self._maintainer_version = self._version
+            self._view_log.clear()
+            self._view = None
+
     @property
     def view_epoch(self) -> int:
         """The maintained partition's epoch (-1 before the first build).
@@ -637,7 +668,10 @@ class GraphStore:
         Removals are resolved first (by edge content, one stored edge per
         entry), then insertions.  A removal that matches no stored edge raises
         :class:`repro.errors.GraphError` *before* anything is mutated, so a
-        failed apply leaves the store at its prior version.
+        failed apply leaves the store at its prior version.  Durable stores
+        hook :meth:`_wal_write`, which runs after resolution but still before
+        any mutation — a failed write-ahead append likewise leaves the store
+        untouched.
 
         The *logged* delta carries each removal's resolved interval (a plain
         ``(s, a, t)`` entry matches an edge of any interval), so log entries
@@ -660,6 +694,13 @@ class GraphStore:
                 )
             matched.add(edge.edge_id)
             doomed.append(edge)
+        resolved = Delta(
+            added=delta.added,
+            removed=tuple(
+                (edge.source, edge.label, edge.target, edge.occur) for edge in doomed
+            ),
+        )
+        self._wal_write(resolved)
         for edge in doomed:
             self._graph.remove_edge(edge)
             self._intern_edge(edge.source, edge.target, -1)
@@ -667,18 +708,19 @@ class GraphStore:
             self._graph.add_edge(source, label, target, occur)
             self._intern_edge(source, target, +1)
             self.label_id(label)
-        resolved = Delta(
-            added=delta.added,
-            removed=tuple(
-                (edge.source, edge.label, edge.target, edge.occur) for edge in doomed
-            ),
-        )
         self._log.append(resolved)
         self._version += 1
         if _obs_metrics.STATE.enabled:
             _M_DELTAS.inc()
             _M_DELTA_EDGES.observe(len(delta.added) + len(delta.removed))
         return self._version
+
+    def _wal_write(self, resolved: Delta) -> None:
+        """Write-ahead hook: called with the fully resolved delta *before* any
+        mutation.  The base store persists nothing;
+        :class:`repro.persist.store.DurableStore` overrides this to append
+        the delta to its write-ahead log.  Raising aborts the apply with the
+        store unchanged."""
 
     def _find_edge(
         self,
@@ -718,16 +760,18 @@ class GraphStore:
         """The delta transforming version ``v1`` into version ``v2``.
 
         Forward diffs concatenate the log; backward diffs are the inverse of
-        the forward direction.  Both versions must lie in ``[0, version]``.
-        After :meth:`compact_log`, spans crossing checkpoint boundaries jump
-        checkpoint-to-checkpoint instead of composing every entry, so diffs
-        across distant versions of a long-lived store stay cheap.
+        the forward direction.  Both versions must lie in
+        ``[base_version, version]`` — a restored store's history starts at
+        its snapshot.  After :meth:`compact_log`, spans crossing checkpoint
+        boundaries jump checkpoint-to-checkpoint instead of composing every
+        entry, so diffs across distant versions of a long-lived store stay
+        cheap.
         """
         for version in (v1, v2):
-            if not 0 <= version <= self._version:
+            if not self._base <= version <= self._version:
                 raise GraphError(
                     f"version {version} is outside this store's history "
-                    f"[0, {self._version}]"
+                    f"[{self._base}, {self._version}]"
                 )
         if v1 == v2:
             return Delta()
@@ -748,14 +792,14 @@ class GraphStore:
         while cursor < v2:
             if (
                 every
-                and cursor % every == 0
+                and (cursor - self._base) % every == 0
                 and cursor + every <= v2
                 and (cursor, cursor + every) in self._checkpoints
             ):
                 deltas.append(self._checkpoints[(cursor, cursor + every)])
                 cursor += every
             else:
-                deltas.append(self._log[cursor])
+                deltas.append(self._log[cursor - self._base])
                 cursor += 1
         return deltas
 
@@ -774,12 +818,12 @@ class GraphStore:
         if self._checkpoint_every not in (None, every):
             self._checkpoints = {}  # interval changed; old grid is useless
         self._checkpoint_every = every
-        for start in range(0, self._version - every + 1, every):
+        for start in range(self._base, self._version - every + 1, every):
             window = (start, start + every)
             if window in self._checkpoints:
                 continue
-            combined = self._log[start]
-            for delta in self._log[start + 1 : start + every]:
+            combined = self._log[start - self._base]
+            for delta in self._log[start + 1 - self._base : start + every - self._base]:
                 combined = combined.then(delta)
             self._checkpoints[window] = combined.compact()
         return len(self._checkpoints)

@@ -1,0 +1,141 @@
+"""JSON codec for the persistence layer.
+
+Everything :mod:`repro.persist` writes to disk is JSON, but the in-memory
+model is richer than JSON: node ids are arbitrary hashables (the clone
+workloads use ``(copy_index, iri)`` tuples), occurrence intervals carry an
+``∞`` upper bound, and typings map nodes to *sets* of type names.  This
+module defines the lossless, deterministic encoding shared by snapshots and
+the write-ahead log:
+
+* **Nodes** — plain strings encode as themselves; every other supported
+  value becomes a single-key tagged object: ``{"t": [...]}`` for tuples
+  (recursively), ``{"i": n}`` for ints, ``{"b": x}`` for bools, ``{"f": x}``
+  for floats, ``{"n": true}`` for ``None``.  Decoding is the exact inverse,
+  so ``decode_node(encode_node(x)) == x`` and tuple node ids stay hashable.
+* **Intervals** — a ``[lower, upper]`` pair with ``null`` for ``∞`` (the
+  in-memory convention of :class:`repro.core.intervals.Interval` itself).
+* **Deltas** — ``{"add": [[s, label, t, occur], ...], "remove": [...]}``
+  with encoded endpoints, mirroring :meth:`repro.graphs.store.Delta.to_json`
+  but safe for non-string node ids.
+* **Typings** — sorted ``[[node, [type, ...]], ...]`` pair lists.
+
+Encoding is deterministic (sorted pairs, sorted type lists), so identical
+states produce byte-identical snapshots — handy for parity tests and for
+content-comparison of generations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.intervals import Interval
+from repro.errors import PersistError
+from repro.graphs.store import Delta
+from repro.schema.typing import Typing
+
+NodeId = Hashable
+
+
+# --------------------------------------------------------------------------- #
+# Nodes
+# --------------------------------------------------------------------------- #
+def encode_node(node: NodeId) -> Any:
+    """Encode one node id as a JSON-safe value (see module docstring)."""
+    if isinstance(node, str):
+        return node
+    if isinstance(node, bool):  # before int: bool is an int subclass
+        return {"b": node}
+    if isinstance(node, int):
+        return {"i": node}
+    if isinstance(node, float):
+        return {"f": node}
+    if node is None:
+        return {"n": True}
+    if isinstance(node, tuple):
+        return {"t": [encode_node(part) for part in node]}
+    raise PersistError(
+        f"cannot persist node id of type {type(node).__name__}: {node!r}"
+    )
+
+
+def decode_node(value: Any) -> NodeId:
+    """Inverse of :func:`encode_node`."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, dict) and len(value) == 1:
+        tag, payload = next(iter(value.items()))
+        if tag == "t":
+            return tuple(decode_node(part) for part in payload)
+        if tag in ("i", "b", "f"):
+            return payload
+        if tag == "n":
+            return None
+    raise PersistError(f"cannot decode persisted node id: {value!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Intervals
+# --------------------------------------------------------------------------- #
+def encode_occur(occur: Interval) -> List[Optional[int]]:
+    return [occur.lower, occur.upper]
+
+
+def decode_occur(pair: Any) -> Interval:
+    if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+        raise PersistError(f"cannot decode persisted interval: {pair!r}")
+    return Interval(pair[0], pair[1])
+
+
+# --------------------------------------------------------------------------- #
+# Deltas
+# --------------------------------------------------------------------------- #
+def _encode_entries(entries) -> List[list]:
+    return [
+        [encode_node(source), label, encode_node(target), encode_occur(occur)]
+        for source, label, target, occur in entries
+    ]
+
+
+def _decode_entries(entries) -> Tuple[tuple, ...]:
+    return tuple(
+        (decode_node(source), label, decode_node(target), decode_occur(occur))
+        for source, label, target, occur in entries
+    )
+
+
+def encode_delta(delta: Delta) -> Dict[str, list]:
+    """Encode a :class:`Delta` with arbitrary (hashable) node ids."""
+    return {
+        "add": _encode_entries(delta.added),
+        "remove": _encode_entries(delta.removed),
+    }
+
+
+def decode_delta(payload: Any) -> Delta:
+    """Inverse of :func:`encode_delta`."""
+    if not isinstance(payload, dict):
+        raise PersistError(f"cannot decode persisted delta: {payload!r}")
+    return Delta(
+        added=_decode_entries(payload.get("add", ())),
+        removed=_decode_entries(payload.get("remove", ())),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Typings
+# --------------------------------------------------------------------------- #
+def encode_typing(typing: Typing) -> List[list]:
+    """Encode a typing as a sorted ``[[node, [types...]], ...]`` pair list."""
+    pairs = [
+        [encode_node(node), sorted(types)]
+        for node, types in typing.as_dict().items()
+    ]
+    pairs.sort(key=repr)
+    return pairs
+
+
+def decode_typing(pairs: Any) -> Typing:
+    """Inverse of :func:`encode_typing`."""
+    if not isinstance(pairs, list):
+        raise PersistError(f"cannot decode persisted typing: {pairs!r}")
+    return Typing({decode_node(node): tuple(types) for node, types in pairs})

@@ -1,0 +1,16 @@
+"""Format 1: the initial graph-directory layout.
+
+``MANIFEST.json`` + ``snapshot-<generation>.json`` + ``wal-<generation>.log``
+with graph nodes/edges and the kind partition in the snapshot.  Nothing to
+rewrite when coming from format 0 (an empty, just-created directory):
+:meth:`DurableStore.create` writes format-1-or-later state directly, so this
+migration only anchors the chain.
+"""
+
+from __future__ import annotations
+
+TO_FORMAT = 1
+
+
+def apply(directory: str, manifest: dict) -> None:
+    manifest.setdefault("generation", 0)

@@ -1,0 +1,32 @@
+"""Format 2: snapshots carry the engine's typing snapshots.
+
+Format-1 snapshots persisted the graph, delta log, and kind partition but
+not the :class:`~repro.engine.validation.ValidationEngine` typing snapshots,
+so a reopened daemon still paid one full retype per schema.  Format 2 adds a
+``"typings"`` list to every snapshot (empty for migrated directories — the
+first post-upgrade checkpoint fills it in).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+TO_FORMAT = 2
+
+
+def apply(directory: str, manifest: dict) -> None:
+    for path in sorted(glob.glob(os.path.join(directory, "snapshot-*.json"))):
+        with open(path, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        if "typings" in snapshot:
+            continue
+        snapshot["typings"] = []
+        snapshot["format"] = TO_FORMAT
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, sort_keys=True, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)

@@ -19,6 +19,10 @@ Usage examples (after ``pip install -e .``)::
     shex-serve revalidate --connect /tmp/shex.sock --name bugs --schema s.shex
     shex-serve revalidate --connect /tmp/shex.sock --all --schema s.shex
 
+    # Durable mode: stores survive restarts (snapshot + WAL under DIR)
+    shex-serve start --socket /tmp/shex.sock --data-dir /var/lib/shex
+    shex-serve checkpoint --connect /tmp/shex.sock --name bugs
+
 ``start`` blocks until ``stop`` (or Ctrl-C); run it under ``&``, tmux, or a
 service manager for background operation.  Requests are served through the
 persistent engines of :mod:`repro.serve.daemon`, so schema compilation and
@@ -65,6 +69,9 @@ def _daemon_from_args(args: argparse.Namespace) -> ValidationDaemon:
         slow_ms=args.slow_ms,
         log_level=args.log_level,
         log_json=args.log_json,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        checkpoint_interval=args.checkpoint_interval,
         **endpoint,
     )
 
@@ -119,6 +126,20 @@ def _cmd_status(args: argparse.Namespace) -> int:
         elif view:
             line += "; kind view inactive"
         print(line)
+        persist = entry.get("persist")
+        if persist:
+            checkpointed = persist.get("last_checkpoint_at")
+            stamp = (
+                time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(checkpointed))
+                if checkpointed
+                else "never"
+            )
+            print(
+                f"      durable: generation {persist['generation']} "
+                f"(format {persist['format']}, fsync={persist['fsync']}), "
+                f"WAL {persist['wal_records']} record(s) / {persist['wal_bytes']}B, "
+                f"last checkpoint {stamp}"
+            )
     return 0
 
 
@@ -236,6 +257,15 @@ def _render_metrics(snapshot: Dict[str, Any]) -> str:
             f"{int(fixpoint.get('checks', 0))} checks, "
             f"signature hit-rate {fixpoint.get('signature_hit_rate', 0.0):.1%}"
         )
+    persist = snapshot.get("persist", {})
+    if persist and any(persist.values()):
+        lines.append(
+            f"  persist: {persist.get('wal_appends', 0)} WAL appends "
+            f"({persist.get('wal_bytes', 0)}B), "
+            f"{persist.get('checkpoints', 0)} checkpoints, "
+            f"{persist.get('replayed_records', 0)} replayed, "
+            f"{persist.get('truncated_tails', 0)} truncated tail(s)"
+        )
     for label, cache in sorted(snapshot.get("caches", {}).items()):
         line = (
             f"  cache {label}: hits={cache['hits']} misses={cache['misses']} "
@@ -287,6 +317,24 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                 time.sleep(args.watch)
         except KeyboardInterrupt:
             return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    """``shex-serve checkpoint``: snapshot durable graph stores now.
+
+    Folds each store's WAL tail into a fresh snapshot generation.  With
+    ``--name`` only that graph is checkpointed; otherwise every durable
+    store on the daemon is.  Requires a daemon started with ``--data-dir``.
+    """
+    with _client(args) as client:
+        answer = client.checkpoint(args.name)
+    for name, entry in sorted(answer["results"].items()):
+        print(
+            f"checkpointed {name!r}: generation {entry['generation']} "
+            f"at v{entry['version']}, folded {entry['wal_records_folded']} "
+            f"WAL record(s) in {entry['seconds'] * 1000:.1f} ms"
+        )
+    return 0
 
 
 def _cmd_flush(args: argparse.Namespace) -> int:
@@ -343,6 +391,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-json", action="store_true",
         help="emit logs as one JSON object per line instead of key=value text",
     )
+    start_parser.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="persist schemas and graph stores to DIR (snapshot + WAL; "
+        "recovered before the socket binds on restart)",
+    )
+    start_parser.add_argument(
+        "--fsync", choices=("always", "interval", "off"), default="always",
+        help="WAL durability policy: fsync every record, ~100ms batches, or "
+        "leave flushing to the OS",
+    )
+    start_parser.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="SECONDS",
+        help="checkpoint dirty durable stores every SECONDS in the background",
+    )
     start_parser.set_defaults(handler=_cmd_start)
 
     for name, helper, handler in (
@@ -352,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("flush", "flush the daemon's result and parse caches", _cmd_flush),
         ("update", "register a graph store or apply an edge delta to it", _cmd_update),
         ("revalidate", "validate the current version of a graph store", _cmd_revalidate),
+        ("checkpoint", "snapshot durable graph stores (fold WAL tails)", _cmd_checkpoint),
     ):
         sub = subparsers.add_parser(name, help=helper)
         sub.add_argument(
@@ -380,6 +443,11 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--delta", metavar="FILE",
                 help="JSON {\"add\": [[s,a,t],...], \"remove\": [...]} edit to apply",
+            )
+        if name == "checkpoint":
+            sub.add_argument(
+                "--name", default=None,
+                help="checkpoint only this graph (default: every durable store)",
             )
         if name == "revalidate":
             sub.add_argument(

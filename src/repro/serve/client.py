@@ -40,8 +40,10 @@ from repro.errors import DaemonConnectionError, DaemonError, ProtocolError
 from repro.serve import protocol
 
 #: Operations whose replay is always safe: they never mutate daemon state
-#: in a way a duplicate could corrupt (``load_schema``/``flush_cache`` are
-#: idempotent; the rest are pure reads or cached computations).
+#: in a way a duplicate could corrupt (``load_schema``/``flush_cache``/
+#: ``checkpoint`` are idempotent — a repeated checkpoint just writes another
+#: generation of the same content; the rest are pure reads or cached
+#: computations).
 RETRYABLE_OPS = frozenset(
     {
         "ping",
@@ -50,6 +52,7 @@ RETRYABLE_OPS = frozenset(
         "contains",
         "batch",
         "revalidate",
+        "checkpoint",
         "status",
         "metrics",
         "flush_cache",
@@ -443,6 +446,18 @@ class DaemonClient:
         else:
             params["graphs"] = list(graphs)
         return self.request("revalidate", **params)
+
+    def checkpoint(self, name: Optional[str] = None) -> Dict[str, Any]:
+        """Snapshot the daemon's durable graph stores to their data dir.
+
+        With ``name``, checkpoints that one graph; without, every durable
+        graph.  Requires the daemon to have been started with ``--data-dir``.
+        Idempotent (and classified retryable): repeating it writes another
+        generation of the same content.  Returns per-graph ``{"generation",
+        "version", "wal_records_folded"}`` blocks under ``"results"``.
+        """
+        params: Dict[str, Any] = {} if name is None else {"name": name}
+        return self.request("checkpoint", **params)
 
     def status(self) -> Dict[str, Any]:
         """Daemon status: uptime, request counters, schemas, cache statistics."""

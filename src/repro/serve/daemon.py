@@ -34,6 +34,7 @@ import socket
 import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import quote, unquote
 
 import repro
 from repro import faults
@@ -46,6 +47,7 @@ from repro.graphs.store import Delta, GraphStore
 from repro.obs import logs as obs_logs
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracing as obs_tracing
+from repro.persist import DurableStore, persist_metrics_summary
 from repro.presburger.solver import solver_metrics_summary
 from repro.rdf.convert import rdf_to_simple_graph
 from repro.rdf.parser import parse_ntriples, parse_turtle_lite
@@ -131,6 +133,9 @@ class ValidationDaemon:
         max_inflight: Optional[int] = None,
         max_connections: Optional[int] = None,
         drain_timeout: float = 5.0,
+        data_dir: Optional[str] = None,
+        fsync: str = "always",
+        checkpoint_interval: Optional[float] = None,
     ):
         if (socket_path is None) == (host is None):
             raise ValueError("pass exactly one of socket_path or host/port")
@@ -140,6 +145,15 @@ class ValidationDaemon:
         self.cache_dir = cache_dir
         self.cache_max_mb = cache_max_mb
         self.cache_ttl = cache_ttl
+        #: Persistence root (``schemas/`` + ``graphs/<name>/``); ``None``
+        #: keeps every store in memory only.  See docs/architecture.md,
+        #: "Durability and recovery".
+        self.data_dir = data_dir
+        #: WAL fsync policy for durable stores (``always``/``interval[:s]``/``off``).
+        self.fsync = fsync
+        #: Seconds between automatic checkpoints (``None`` = only explicit
+        #: ``checkpoint`` ops and the best-effort one at clean shutdown).
+        self.checkpoint_interval = checkpoint_interval
         #: Requests slower than this (milliseconds) emit one structured
         #: ``slow_op`` log line carrying the request's timed span tree.
         self.slow_ms = slow_ms
@@ -172,6 +186,7 @@ class ValidationDaemon:
         # the graph it was computed from.  Different graphs proceed freely.
         self._store_locks: Dict[str, asyncio.Lock] = {}
         self._parsed = LRUCache(max_size=256)  # content-hash -> parsed document
+        self._persisted_schemas: set = set()  # fingerprints on disk under schemas/
         self._requests: Dict[str, int] = {}
         self._connections = 0
         self._inflight = 0
@@ -184,6 +199,11 @@ class ValidationDaemon:
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stopping: Optional[asyncio.Event] = None
+        self._checkpoint_task: Optional[asyncio.Task] = None
+        # Per durable store: the (version, typing signature) its newest
+        # snapshot holds, so checkpoints can be skipped when neither the
+        # graph (WAL empty) nor the engine's typings moved since.
+        self._checkpointed: Dict[str, Tuple[int, frozenset]] = {}
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -199,6 +219,10 @@ class ValidationDaemon:
         """Bind the socket and start accepting connections (non-blocking)."""
         self._loop = asyncio.get_running_loop()
         self._stopping = asyncio.Event()
+        if self.data_dir is not None:
+            # Recover before binding: the first request already sees every
+            # persisted schema compiled and every graph warm-restarted.
+            await self._offload(self._open_data_dir)
         if self.socket_path is not None:
             if os.path.exists(self.socket_path):
                 # Distinguish a stale socket (dead daemon) from a live one:
@@ -232,6 +256,8 @@ class ValidationDaemon:
         registry = obs_metrics.get_registry()
         for collector in self._collectors:
             registry.add_collector(collector)
+        if self.data_dir is not None and self.checkpoint_interval:
+            self._checkpoint_task = asyncio.create_task(self._auto_checkpoint())
 
     @staticmethod
     def _socket_is_live(path: str) -> bool:
@@ -264,6 +290,185 @@ class ValidationDaemon:
         """
         if self._stopping is not None:
             self._stopping.set()
+
+    # ------------------------------------------------------------------ #
+    # Persistence (``--data-dir``)
+    # ------------------------------------------------------------------ #
+    def _graph_dir(self, name: str) -> str:
+        """The durable directory for graph ``name`` (percent-quoted)."""
+        return os.path.join(self.data_dir, "graphs", quote(name, safe=""))
+
+    def _open_data_dir(self) -> None:
+        """Recover schemas and durable stores from :attr:`data_dir` (blocking).
+
+        Schemas come back first (``schemas/*.shex``, recompiled), then every
+        ``graphs/<name>/`` directory is opened through
+        :meth:`repro.persist.DurableStore.open` — snapshot load plus WAL
+        replay — and its persisted typing snapshots are seeded into the
+        engine so the first ``revalidate`` runs incrementally instead of
+        retyping the world.  A directory that cannot be recovered (unknown
+        future format, broken record sequence) fails the daemon start with
+        a clear error rather than serving a partial load.
+        """
+        schema_dir = os.path.join(self.data_dir, "schemas")
+        graphs_dir = os.path.join(self.data_dir, "graphs")
+        os.makedirs(schema_dir, exist_ok=True)
+        os.makedirs(graphs_dir, exist_ok=True)
+        by_fingerprint: Dict[str, CompiledSchema] = {}
+        for entry in sorted(os.listdir(schema_dir)):
+            if not entry.endswith(".shex"):
+                continue
+            name = unquote(entry[: -len(".shex")])
+            with open(os.path.join(schema_dir, entry), "r", encoding="utf-8") as handle:
+                text = handle.read()
+            compiled = self.validation.engine.compile(parse_schema(text, name=name))
+            self._schemas[name] = compiled
+            by_fingerprint[compiled.fingerprint] = compiled
+            self._persisted_schemas.add(compiled.fingerprint)
+        for entry in sorted(os.listdir(graphs_dir)):
+            directory = os.path.join(graphs_dir, entry)
+            if not os.path.isdir(directory):
+                continue
+            store = DurableStore.open(directory, fsync=self.fsync)
+            name = store.name or unquote(entry)
+            seeded = 0
+            for snapshot in store.restored_typings:
+                compiled = by_fingerprint.get(snapshot["schema"])
+                if compiled is None:
+                    continue  # schema text was never persisted; retype cold
+                self.validation.engine.seed_typing(
+                    store,
+                    compiled,
+                    snapshot["typing"],
+                    snapshot["version"],
+                    compressed=snapshot["compressed"],
+                    kind_typing=snapshot["kind_typing"],
+                    epoch=snapshot["epoch"],
+                )
+                seeded += 1
+            self._stores[name] = store
+            self._checkpointed[name] = (
+                store.version,
+                self._typing_signature(
+                    self.validation.engine.export_typings(store)
+                ),
+            )
+            obs_logs.log_event(
+                _LOG, logging.INFO, "persist_recovered",
+                graph=name, generation=store.generation, version=store.version,
+                seeded_typings=seeded, **store.recovery,
+            )
+
+    def _persist_schema_text(self, name: str, text: str) -> None:
+        """Write one schema's source under ``schemas/`` (atomic replace)."""
+        directory = os.path.join(self.data_dir, "schemas")
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, quote(name, safe="") + ".shex")
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def _persist_schema_for_typings(
+        self, reference: Any, compiled: CompiledSchema
+    ) -> None:
+        """Persist the schema text behind a ``revalidate`` reference.
+
+        Checkpointed typings reseed at recovery only when the schema's text
+        is on disk too (matched by fingerprint) — a revalidate carrying
+        inline text or a path would otherwise retype cold after every
+        restart even though its typing snapshot was persisted.  Registered
+        names were already written by ``load_schema``; same-name re-persists
+        replace the file, matching ``load_schema`` semantics.
+        """
+        if compiled.fingerprint in self._persisted_schemas:
+            return
+        if isinstance(reference, dict) and "text" in reference:
+            text = reference["text"]
+            name = reference.get("name") or compiled.fingerprint[:16]
+        elif isinstance(reference, dict) and "path" in reference:
+            name = reference["path"]
+            text = self._read_path(name)
+        else:
+            return
+        self._persist_schema_text(str(name), text)
+        self._persisted_schemas.add(compiled.fingerprint)
+
+    @staticmethod
+    def _typing_signature(typings: List[Dict[str, Any]]) -> frozenset:
+        """What identifies a set of engine typings for staleness checks."""
+        return frozenset(
+            (entry["schema"], entry["compressed"], entry["version"])
+            for entry in typings
+        )
+
+    def _needs_checkpoint(self, name: str, store: DurableStore) -> bool:
+        """True when the newest snapshot lags the graph or the typings.
+
+        A clean WAL is not enough to skip: revalidations advance the
+        engine's typing snapshots without writing any delta, and losing
+        them would turn the next warm restart into a full retype.
+        """
+        if store.persist_status()["wal_records"] > 0:
+            return True
+        current = (
+            store.version,
+            self._typing_signature(self.validation.engine.export_typings(store)),
+        )
+        return self._checkpointed.get(name) != current
+
+    async def _checkpoint_store(self, name: str, store: DurableStore) -> Dict[str, Any]:
+        """Snapshot one durable store with the engine's typings (off-loop).
+
+        Caller holds the store's lock: the exported typings then describe
+        exactly the version the snapshot writes.
+        """
+        typings = self.validation.engine.export_typings(store)
+        outcome = await self._offload(store.checkpoint, typings)
+        self._checkpointed[name] = (store.version, self._typing_signature(typings))
+        return outcome
+
+    async def _auto_checkpoint(self) -> None:
+        """Periodically fold dirty WALs into fresh snapshots (background task)."""
+        while True:
+            await asyncio.sleep(self.checkpoint_interval)
+            for name in sorted(self._stores):
+                store = self._stores.get(name)
+                if not isinstance(store, DurableStore) or not self._needs_checkpoint(
+                    name, store
+                ):
+                    continue
+                try:
+                    async with self._store_lock(name):
+                        outcome = await self._checkpoint_store(name, store)
+                    obs_logs.log_event(
+                        _LOG, logging.INFO, "auto_checkpoint", graph=name,
+                        generation=outcome["generation"],
+                        version=outcome["version"],
+                        wal_records_folded=outcome["wal_records_folded"],
+                    )
+                except (OSError, ReproError) as exc:
+                    obs_logs.log_event(
+                        _LOG, logging.WARNING, "checkpoint_failed",
+                        graph=name, error=str(exc),
+                    )
+
+    async def _final_checkpoint(self) -> None:
+        """Best-effort checkpoint of every dirty durable store at shutdown."""
+        for name, store in sorted(self._stores.items()):
+            if not isinstance(store, DurableStore) or not self._needs_checkpoint(
+                name, store
+            ):
+                continue
+            try:
+                await self._checkpoint_store(name, store)
+            except (OSError, ReproError) as exc:
+                obs_logs.log_event(
+                    _LOG, logging.WARNING, "checkpoint_failed",
+                    graph=name, error=str(exc),
+                )
 
     def _daemon_collector(self):
         """Registry collector: daemon-level gauges sampled at scrape time."""
@@ -303,6 +508,27 @@ class ValidationDaemon:
                     [({"graph": name}, float(store.version)) for name, store in stores],
                 )
             )
+        durable = [
+            (name, store) for name, store in stores
+            if isinstance(store, DurableStore)
+        ]
+        if durable:
+            families.append(
+                (
+                    "repro_persist_generation", "gauge",
+                    "Snapshot generation per durable graph store.",
+                    [({"graph": name}, float(store.generation))
+                     for name, store in durable],
+                )
+            )
+            families.append(
+                (
+                    "repro_persist_wal_records", "gauge",
+                    "WAL records since the last checkpoint, per durable store.",
+                    [({"graph": name}, float(store.persist_status()["wal_records"]))
+                     for name, store in durable],
+                )
+            )
         return families
 
     async def _shutdown(self) -> None:
@@ -334,6 +560,18 @@ class ValidationDaemon:
             writer.close()
         if self._conn_tasks:
             await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._checkpoint_task
+            self._checkpoint_task = None
+        if self.data_dir is not None:
+            # A clean shutdown leaves an empty WAL behind: the next open
+            # replays nothing and the snapshot carries the typings.
+            await self._final_checkpoint()
+        for store in self._stores.values():
+            if isinstance(store, DurableStore):
+                store.close()
         await self.validation.aclose()
         await self.containment.aclose()
         if self.socket_path is not None and os.path.exists(self.socket_path):
@@ -754,6 +992,9 @@ class ValidationDaemon:
             lambda: self.validation.engine.compile(parse_schema(text, name=name))
         )
         self._schemas[name] = compiled
+        if self.data_dir is not None:
+            await self._offload(self._persist_schema_text, name, text)
+            self._persisted_schemas.add(compiled.fingerprint)
         return {
             "name": name,
             "fingerprint": compiled.fingerprint,
@@ -919,6 +1160,9 @@ class ValidationDaemon:
         """
         summary = cls._store_summary(name, store)
         summary["view"] = store.view_stats()
+        persist = getattr(store, "persist_status", None)
+        if persist is not None:
+            summary["persist"] = persist()
         return summary
 
     async def _op_update_graph(self, message: Dict[str, Any]) -> Dict[str, Any]:
@@ -947,9 +1191,22 @@ class ValidationDaemon:
         async with self._store_lock(name):
             if has_data:
                 graph = await self._offload(self._resolve_data, message["data"])
+                previous = self._stores.get(name)
+                if isinstance(previous, DurableStore):
+                    previous.close()
                 # The parse memo may hand back a graph another store owns;
                 # stores take ownership of their graph, so wrap a private copy.
-                store = GraphStore(graph.copy(name=name or graph.name))
+                private = graph.copy(name=name or graph.name)
+                if self.data_dir is not None:
+                    store = await self._offload(
+                        lambda: DurableStore.create(
+                            self._graph_dir(name), private,
+                            name=name, fsync=self.fsync,
+                        )
+                    )
+                    self._checkpointed[name] = (store.version, frozenset())
+                else:
+                    store = GraphStore(private)
                 self._stores[name] = store
                 return self._store_summary(name, store)
             store = self._resolve_store(name)
@@ -998,9 +1255,10 @@ class ValidationDaemon:
                 "op 'revalidate' needs exactly one of 'name', 'graphs', or 'all'",
                 protocol.E_BAD_REQUEST,
             )
-        compiled = await self._offload(
-            self._resolve_schema, protocol.require(message, "schema")
-        )
+        schema_ref = protocol.require(message, "schema")
+        compiled = await self._offload(self._resolve_schema, schema_ref)
+        if self.data_dir is not None:
+            await self._offload(self._persist_schema_for_typings, schema_ref, compiled)
         compressed = message.get("compressed", False)
         if not isinstance(compressed, bool):
             raise ProtocolError("'compressed' must be a boolean", protocol.E_BAD_REQUEST)
@@ -1079,6 +1337,36 @@ class ValidationDaemon:
         )
         return entry
 
+    async def _op_checkpoint(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Fold WALs into fresh snapshots: one graph (``name``) or all.
+
+        Idempotent — checkpointing an already-clean store just cuts another
+        snapshot — so the client classifies it retryable.  Requires the
+        daemon to be running with ``--data-dir``.
+        """
+        if self.data_dir is None:
+            raise ProtocolError(
+                "daemon is not persisting (start it with --data-dir)",
+                protocol.E_BAD_REQUEST,
+            )
+        name = message.get("name")
+        if name is not None and not isinstance(name, str):
+            raise ProtocolError("'name' must be a string", protocol.E_BAD_REQUEST)
+        names = [name] if name is not None else sorted(self._stores)
+        results: Dict[str, Dict[str, Any]] = {}
+        for graph_name in names:
+            async with self._store_lock(graph_name):
+                store = self._resolve_store(graph_name)
+                if not isinstance(store, DurableStore):
+                    raise ProtocolError(
+                        f"graph {graph_name!r} is not durable",
+                        protocol.E_BAD_REQUEST,
+                    )
+                outcome = await self._checkpoint_store(graph_name, store)
+            outcome["seconds"] = round(outcome["seconds"], 6)
+            results[graph_name] = outcome
+        return {"graphs": len(results), "results": results}
+
     def _uptime(self) -> float:
         """Seconds since the daemon bound its socket (0.0 before start)."""
         if self._started_at is None:
@@ -1116,6 +1404,7 @@ class ValidationDaemon:
             "address": self.address,
             "backend": self.validation.backend,
             "cache_dir": self.cache_dir,
+            "data_dir": self.data_dir,
             "uptime_seconds": self._uptime(),
             "connections": self._connections,
             "inflight": self._inflight,
@@ -1163,6 +1452,7 @@ class ValidationDaemon:
             "requests": dict(sorted(self._requests.items())),
             "solver": solver_metrics_summary(),
             "fixpoint": fixpoint_metrics_summary(),
+            "persist": persist_metrics_summary(),
             "caches": self._cache_stats(),
             "graphs": {
                 name: self._store_status(name, store)

@@ -37,6 +37,7 @@ OPS = (
     "batch",
     "update_graph",
     "revalidate",
+    "checkpoint",
     "status",
     "metrics",
     "flush_cache",

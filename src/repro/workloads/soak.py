@@ -3,7 +3,8 @@
 The serve stack (daemon, client, engines, caches) is exercised by every unit
 test for a handful of requests; :class:`SoakRunner` exercises it for *hundreds
 to thousands* of weighted random operations — graph updates, incremental
-revalidations, document validations, containment checks — while continuously
+revalidations, document validations, containment checks, and (against a
+durable daemon) checkpoint/kill/warm-restart bounces — while continuously
 checking the answers against the independent oracles of
 :mod:`repro.schema.reference` and the containment ground truths that hold by
 construction.  Runs are reproducible from the :class:`SoakSpec` alone (one
@@ -286,12 +287,21 @@ class DaemonTarget:
     test: the target simply issues requests, and the runner's recovery
     accounting reads the client's ``reconnects``/``retried_requests``
     counters afterwards.
+
+    ``restarter``, when given, makes the target restartable: a callable that
+    kills the daemon, starts a fresh one on the same address and ``--data-dir``,
+    and returns a connected client.  The runner's ``restart`` op then
+    checkpoints, bounces the daemon through it, and requires the recovered
+    store to match the mirror exactly.
     """
 
-    def __init__(self, client, graph_name: str = "soak"):
+    def __init__(self, client, graph_name: str = "soak", restarter=None):
         self.client = client
         self.graph_name = graph_name
+        self.restarter = restarter
         self._schema_texts: Dict[str, str] = {}
+        self._retired_retries = 0
+        self._retired_reconnects = 0
 
     def load_schema(self, key: str, schema) -> None:
         # str(schema) is the paper's rule notation, which the daemon's
@@ -321,6 +331,26 @@ class DaemonTarget:
 
     def contains(self, left_key: str, right_key: str) -> str:
         return self.client.contains(left_key, right_key)["verdict"]
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return self.client.checkpoint(self.graph_name)
+
+    def restart(self) -> None:
+        """Bounce the daemon (via ``restarter``) and adopt the new client.
+
+        The outgoing client's retry counters are banked first so the run's
+        fault accounting survives the swap.
+        """
+        if self.restarter is None:
+            raise SoakError("this daemon target has no restarter")
+        old = self.client
+        self._retired_retries += getattr(old, "retried_requests", 0)
+        self._retired_reconnects += getattr(old, "reconnects", 0)
+        try:
+            old.close()
+        except Exception:  # noqa: BLE001 — the daemon may already be gone
+            pass
+        self.client = self.restarter()
 
     def graph_version(self) -> int:
         return self.client.status()["graphs"][self.graph_name]["version"]
@@ -357,7 +387,17 @@ class SoakRunner:
         self.rng = random.Random(spec.seed)
         self.ops: Dict[str, int] = {"update": 0, "revalidate": 0, "validate": 0,
                                     "contains": 0}
+        if spec.weights.get("restart", 0) > 0:
+            # Restarts only make sense against a durable daemon: the target
+            # must know how to bounce itself (DaemonTarget with a restarter).
+            if getattr(target, "restarter", None) is None:
+                raise SoakError(
+                    "spec weights a 'restart' op but the target has no "
+                    "restarter (pass DaemonTarget(..., restarter=...))"
+                )
+            self.ops["restart"] = 0
         self.modes: Dict[str, int] = {}
+        self.restart_modes: Dict[str, int] = {}
         self.checks_passed = 0
         self.op_retries = 0
         self.unrecovered = 0
@@ -596,6 +636,47 @@ class SoakRunner:
             f"expected one of {expected}",
         )
 
+    def _op_restart(self) -> None:
+        """Checkpoint, kill and warm-restart the daemon, then re-verify.
+
+        The recovered store must agree with the mirror on version and graph
+        counts, and the first revalidation after the bounce must match the
+        reference oracle's verdict — a restart is only "survived" when the
+        daemon picks the stream back up with the exact same state.
+        """
+        self._attempt("checkpoint", self.target.checkpoint)
+        self._attempt("restart", self.target.restart)
+        version = self._attempt("status", self.target.graph_version)
+        self._check(
+            version == self.mirror.version,
+            f"restarted daemon recovered version {version}, "
+            f"mirror at {self.mirror.version}",
+        )
+        nodes, edges = self._attempt("status", self.target.graph_counts)
+        self._check(
+            (nodes, edges)
+            == (self.mirror.graph.node_count, self.mirror.graph.edge_count),
+            f"restarted daemon recovered counts {(nodes, edges)}, mirror "
+            f"{(self.mirror.graph.node_count, self.mirror.graph.edge_count)}",
+        )
+        answer = self._attempt(
+            "revalidate", lambda: self.target.revalidate("soak-main", False)
+        )
+        mode = answer.get("mode", "?")
+        self.modes[mode] = self.modes.get(mode, 0) + 1
+        self.restart_modes[mode] = self.restart_modes.get(mode, 0) + 1
+        typing = maximal_typing_reference(self.mirror.graph, self._schema)
+        untyped = [
+            node for node in self.mirror.graph.nodes if not typing.types_of(node)
+        ]
+        oracle_verdict = "valid" if not untyped else "invalid"
+        self._check(
+            answer["verdict"] == oracle_verdict,
+            f"first revalidate after restart answered {answer['verdict']!r}, "
+            f"reference oracle says {oracle_verdict!r} at version "
+            f"{self.mirror.version}",
+        )
+
     # -- the periodic full oracle check ---------------------------------- #
     def _full_check(self) -> None:
         nodes, edges = self._attempt("status", self.target.graph_counts)
@@ -724,6 +805,8 @@ class SoakRunner:
             "validate": self._op_validate,
             "contains": self._op_contains,
         }
+        if "restart" in self.ops:
+            handlers["restart"] = self._op_restart
         toggling = spec.toggle_vectorize and _vectorized.available()
         flag_before = os.environ.get(_vectorized.ENV_FLAG)
         step = 0
@@ -773,7 +856,7 @@ class SoakRunner:
             }
         client = getattr(self.target, "client", None)
         steps = sum(self.ops.values())
-        return {
+        report = {
             "invariant_checks_passed": self.checks_passed,
             "kernel_steps": dict(sorted(self.kernel_steps.items())),
             "modes": dict(sorted(self.modes.items())),
@@ -785,12 +868,20 @@ class SoakRunner:
             "faults": {
                 "injected": sum(fired.values()),
                 "by_point": dict(sorted(fired.items())),
-                "client_retries": getattr(client, "retried_requests", 0),
-                "reconnects": getattr(client, "reconnects", 0),
+                "client_retries": getattr(client, "retried_requests", 0)
+                + getattr(self.target, "_retired_retries", 0),
+                "reconnects": getattr(client, "reconnects", 0)
+                + getattr(self.target, "_retired_reconnects", 0),
                 "op_retries": self.op_retries,
                 "unrecovered": self.unrecovered,
             },
         }
+        if "restart" in self.ops:
+            report["restarts"] = {
+                "count": self.ops["restart"],
+                "modes": dict(sorted(self.restart_modes.items())),
+            }
+        return report
 
 
 def run_soak(spec: SoakSpec, target) -> Dict[str, Any]:

@@ -1,0 +1,313 @@
+"""Unit tests for the persist package: codec, WAL, durable stores, migrations."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.core.intervals import Interval
+from repro.errors import PersistError
+from repro.graphs.graph import Graph
+from repro.graphs.store import Delta, GraphStore
+from repro.persist import DurableStore, codec
+from repro.persist import migrations as migrations_mod
+from repro.persist import wal as wal_mod
+from repro.persist.store import read_manifest, write_manifest
+from repro.persist.wal import FsyncPolicy, WriteAheadLog
+
+
+def _graph(edges) -> Graph:
+    graph = Graph("t")
+    for source, label, target in edges:
+        graph.add_edge(source, label, target)
+    return graph
+
+
+def _base_graph() -> Graph:
+    return _graph([("a", "x", "b"), ("b", "y", "c"), ("c", "z", "a")])
+
+
+class TestCodec:
+    def test_node_round_trip(self):
+        for node in ("iri", ("lit", "hello"), ("lit", "")):
+            assert codec.decode_node(codec.encode_node(node)) == node
+
+    def test_delta_round_trip(self):
+        delta = Delta.of(
+            add=[("x", "a", "y", (3, 3)), (("lit", "s"), "b", "z")],
+            remove=[("u", "b", "v")],
+        )
+        wire = json.loads(json.dumps(codec.encode_delta(delta)))
+        assert codec.decode_delta(wire) == delta
+
+    def test_occur_round_trip_unbounded(self):
+        occur = Interval.of((2, None))
+        assert codec.decode_occur(codec.encode_occur(occur)) == occur
+
+
+class TestWal:
+    def test_append_and_recover(self, tmp_path):
+        path = str(tmp_path / "w.log")
+        log = WriteAheadLog(path, "always")
+        log.append(1, {"add": [["a", "x", "b", [1, 1]]], "remove": []})
+        log.append(2, {"add": [], "remove": [["a", "x", "b", [1, 1]]]})
+        log.close()
+        records, stats = wal_mod.recover(path)
+        assert [version for version, _ in records] == [1, 2]
+        assert stats["records"] == 2 and stats["truncated"] == 0
+
+    def test_torn_tail_truncated_at_every_offset(self, tmp_path):
+        path = str(tmp_path / "w.log")
+        log = WriteAheadLog(path, "always")
+        log.append(1, {"add": [["a", "x", "b", [1, 1]]], "remove": []})
+        log.append(2, {"add": [["b", "y", "c", [1, 1]]], "remove": []})
+        log.close()
+        blob = open(path, "rb").read()
+        first_end = len(wal_mod.MAGIC) + len(
+            wal_mod._frame(1, {"add": [["a", "x", "b", [1, 1]]], "remove": []})
+        )
+        # Cut the file anywhere inside the second record: the first must
+        # survive, the tail must be dropped, never an exception.
+        for cut in range(first_end, len(blob)):
+            torn = str(tmp_path / "torn.log")
+            with open(torn, "wb") as handle:
+                handle.write(blob[:cut])
+            records, stats = wal_mod.recover(torn)
+            assert [version for version, _ in records] == [1]
+            assert stats["truncated"] == (1 if cut > first_end else 0)
+
+    def test_corrupt_magic_is_refused(self, tmp_path):
+        # A wrong header means the file is not a WAL at all — refuse it
+        # loudly instead of silently treating it as empty.
+        path = str(tmp_path / "bad.log")
+        with open(path, "wb") as handle:
+            handle.write(b"NOTAWAL!\n" + b"\x00" * 32)
+        with pytest.raises(PersistError, match="magic"):
+            wal_mod.recover(path)
+
+    def test_fsync_policy_parse(self):
+        assert str(FsyncPolicy.parse("always")) == "always"
+        assert str(FsyncPolicy.parse("off")) == "off"
+        interval = FsyncPolicy.parse("interval")
+        assert str(FsyncPolicy.parse(interval)) == str(interval)
+        with pytest.raises(PersistError):
+            FsyncPolicy.parse("sometimes")
+
+
+class TestDurableStore:
+    def test_create_then_reopen_parity(self, tmp_path):
+        directory = str(tmp_path / "store")
+        store = DurableStore.create(directory, _base_graph(), name="t")
+        store.apply(Delta.of(add=[("a", "x", "c")]))
+        store.apply(Delta.of(remove=[("b", "y", "c")]))
+        store.close()
+
+        reopened = DurableStore.open(directory)
+        assert reopened.version == store.version == 2
+        assert reopened.name == "t"
+        assert reopened.graph.edge_count == store.graph.edge_count
+        assert reopened.recovery["replayed"] == 2
+        assert reopened.recovery["truncated"] == 0
+        reopened.close()
+
+    def test_checkpoint_rotates_and_prunes(self, tmp_path):
+        directory = str(tmp_path / "store")
+        store = DurableStore.create(directory, _base_graph())
+        for round_index in range(3):
+            store.apply(Delta.of(add=[("a", f"r{round_index}", "b")]))
+            store.checkpoint()
+        generations = sorted(
+            int(name.split("-")[1].split(".")[0])
+            for name in os.listdir(directory)
+            if name.startswith("snapshot-")
+        )
+        # Newest generation plus one fallback; older snapshots pruned.
+        assert generations == [store.generation - 1, store.generation]
+        assert store.persist_status()["wal_records"] == 0
+        store.close()
+
+    def test_reopen_replays_wal_tail(self, tmp_path):
+        directory = str(tmp_path / "store")
+        store = DurableStore.create(directory, _base_graph())
+        store.apply(Delta.of(add=[("a", "x", "c")]))
+        store.close()
+        mirror = GraphStore(_base_graph())
+        mirror.apply(Delta.of(add=[("a", "x", "c")]))
+
+        reopened = DurableStore.open(directory)
+        assert reopened.version == mirror.version
+        assert {
+            (edge.source, edge.label, edge.target)
+            for node in reopened.graph.nodes
+            for edge in reopened.graph.out_edges(node)
+        } == {
+            (edge.source, edge.label, edge.target)
+            for node in mirror.graph.nodes
+            for edge in mirror.graph.out_edges(node)
+        }
+        reopened.close()
+
+    def test_corrupt_newest_snapshot_falls_back_one_generation(self, tmp_path):
+        directory = str(tmp_path / "store")
+        store = DurableStore.create(directory, _base_graph())
+        store.checkpoint()
+        newest = store.generation
+        store.close()
+        with open(os.path.join(directory, f"snapshot-{newest}.json"), "w") as fh:
+            fh.write("{ truncated")
+        reopened = DurableStore.open(directory)
+        assert reopened.generation == newest - 1
+        reopened.close()
+
+    def test_empty_directory_is_not_a_store(self, tmp_path):
+        with pytest.raises(PersistError, match="not a data directory"):
+            DurableStore.open(str(tmp_path))
+
+    def test_wal_only_directory_cannot_recover(self, tmp_path):
+        directory = str(tmp_path / "store")
+        os.makedirs(directory)
+        write_manifest(
+            directory,
+            {"format": migrations_mod.CURRENT_FORMAT, "generation": 1},
+        )
+        log = WriteAheadLog(os.path.join(directory, "wal-1.log"), "always")
+        log.append(1, {"add": [["a", "x", "b", [1, 1]]], "remove": []})
+        log.close()
+        with pytest.raises(PersistError, match="WAL alone"):
+            DurableStore.open(directory)
+
+    def test_snapshot_only_directory_recovers_clean(self, tmp_path):
+        directory = str(tmp_path / "store")
+        store = DurableStore.create(directory, _base_graph())
+        store.close()
+        os.remove(os.path.join(directory, f"wal-{store.generation}.log"))
+        reopened = DurableStore.open(directory)
+        assert reopened.version == 0 and reopened.recovery["replayed"] == 0
+        reopened.close()
+
+    def test_duplicate_tail_record_is_deduped(self, tmp_path):
+        directory = str(tmp_path / "store")
+        store = DurableStore.create(directory, _base_graph())
+        store.apply(Delta.of(add=[("a", "x", "c")]))
+        store.close()
+        # A crash between append and ack can leave the same record twice:
+        # re-append version 1 verbatim behind the durable layer's back.
+        wal_path = os.path.join(directory, f"wal-{store.generation}.log")
+        records, _ = wal_mod.recover(wal_path)
+        with open(wal_path, "ab") as handle:
+            handle.write(wal_mod._frame(*records[-1]))
+        reopened = DurableStore.open(directory)
+        assert reopened.version == 1
+        assert reopened.recovery["deduped"] == 1
+        reopened.close()
+
+    def test_broken_record_sequence_is_an_error(self, tmp_path):
+        directory = str(tmp_path / "store")
+        store = DurableStore.create(directory, _base_graph())
+        store.close()
+        wal_path = os.path.join(directory, f"wal-{store.generation}.log")
+        with open(wal_path, "ab") as handle:
+            handle.write(
+                wal_mod._frame(5, {"add": [["a", "q", "b", [1, 1]]], "remove": []})
+            )
+        with pytest.raises(PersistError, match="sequence is broken"):
+            DurableStore.open(directory)
+
+    def test_future_format_is_refused_without_partial_load(self, tmp_path):
+        directory = str(tmp_path / "store")
+        store = DurableStore.create(directory, _base_graph())
+        store.close()
+        manifest = read_manifest(directory)
+        manifest["format"] = migrations_mod.CURRENT_FORMAT + 1
+        write_manifest(directory, manifest)
+        with pytest.raises(PersistError, match="refusing to load"):
+            DurableStore.open(directory)
+
+    def test_persist_status_fields(self, tmp_path):
+        store = DurableStore.create(str(tmp_path / "store"), _base_graph())
+        store.apply(Delta.of(add=[("a", "x", "c")]))
+        status = store.persist_status()
+        assert status["generation"] == store.generation
+        assert status["format"] == migrations_mod.CURRENT_FORMAT
+        assert status["fsync"] == "always"
+        assert status["wal_records"] == 1 and status["wal_bytes"] > 0
+        assert status["last_checkpoint_at"] is not None
+        store.close()
+
+
+class TestMigrations:
+    def _format1_layout(self, directory: str) -> None:
+        """A hand-written format-1 directory (no typing snapshots)."""
+        os.makedirs(directory)
+        snapshot = {
+            "format": 1,
+            "name": "legacy",
+            "version": 0,
+            "base": 0,
+            "created_at": 0.0,
+            "nodes": ["a", "b"],
+            "edges": [["a", "x", "b", [1, 1]]],
+            "log": [],
+            "partition": None,
+        }
+        with open(os.path.join(directory, "snapshot-1.json"), "w") as handle:
+            json.dump(snapshot, handle)
+        with open(os.path.join(directory, "wal-1.log"), "wb") as handle:
+            handle.write(wal_mod.MAGIC)
+        write_manifest(directory, {"format": 1, "name": "legacy", "generation": 1})
+
+    def test_format1_migrates_to_current(self, tmp_path):
+        directory = str(tmp_path / "legacy")
+        self._format1_layout(directory)
+        store = DurableStore.open(directory)
+        assert store.graph.edge_count == 1
+        assert store.restored_typings == []
+        assert read_manifest(directory)["format"] == migrations_mod.CURRENT_FORMAT
+        store.close()
+
+    def test_pending_refuses_future_format(self):
+        with pytest.raises(PersistError, match="refusing to load"):
+            migrations_mod.pending(migrations_mod.CURRENT_FORMAT + 1)
+
+    def test_chain_is_ordered_and_complete(self):
+        migrations_mod.check_ordering()
+        targets = [mod.TO_FORMAT for mod in migrations_mod.pending(0)]
+        assert targets == list(range(1, migrations_mod.CURRENT_FORMAT + 1))
+
+
+class TestFaultInjection:
+    def test_persist_io_fault_leaves_store_consistent(self, tmp_path):
+        store = DurableStore.create(str(tmp_path / "store"), _base_graph())
+        faults.install("persist.io=1.0", seed=7)
+        try:
+            with pytest.raises(faults.InjectedFault):
+                store.apply(Delta.of(add=[("a", "x", "c")]))
+        finally:
+            faults.uninstall()
+        # The failed append must not have advanced the store.
+        assert store.version == 0
+        store.apply(Delta.of(add=[("a", "x", "c")]))
+        assert store.version == 1
+        store.close()
+
+    def test_torn_write_fault_self_heals(self, tmp_path):
+        directory = str(tmp_path / "store")
+        store = DurableStore.create(directory, _base_graph())
+        faults.install("persist.torn_write=1.0", seed=7)
+        try:
+            with pytest.raises(faults.InjectedFault):
+                store.apply(Delta.of(add=[("a", "x", "c")]))
+        finally:
+            faults.uninstall()
+        assert store.version == 0
+        # The partial frame on disk is truncated away by the next append...
+        store.apply(Delta.of(add=[("a", "x", "c")]))
+        store.close()
+        # ...so recovery sees one clean record and no surviving damage.
+        reopened = DurableStore.open(directory)
+        assert reopened.version == 1
+        assert reopened.recovery["replayed"] == 1
+        reopened.close()
